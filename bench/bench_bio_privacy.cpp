@@ -1,0 +1,126 @@
+// S4 — the bio archetype's encode + anonymize costs (§3.3): one-hot /
+// tiling throughput for sequence encoding, and the privacy battery's cost
+// as record counts grow (HMAC pseudonymization, date shifting,
+// k-anonymity), plus the privacy/utility outcome.
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "common/timer.hpp"
+#include "privacy/anonymize.hpp"
+#include "sequence/sequence.hpp"
+#include "workloads/bio.hpp"
+
+namespace drai {
+namespace {
+
+int Main() {
+  bench::Banner("S4a — sequence encoding throughput");
+  {
+    Rng rng(1);
+    std::string seq(1 << 20, 'A');
+    static const char kBases[] = "ACGT";
+    for (char& c : seq) c = kBases[rng.UniformU64(4)];
+
+    WallTimer timer;
+    const auto onehot = sequence::OneHot(sequence::Alphabet::kDna, seq).value();
+    const double onehot_s = timer.Seconds();
+    timer.Reset();
+    const auto tiles = sequence::Tile(seq, 512, 512);
+    const double tile_s = timer.Seconds();
+    timer.Reset();
+    sequence::KmerTokenizer tok(sequence::Alphabet::kDna, 6);
+    const auto tokens = tok.Tokenize(seq).value();
+    const double kmer_s = timer.Seconds();
+
+    bench::Table table({"operation", "input", "wall", "throughput"});
+    table.AddRow({"one-hot (4ch f32)", "1 MiB DNA", HumanDuration(onehot_s),
+                  HumanBytes(uint64_t(seq.size() / onehot_s)) + "/s"});
+    table.AddRow({"tile 512/512", std::to_string(tiles.size()) + " tiles",
+                  HumanDuration(tile_s),
+                  HumanBytes(uint64_t(seq.size() / tile_s)) + "/s"});
+    table.AddRow({"6-mer tokenize", std::to_string(tokens.size()) + " tokens",
+                  HumanDuration(kmer_s),
+                  HumanBytes(uint64_t(seq.size() / kmer_s)) + "/s"});
+    table.Print();
+    (void)onehot;
+  }
+
+  bench::Banner("S4b — privacy battery cost vs record count");
+  bench::Table table({"records", "classify", "pseudonymize", "date-shift",
+                      "k-anonymize(k=5)", "k achieved", "suppressed"});
+  for (const size_t n : {1000ul, 5000ul, 20000ul}) {
+    workloads::BioConfig config;
+    config.n_subjects = n;
+    config.sequence_length = 8;  // sequences irrelevant here
+    auto workload = workloads::GenerateBioWorkload(config);
+    privacy::Table& t = workload.clinical;
+
+    WallTimer timer;
+    std::vector<std::string> direct;
+    for (size_t c = 0; c < t.columns.size(); ++c) {
+      std::vector<std::string> sample;
+      for (size_t r = 0; r < std::min<size_t>(t.rows.size(), 32); ++r) {
+        sample.push_back(t.rows[r][c]);
+      }
+      if (privacy::ClassifyField(t.columns[c], sample) ==
+          privacy::FieldClass::kDirectIdentifier) {
+        direct.push_back(t.columns[c]);
+      }
+    }
+    const double classify_s = timer.Seconds();
+
+    timer.Reset();
+    privacy::Pseudonymizer pseudo("bench-key-0123456789abcdef");
+    for (const auto& col : direct) {
+      pseudo.PseudonymizeColumn(t, col).OrDie();
+    }
+    const double pseudo_s = timer.Seconds();
+
+    timer.Reset();
+    privacy::DateShifter shifter("bench-key-0123456789abcdef");
+    shifter.ShiftColumn(t, "subject_id", "dob").OrDie();
+    shifter.ShiftColumn(t, "subject_id", "admit_date").OrDie();
+    const double shift_s = timer.Seconds();
+
+    timer.Reset();
+    privacy::KAnonymityConfig kc;
+    kc.k = 5;
+    kc.numeric_bands["age"] = 5;
+    kc.prefix_lengths["zip"] = 3;
+    const auto report = privacy::EnforceKAnonymity(t, kc).value();
+    const double kanon_s = timer.Seconds();
+
+    table.AddRow({std::to_string(n), HumanDuration(classify_s),
+                  HumanDuration(pseudo_s), HumanDuration(shift_s),
+                  HumanDuration(kanon_s), std::to_string(report.k_achieved),
+                  std::to_string(report.suppressed_rows)});
+  }
+  table.Print();
+  std::printf(
+      "shape check: the battery scales ~linearly with records; suppression\n"
+      "falls as cohorts grow (bigger equivalence classes) — the reason small\n"
+      "clinical cohorts are the hard privacy case.\n");
+
+  bench::Banner("S4c — privacy/utility: l-diversity after de-identification");
+  workloads::BioConfig config;
+  config.n_subjects = 5000;
+  config.sequence_length = 8;
+  auto workload = workloads::GenerateBioWorkload(config);
+  privacy::KAnonymityConfig kc;
+  kc.k = 5;
+  kc.numeric_bands["age"] = 5;
+  kc.prefix_lengths["zip"] = 3;
+  privacy::EnforceKAnonymity(workload.clinical, kc).value();
+  const size_t diversity =
+      privacy::MinDiversity(workload.clinical, {"age", "zip"}, "diagnosis")
+          .value();
+  std::printf("min l-diversity over (age, zip) classes: %zu%s\n", diversity,
+              diversity >= 2 ? " (no homogeneous class leaks a diagnosis)"
+                             : " (homogeneity attack possible!)");
+  return 0;
+}
+
+}  // namespace
+}  // namespace drai
+
+int main() { return drai::Main(); }

@@ -1,0 +1,69 @@
+// A3 — MSA cost ablation: the AlphaFold-pipeline preprocessing step §3.3
+// names as the expensive one. Center-star MSA is O(N^2 * L^2) in sequence
+// count and length (all-pairs NW for center selection dominates); this
+// bench sweeps both axes and reports alignment quality, quantifying why
+// real pipelines cache MSAs ("intermediate caching for scalable model
+// training", §3.3).
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "common/timer.hpp"
+#include "sequence/msa.hpp"
+
+namespace drai {
+namespace {
+
+std::vector<std::string> MakeFamily(size_t n, size_t length, uint64_t seed) {
+  Rng rng(seed);
+  static const char kBases[] = "ACGT";
+  std::string ancestor(length, 'A');
+  for (char& c : ancestor) c = kBases[rng.UniformU64(4)];
+  std::vector<std::string> family = {ancestor};
+  for (size_t d = 1; d < n; ++d) {
+    std::string s = ancestor;
+    const size_t mutations = 1 + length / 20;
+    for (size_t m = 0; m < mutations; ++m) {
+      s[rng.UniformU64(s.size())] = kBases[rng.UniformU64(4)];
+    }
+    if (rng.Bernoulli(0.5)) s.erase(rng.UniformU64(s.size()), 1);
+    family.push_back(std::move(s));
+  }
+  return family;
+}
+
+int Main() {
+  bench::Banner("A3 — center-star MSA cost vs family size x sequence length");
+  bench::Table table({"sequences", "length", "wall", "mean identity",
+                      "alignment cols"});
+  for (const size_t n : {3ul, 6ul, 12ul}) {
+    for (const size_t length : {64ul, 256ul, 512ul}) {
+      const auto family = MakeFamily(n, length, 42 + n + length);
+      WallTimer timer;
+      const auto msa = sequence::CenterStarMsa(family).value();
+      table.AddRow({std::to_string(n), std::to_string(length),
+                    HumanDuration(timer.Seconds()),
+                    bench::Fmt("%.3f", msa.mean_identity),
+                    std::to_string(msa.aligned.front().size())});
+    }
+  }
+  table.Print();
+  std::printf(
+      "shape check: wall time scales ~quadratically in both axes (all-pairs\n"
+      "NW dominates) — the cost profile that makes MSA caching mandatory at\n"
+      "AlphaFold scale.\n");
+
+  bench::Banner("profile generation cost (post-MSA)");
+  const auto family = MakeFamily(12, 512, 7);
+  const auto msa = sequence::CenterStarMsa(family).value();
+  WallTimer timer;
+  const auto profile = sequence::MsaProfile(msa, sequence::Alphabet::kDna);
+  std::printf("12 x 512 profile: %s (%zu columns x 4)\n",
+              HumanDuration(timer.Seconds()).c_str(),
+              profile.ok() ? profile->shape()[0] : 0);
+  return 0;
+}
+
+}  // namespace
+}  // namespace drai
+
+int main() { return drai::Main(); }

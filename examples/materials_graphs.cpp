@@ -1,0 +1,152 @@
+// Materials example — the §3.4 archetype feeding a GNN-style surrogate:
+// random crystals are parsed, labels standardized, periodic neighbor
+// graphs encoded, the skewed crystal-system classes oversampled, and the
+// shards consumed by an energy-per-atom surrogate (an MLP over pooled
+// graph features standing in for a message-passing GNN).
+//
+//   ./materials_graphs
+#include <cmath>
+#include <cstdio>
+
+#include "common/strings.hpp"
+#include "domains/materials.hpp"
+#include "graph/encode.hpp"
+#include "ml/metrics.hpp"
+#include "ml/models.hpp"
+#include "stats/normalizer.hpp"
+#include "shard/shard_reader.hpp"
+
+using namespace drai;
+
+namespace {
+
+/// Pool a graph into a fixed feature vector — the hand-built analogue of a
+/// GNN readout. Pair-potential energies are sums of powers of inverse
+/// distance over edges, so per-atom sums of d^-6 and d^-12 (and their
+/// interactions with composition) are the physically sufficient statistics.
+std::vector<double> PoolGraph(const graph::GraphSample& g) {
+  std::vector<double> out;
+  const size_t nf = g.node_features.shape()[1];
+  double mean_z = 0;
+  for (size_t j = 0; j < nf; ++j) {
+    double mean = 0;
+    for (size_t i = 0; i < g.NumNodes(); ++i) {
+      mean += g.node_features.GetAsDouble(i * nf + j);
+    }
+    mean /= double(g.NumNodes());
+    if (j == 0) mean_z = mean;
+    out.push_back(mean);
+  }
+  const size_t fe = g.edge_features.shape()[1];
+  double sum_inv6 = 0, sum_inv12 = 0, dist_min = 1e9;
+  for (size_t e = 0; e < g.NumEdges(); ++e) {
+    const double d = std::max(g.edge_features.GetAsDouble(e * fe), 0.5);
+    const double inv = 1.0 / d;
+    const double inv6 = inv * inv * inv * inv * inv * inv;
+    sum_inv6 += inv6;
+    sum_inv12 += inv6 * inv6;
+    dist_min = std::min(dist_min, d);
+  }
+  const double n = double(g.NumNodes());
+  out.push_back(sum_inv6 / n);
+  out.push_back(sum_inv12 / n);
+  out.push_back(mean_z * sum_inv6 / n);   // species-dependent sigma proxy
+  out.push_back(mean_z * sum_inv12 / n);
+  out.push_back(g.NumEdges() ? dist_min : 0);
+  out.push_back(double(g.NumEdges()) / n);  // mean degree
+  return out;
+}
+
+Status LoadGraphs(const shard::ShardReader& reader, shard::Split split,
+                  NDArray& x, std::vector<double>& y) {
+  DRAI_ASSIGN_OR_RETURN(std::vector<shard::Example> examples,
+                        reader.ReadAll(split));
+  if (examples.empty()) return NotFound("empty split");
+  std::vector<std::vector<double>> rows;
+  y.clear();
+  for (const auto& ex : examples) {
+    DRAI_ASSIGN_OR_RETURN(graph::GraphSample g, graph::FromExample(ex));
+    rows.push_back(PoolGraph(g));
+    y.push_back(g.label);
+  }
+  x = NDArray::Zeros({rows.size(), rows.front().size()}, DType::kF64);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    for (size_t j = 0; j < rows[i].size(); ++j) {
+      x.SetFromDouble(i * rows[i].size() + j, rows[i][j]);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+int main() {
+  par::StripedStore store;
+
+  domains::MaterialsArchetypeConfig config;
+  config.workload.n_structures = 250;
+  config.workload.min_atoms = 4;
+  config.workload.max_atoms = 12;
+  config.encode.cutoff = 5.0;
+  config.rebalance = true;
+
+  std::printf("running materials archetype: %zu structures, cutoff %.1f A\n",
+              config.workload.n_structures, config.encode.cutoff);
+  const auto result = domains::RunMaterialsArchetype(store, config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "archetype failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("readiness: %s\n",
+              std::string(core::ReadinessLevelName(result->readiness.overall))
+                  .c_str());
+  std::printf("class imbalance: %.2f -> %.2f after oversampling\n",
+              result->imbalance_before, result->imbalance_after);
+  std::printf("graphs sharded: %llu (%s)\n",
+              (unsigned long long)result->manifest.TotalRecords(),
+              HumanBytes(result->manifest.TotalBytes()).c_str());
+
+  // Train the energy surrogate from the shards.
+  const auto reader =
+      shard::ShardReader::Open(store, config.dataset_dir).value();
+  NDArray x_train, x_val;
+  std::vector<double> y_train, y_val;
+  LoadGraphs(reader, shard::Split::kTrain, x_train, y_train).OrDie();
+  const bool has_val =
+      LoadGraphs(reader, shard::Split::kVal, x_val, y_val).ok();
+
+  // Pooled features live on wildly different scales (degrees ~30, Z ~0.2):
+  // z-score them with the same stats for train and eval.
+  stats::Normalizer feat_norm(stats::NormKind::kZScore, x_train.shape()[1]);
+  feat_norm.ObserveMatrix(x_train);
+  feat_norm.Fit();
+  feat_norm.ApplyMatrix(x_train);
+  if (has_val) feat_norm.ApplyMatrix(x_val);
+
+  ml::MlpRegressor surrogate(24);
+  ml::SgdOptions options;
+  options.learning_rate = 0.003;
+  options.epochs = 200;
+  options.l2 = 1e-4;
+  const auto history = surrogate.Fit(x_train, y_train, options).value();
+  std::printf("surrogate training: MSE %.4f -> %.4f (%zu graphs)\n",
+              history.front(), history.back(), y_train.size());
+
+  const NDArray& x_eval = has_val ? x_val : x_train;
+  const std::vector<double>& y_eval = has_val ? y_val : y_train;
+  std::vector<double> pred(y_eval.size());
+  std::vector<double> row(x_eval.shape()[1]);
+  for (size_t i = 0; i < y_eval.size(); ++i) {
+    for (size_t j = 0; j < row.size(); ++j) {
+      row[j] = x_eval.GetAsDouble(i * row.size() + j);
+    }
+    pred[i] = surrogate.Predict(row);
+  }
+  const double r2 = ml::R2Score(pred, y_eval);
+  std::printf("%s R2 (standardized energy/atom): %.3f\n",
+              has_val ? "held-out" : "train", r2);
+  std::printf("(label units: z-scored DFT-like energy; the embedded "
+              "normalizer in the manifest inverts to eV/atom)\n");
+  return r2 > 0.3 ? 0 : 1;
+}

@@ -1,0 +1,111 @@
+// Facility readiness report — what a leadership-computing data steward
+// would run across projects: every domain archetype executes, and the
+// report aggregates readiness levels, per-stage maturity, blocking cells,
+// quality scores and dataset inventories into one view (the operational
+// use the paper's §4 framework is for).
+//
+//   ./readiness_report
+#include <cstdio>
+
+#include "common/strings.hpp"
+#include "domains/bio.hpp"
+#include "domains/climate.hpp"
+#include "domains/fusion.hpp"
+#include "domains/materials.hpp"
+
+using namespace drai;
+
+namespace {
+
+struct Row {
+  std::string name;
+  const domains::ArchetypeResult* result;
+};
+
+void PrintRow(const Row& row) {
+  const auto& r = *row.result;
+  std::printf("\n--- %s ---\n", row.name.c_str());
+  std::printf("  overall readiness : %s\n",
+              std::string(core::ReadinessLevelName(r.readiness.overall))
+                  .c_str());
+  std::printf("  per stage         : ");
+  for (size_t s = 0; s < 5; ++s) {
+    std::printf("%s=%d ", std::string(core::StageKindName(
+                              core::kAllStageKinds[s]))
+                              .c_str(),
+                static_cast<int>(r.readiness.per_stage[s]));
+  }
+  std::printf("\n");
+  if (!r.readiness.blocking.empty()) {
+    std::printf("  blocking          : %s\n", r.readiness.blocking[0].c_str());
+  }
+  std::printf("  records           : %llu (%s)\n",
+              (unsigned long long)r.manifest.TotalRecords(),
+              HumanBytes(r.manifest.TotalBytes()).c_str());
+  std::printf("  quality score     : %.3f (missing %.3f, labeled %.2f)\n",
+              r.quality.OverallScore(), r.quality.MissingFraction(),
+              r.quality.labeled_fraction);
+  std::printf("  provenance        : %s...\n",
+              r.provenance_hash.substr(0, 16).c_str());
+  std::printf("  pipeline          : %s\n", r.report.TimeBreakdown().c_str());
+  std::printf("\n%s", core::RenderMaturityMatrix(r.state).c_str());
+}
+
+}  // namespace
+
+int main() {
+  par::StripedStore store;
+
+  std::printf("=== drai facility readiness report ===\n");
+
+  domains::ClimateArchetypeConfig climate;
+  climate.workload.n_times = 6;
+  climate.workload.n_lat = 32;
+  climate.workload.n_lon = 64;
+  climate.target_lat = 24;
+  climate.target_lon = 48;
+  const auto climate_result =
+      domains::RunClimateArchetype(store, climate).value();
+
+  domains::FusionArchetypeConfig fusion;
+  fusion.workload.n_shots = 20;
+  fusion.workload.unlabeled_fraction = 0.15;
+  fusion.lag_correct_max = 0.01;  // trigger-skew correction enabled
+  const auto fusion_result = domains::RunFusionArchetype(store, fusion).value();
+
+  domains::BioArchetypeConfig bio;
+  bio.workload.n_subjects = 120;
+  bio.workload.unlabeled_fraction = 0.3;  // deliberately label-starved
+  const auto bio_result = domains::RunBioArchetype(store, bio).value();
+
+  domains::MaterialsArchetypeConfig materials;
+  materials.workload.n_structures = 60;
+  const auto materials_result =
+      domains::RunMaterialsArchetype(store, materials).value();
+
+  const Row rows[] = {
+      {"climate / CMIP-like", &climate_result},
+      {"fusion / tokamak shots", &fusion_result},
+      {"bio-health / clinical+genomic", &bio_result},
+      {"materials / DFT crystals", &materials_result},
+  };
+  size_t fully_ready = 0;
+  for (const Row& row : rows) {
+    PrintRow(row);
+    if (row.result->readiness.overall == core::ReadinessLevel::kAiReady) {
+      ++fully_ready;
+    }
+  }
+
+  std::printf("\n=== summary ===\n");
+  std::printf("%zu/4 project datasets fully AI-ready.\n", fully_ready);
+  std::printf(
+      "The label-starved bio dataset illustrates the framework's point: its\n"
+      "pipeline is automated end to end, yet readiness is capped until label\n"
+      "coverage crosses the level-3/4 gates — readiness describes the data,\n"
+      "not the tooling.\n");
+  std::printf("store holds %s across %zu files (simulated I/O %.3f s).\n",
+              HumanBytes(store.UsedBytes()).c_str(), store.List().size(),
+              store.stats().simulated_seconds);
+  return 0;
+}

@@ -1,0 +1,305 @@
+#include "augment/augment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ndarray/kernels.hpp"
+
+namespace drai::augment {
+
+namespace {
+
+/// Normalize [h,w] or [c,h,w] to a contiguous [c,h,w] array; remembers
+/// whether to squeeze the channel on the way out.
+Result<NDArray> ToChw(const NDArray& field, bool& squeeze) {
+  NDArray input = field.IsContiguous() ? field : field.AsContiguous();
+  if (input.rank() == 2) {
+    squeeze = true;
+    return input.Reshape({1, input.shape()[0], input.shape()[1]});
+  }
+  if (input.rank() == 3) {
+    squeeze = false;
+    return input;
+  }
+  return InvalidArgument("augment: field rank must be 2 or 3");
+}
+
+NDArray MaybeSqueeze(NDArray chw, bool squeeze) {
+  if (!squeeze) return chw;
+  return chw.Reshape({chw.shape()[1], chw.shape()[2]});
+}
+
+}  // namespace
+
+Result<NDArray> Rotate90(const NDArray& field, int k) {
+  bool squeeze = false;
+  DRAI_ASSIGN_OR_RETURN(NDArray in, ToChw(field, squeeze));
+  k = ((k % 4) + 4) % 4;
+  const size_t c = in.shape()[0], h = in.shape()[1], w = in.shape()[2];
+  const size_t oh = (k % 2 == 0) ? h : w;
+  const size_t ow = (k % 2 == 0) ? w : h;
+  NDArray out = NDArray::Zeros({c, oh, ow}, in.dtype());
+  for (size_t ci = 0; ci < c; ++ci) {
+    for (size_t y = 0; y < h; ++y) {
+      for (size_t x = 0; x < w; ++x) {
+        size_t ny = 0, nx = 0;
+        switch (k) {
+          case 0: ny = y; nx = x; break;
+          case 1: ny = w - 1 - x; nx = y; break;          // 90° CCW
+          case 2: ny = h - 1 - y; nx = w - 1 - x; break;  // 180°
+          case 3: ny = x; nx = h - 1 - y; break;          // 270° CCW
+        }
+        out.SetFromDouble((ci * oh + ny) * ow + nx,
+                          in.GetAsDouble((ci * h + y) * w + x));
+      }
+    }
+  }
+  return MaybeSqueeze(std::move(out), squeeze);
+}
+
+Result<NDArray> Flip(const NDArray& field, int axis) {
+  if (axis != 0 && axis != 1) {
+    return InvalidArgument("Flip: axis must be 0 or 1");
+  }
+  bool squeeze = false;
+  DRAI_ASSIGN_OR_RETURN(NDArray in, ToChw(field, squeeze));
+  const size_t c = in.shape()[0], h = in.shape()[1], w = in.shape()[2];
+  NDArray out = NDArray::Zeros({c, h, w}, in.dtype());
+  for (size_t ci = 0; ci < c; ++ci) {
+    for (size_t y = 0; y < h; ++y) {
+      for (size_t x = 0; x < w; ++x) {
+        const size_t ny = axis == 0 ? h - 1 - y : y;
+        const size_t nx = axis == 1 ? w - 1 - x : x;
+        out.SetFromDouble((ci * h + ny) * w + nx,
+                          in.GetAsDouble((ci * h + y) * w + x));
+      }
+    }
+  }
+  return MaybeSqueeze(std::move(out), squeeze);
+}
+
+Result<NDArray> AddNoise(const NDArray& field, double relative_sigma,
+                         Rng& rng) {
+  if (relative_sigma < 0) {
+    return InvalidArgument("AddNoise: negative sigma");
+  }
+  if (!IsFloating(field.dtype())) {
+    return InvalidArgument("AddNoise: floating dtypes only");
+  }
+  NDArray out = field.AsContiguous();
+  const double sigma = std::sqrt(Variance(out)) * relative_sigma;
+  const size_t n = out.numel();
+  for (size_t i = 0; i < n; ++i) {
+    out.SetFromDouble(i, out.GetAsDouble(i) + rng.Normal(0, sigma));
+  }
+  return out;
+}
+
+Result<NDArray> RandomCropResize(const NDArray& field, size_t ch, size_t cw,
+                                 Rng& rng) {
+  bool squeeze = false;
+  DRAI_ASSIGN_OR_RETURN(NDArray in, ToChw(field, squeeze));
+  const size_t c = in.shape()[0], h = in.shape()[1], w = in.shape()[2];
+  if (ch == 0 || cw == 0 || ch > h || cw > w) {
+    return InvalidArgument("RandomCropResize: bad crop size");
+  }
+  const size_t y0 = static_cast<size_t>(rng.UniformU64(h - ch + 1));
+  const size_t x0 = static_cast<size_t>(rng.UniformU64(w - cw + 1));
+  NDArray out = NDArray::Zeros({c, h, w}, in.dtype());
+  for (size_t ci = 0; ci < c; ++ci) {
+    for (size_t y = 0; y < h; ++y) {
+      for (size_t x = 0; x < w; ++x) {
+        // Nearest-neighbor resize from the crop back to (h, w).
+        const size_t sy = y0 + (y * ch) / h;
+        const size_t sx = x0 + (x * cw) / w;
+        out.SetFromDouble((ci * h + y) * w + x,
+                          in.GetAsDouble((ci * h + sy) * w + sx));
+      }
+    }
+  }
+  return MaybeSqueeze(std::move(out), squeeze);
+}
+
+Result<NDArray> SmoteSynthesize(const NDArray& features,
+                                std::span<const size_t> minority_rows,
+                                size_t n_synthetic, size_t k_neighbors,
+                                Rng& rng) {
+  if (features.rank() != 2) {
+    return InvalidArgument("SmoteSynthesize: features must be [n, f]");
+  }
+  if (minority_rows.size() < 2) {
+    return InvalidArgument("SmoteSynthesize: need >= 2 minority samples");
+  }
+  const size_t f = features.shape()[1];
+  const size_t n_rows = features.shape()[0];
+  for (size_t r : minority_rows) {
+    if (r >= n_rows) return OutOfRange("SmoteSynthesize: row out of range");
+  }
+  k_neighbors = std::min(k_neighbors, minority_rows.size() - 1);
+  if (k_neighbors == 0) k_neighbors = 1;
+
+  // Precompute pairwise distances among minority rows (m is small by
+  // definition of minority).
+  const size_t m = minority_rows.size();
+  std::vector<std::vector<std::pair<double, size_t>>> neighbors(m);
+  for (size_t a = 0; a < m; ++a) {
+    for (size_t b = 0; b < m; ++b) {
+      if (a == b) continue;
+      double d2 = 0;
+      for (size_t j = 0; j < f; ++j) {
+        const double da = features.GetAsDouble(minority_rows[a] * f + j) -
+                          features.GetAsDouble(minority_rows[b] * f + j);
+        d2 += da * da;
+      }
+      neighbors[a].emplace_back(d2, b);
+    }
+    std::sort(neighbors[a].begin(), neighbors[a].end());
+    neighbors[a].resize(k_neighbors);
+  }
+
+  NDArray out = NDArray::Zeros({n_synthetic, f}, features.dtype());
+  for (size_t s = 0; s < n_synthetic; ++s) {
+    const size_t a = static_cast<size_t>(rng.UniformU64(m));
+    const size_t b = neighbors[a][rng.UniformU64(neighbors[a].size())].second;
+    const double lambda = rng.UniformDouble();
+    for (size_t j = 0; j < f; ++j) {
+      const double va = features.GetAsDouble(minority_rows[a] * f + j);
+      const double vb = features.GetAsDouble(minority_rows[b] * f + j);
+      out.SetFromDouble(s * f + j, va + lambda * (vb - va));
+    }
+  }
+  return out;
+}
+
+Result<MixupResult> Mixup(const NDArray& features,
+                          std::span<const int64_t> labels, size_t n_synthetic,
+                          double alpha, Rng& rng) {
+  if (features.rank() != 2) {
+    return InvalidArgument("Mixup: features must be [n, f]");
+  }
+  const size_t n = features.shape()[0];
+  const size_t f = features.shape()[1];
+  if (labels.size() != n) return InvalidArgument("Mixup: label count mismatch");
+  if (n < 2) return InvalidArgument("Mixup: need >= 2 samples");
+  if (alpha <= 0) return InvalidArgument("Mixup: alpha must be > 0");
+
+  MixupResult out;
+  out.features = NDArray::Zeros({n_synthetic, f}, features.dtype());
+  out.label_a.resize(n_synthetic);
+  out.label_b.resize(n_synthetic);
+  out.weight_a.resize(n_synthetic);
+  for (size_t s = 0; s < n_synthetic; ++s) {
+    const size_t i = static_cast<size_t>(rng.UniformU64(n));
+    size_t j = static_cast<size_t>(rng.UniformU64(n - 1));
+    if (j >= i) ++j;
+    // Beta(alpha, alpha) via the Johnk generator (valid for alpha <= 1 and
+    // acceptable for the small alphas mixup uses; for alpha >= 1 the
+    // distribution flattens toward uniform, which Uniform covers).
+    double w;
+    if (alpha >= 1.0) {
+      w = rng.UniformDouble();
+    } else {
+      for (;;) {
+        const double u = std::pow(rng.UniformDouble(), 1.0 / alpha);
+        const double v = std::pow(rng.UniformDouble(), 1.0 / alpha);
+        if (u + v <= 1.0 && u + v > 0) {
+          w = u / (u + v);
+          break;
+        }
+      }
+    }
+    if (w < 0.5) w = 1.0 - w;  // keep label_a dominant
+    for (size_t c = 0; c < f; ++c) {
+      const double mixed = w * features.GetAsDouble(i * f + c) +
+                           (1.0 - w) * features.GetAsDouble(j * f + c);
+      out.features.SetFromDouble(s * f + c, mixed);
+    }
+    out.label_a[s] = labels[i];
+    out.label_b[s] = labels[j];
+    out.weight_a[s] = w;
+  }
+  return out;
+}
+
+Result<NDArray> JitterWindows(const NDArray& windows, size_t n_synthetic,
+                              double amplitude_scale, size_t max_shift,
+                              Rng& rng) {
+  if (windows.rank() != 3) {
+    return InvalidArgument("JitterWindows: expected [n, channels, window]");
+  }
+  if (amplitude_scale < 0 || amplitude_scale >= 1) {
+    return InvalidArgument("JitterWindows: scale must be in [0, 1)");
+  }
+  const size_t n = windows.shape()[0];
+  const size_t channels = windows.shape()[1];
+  const size_t window = windows.shape()[2];
+  if (n == 0) return InvalidArgument("JitterWindows: no windows");
+  if (max_shift >= window) {
+    return InvalidArgument("JitterWindows: shift >= window");
+  }
+  NDArray out = NDArray::Zeros({n_synthetic, channels, window},
+                               windows.dtype());
+  for (size_t s = 0; s < n_synthetic; ++s) {
+    const size_t src = static_cast<size_t>(rng.UniformU64(n));
+    const size_t shift =
+        max_shift == 0 ? 0 : static_cast<size_t>(rng.UniformU64(max_shift + 1));
+    for (size_t c = 0; c < channels; ++c) {
+      const double scale =
+          rng.Uniform(1.0 - amplitude_scale, 1.0 + amplitude_scale);
+      for (size_t k = 0; k < window; ++k) {
+        const size_t from = (k + shift) % window;
+        out.SetFromDouble(
+            (s * channels + c) * window + k,
+            scale * windows.GetAsDouble((src * channels + c) * window + from));
+      }
+    }
+  }
+  return out;
+}
+
+Result<PseudoLabelResult> PseudoLabel(const NDArray& features,
+                                      std::span<const int64_t> initial_labels,
+                                      const TrainFn& train,
+                                      const PseudoLabelOptions& options) {
+  if (features.rank() != 2) {
+    return InvalidArgument("PseudoLabel: features must be [n, f]");
+  }
+  const size_t n = features.shape()[0];
+  const size_t f = features.shape()[1];
+  if (initial_labels.size() != n) {
+    return InvalidArgument("PseudoLabel: label count mismatch");
+  }
+  PseudoLabelResult result;
+  result.labels.assign(initial_labels.begin(), initial_labels.end());
+
+  size_t labeled = 0;
+  for (int64_t l : result.labels) {
+    if (l >= 0) ++labeled;
+  }
+  if (labeled == 0) {
+    return FailedPrecondition("PseudoLabel: no seed labels");
+  }
+
+  std::vector<double> row(f);
+  for (size_t round = 0; round < options.max_rounds; ++round) {
+    const Classifier clf = train(features, result.labels);
+    size_t adopted = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (result.labels[i] >= 0) continue;
+      for (size_t j = 0; j < f; ++j) {
+        row[j] = features.GetAsDouble(i * f + j);
+      }
+      const auto [label, confidence] = clf(row);
+      if (confidence >= options.confidence_threshold && label >= 0) {
+        result.labels[i] = label;
+        ++adopted;
+      }
+    }
+    result.total_adopted += adopted;
+    result.rounds_run = round + 1;
+    if (adopted < options.min_adopted_per_round) break;
+  }
+  return result;
+}
+
+}  // namespace drai::augment

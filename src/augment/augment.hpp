@@ -1,0 +1,95 @@
+// drai/augment/augment.hpp
+//
+// Data augmentation and semi-supervised labeling (§2.1): when scientific
+// datasets are under-sampled, pipelines synthesize variants (rotations,
+// flips, noise), interpolate minority-class samples (SMOTE-style), and
+// propagate labels from a model onto unlabeled data (pseudo-labeling).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "ndarray/ndarray.hpp"
+
+namespace drai::augment {
+
+// ---- spatial field augmentation (2-D [h, w] or [c, h, w]) --------------
+
+/// Rotate by 90° * k counter-clockwise (k in {0,1,2,3}).
+Result<NDArray> Rotate90(const NDArray& field, int k);
+/// Mirror along the horizontal (axis=0) or vertical (axis=1) spatial axis.
+Result<NDArray> Flip(const NDArray& field, int axis);
+/// Additive Gaussian noise with stddev = `relative_sigma` * field stddev.
+Result<NDArray> AddNoise(const NDArray& field, double relative_sigma, Rng& rng);
+/// Random crop of (ch, cw) then resize back by nearest-neighbor.
+Result<NDArray> RandomCropResize(const NDArray& field, size_t ch, size_t cw,
+                                 Rng& rng);
+
+// ---- feature-space synthesis --------------------------------------------
+
+/// SMOTE-style synthesis: for each requested synthetic sample, pick a random
+/// minority row and interpolate toward one of its k nearest minority
+/// neighbors. `features` is [n, f]; `minority_rows` index into it.
+Result<NDArray> SmoteSynthesize(const NDArray& features,
+                                std::span<const size_t> minority_rows,
+                                size_t n_synthetic, size_t k_neighbors,
+                                Rng& rng);
+
+/// MixUp: convex combinations of sample pairs (and their one-hot-ish
+/// labels). Given [n, f] features and per-sample labels, emits
+/// `n_synthetic` rows x' = w*x_i + (1-w)*x_j with w ~ Beta(alpha, alpha)
+/// (approximated via sorted uniforms), plus soft labels (label_i weight w).
+struct MixupResult {
+  NDArray features;                 ///< [n_synthetic, f]
+  std::vector<int64_t> label_a;     ///< dominant label per row
+  std::vector<int64_t> label_b;
+  std::vector<double> weight_a;     ///< mixing weight of label_a
+};
+Result<MixupResult> Mixup(const NDArray& features,
+                          std::span<const int64_t> labels, size_t n_synthetic,
+                          double alpha, Rng& rng);
+
+/// Time-series window augmentation: amplitude scaling + time jitter.
+/// Input [n, channels, window]; each output window is a random input
+/// window scaled by Uniform(1-s, 1+s) per channel and circularly shifted
+/// by up to `max_shift` samples.
+Result<NDArray> JitterWindows(const NDArray& windows, size_t n_synthetic,
+                              double amplitude_scale, size_t max_shift,
+                              Rng& rng);
+
+// ---- pseudo-labeling ------------------------------------------------------
+
+/// A classifier hook: returns (predicted label, confidence in [0,1]) for a
+/// feature row.
+using Classifier =
+    std::function<std::pair<int64_t, double>(std::span<const double>)>;
+
+struct PseudoLabelOptions {
+  double confidence_threshold = 0.9;
+  size_t max_rounds = 5;
+  /// Stop when a round adopts fewer than this many new labels.
+  size_t min_adopted_per_round = 1;
+};
+
+struct PseudoLabelResult {
+  /// Final labels; -1 where still unlabeled.
+  std::vector<int64_t> labels;
+  size_t rounds_run = 0;
+  size_t total_adopted = 0;
+};
+
+/// Iterative self-training driver: `train` fits a classifier on the
+/// currently labeled rows, then high-confidence predictions on unlabeled
+/// rows are adopted; repeat. `features` is [n, f]; `initial_labels` uses
+/// -1 for unlabeled.
+using TrainFn = std::function<Classifier(
+    const NDArray& features, std::span<const int64_t> labels)>;
+
+Result<PseudoLabelResult> PseudoLabel(const NDArray& features,
+                                      std::span<const int64_t> initial_labels,
+                                      const TrainFn& train,
+                                      const PseudoLabelOptions& options = {});
+
+}  // namespace drai::augment

@@ -1,0 +1,102 @@
+#include "codec/quantize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "ndarray/kernels.hpp"
+
+namespace drai::codec {
+
+NarrowResult NarrowRoundTrip(const NDArray& input, DType target) {
+  if (!IsFloating(input.dtype()) || !IsFloating(target)) {
+    throw std::invalid_argument("NarrowRoundTrip: floating dtypes only");
+  }
+  NarrowResult out;
+  const NDArray narrow = input.Cast(target);
+  out.round_tripped = narrow.Cast(input.dtype());
+  out.error.max_abs = MaxAbsDiff(input, out.round_tripped);
+  out.error.rms = RmsDiff(input, out.round_tripped);
+  const double range = input.numel() ? Max(input) - Min(input) : 0.0;
+  out.error.relative_to_range = range > 0 ? out.error.max_abs / range : 0.0;
+  return out;
+}
+
+Result<LinearPack> LinearQuantize(std::span<const double> values,
+                                  uint8_t bits) {
+  if (bits != 8 && bits != 16) {
+    return InvalidArgument("LinearQuantize: bits must be 8 or 16");
+  }
+  LinearPack pack;
+  pack.bits = bits;
+  pack.count = values.size();
+  // Range over finite values only.
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (double v : values) {
+    if (!std::isfinite(v)) continue;
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (!(lo <= hi)) {  // no finite values
+    lo = 0;
+    hi = 0;
+  }
+  const uint32_t levels = bits == 8 ? 255u : 65535u;
+  pack.offset = lo;
+  pack.scale = hi > lo ? (hi - lo) / static_cast<double>(levels) : 1.0;
+
+  auto quantum = [&](double v) -> uint32_t {
+    if (!std::isfinite(v)) return levels;  // NaN/inf sentinel: saturate
+    const double q = (v - pack.offset) / pack.scale;
+    const double clamped = std::clamp(q, 0.0, static_cast<double>(levels));
+    return static_cast<uint32_t>(clamped + 0.5);
+  };
+  if (bits == 8) {
+    pack.packed8.reserve(values.size());
+    for (double v : values) pack.packed8.push_back(static_cast<uint8_t>(quantum(v)));
+  } else {
+    pack.packed16.reserve(values.size());
+    for (double v : values) pack.packed16.push_back(static_cast<uint16_t>(quantum(v)));
+  }
+  return pack;
+}
+
+std::vector<double> LinearDequantize(const LinearPack& pack) {
+  std::vector<double> out;
+  out.reserve(pack.count);
+  if (pack.bits == 8) {
+    for (uint8_t q : pack.packed8) {
+      out.push_back(pack.offset + pack.scale * static_cast<double>(q));
+    }
+  } else {
+    for (uint16_t q : pack.packed16) {
+      out.push_back(pack.offset + pack.scale * static_cast<double>(q));
+    }
+  }
+  return out;
+}
+
+QuantError MeasureLinearError(std::span<const double> values,
+                              const LinearPack& pack) {
+  const std::vector<double> restored = LinearDequantize(pack);
+  QuantError e;
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  double acc = 0;
+  size_t n = 0;
+  for (size_t i = 0; i < values.size() && i < restored.size(); ++i) {
+    if (!std::isfinite(values[i])) continue;
+    const double d = std::fabs(values[i] - restored[i]);
+    e.max_abs = std::max(e.max_abs, d);
+    acc += d * d;
+    ++n;
+    lo = std::min(lo, values[i]);
+    hi = std::max(hi, values[i]);
+  }
+  e.rms = n ? std::sqrt(acc / static_cast<double>(n)) : 0.0;
+  e.relative_to_range = (hi > lo) ? e.max_abs / (hi - lo) : 0.0;
+  return e;
+}
+
+}  // namespace drai::codec

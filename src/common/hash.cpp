@@ -1,0 +1,218 @@
+#include "common/hash.hpp"
+
+#include <stdexcept>
+
+#include <cstring>
+
+namespace drai {
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+// CRC-32 table generated at first use.
+const uint32_t* CrcTable() {
+  static const auto table = [] {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+constexpr std::array<uint32_t, 64> kSha256K = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+inline uint32_t Rotr(uint32_t x, int n) { return (x >> n) | (x << (32 - n)); }
+
+}  // namespace
+
+uint64_t Fnv1a64(std::span<const std::byte> data, uint64_t seed) {
+  uint64_t h = kFnvOffset ^ seed;
+  for (std::byte b : data) {
+    h ^= static_cast<uint64_t>(static_cast<uint8_t>(b));
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+uint64_t Fnv1a64(std::string_view s, uint64_t seed) {
+  return Fnv1a64(
+      std::span<const std::byte>(reinterpret_cast<const std::byte*>(s.data()),
+                                 s.size()),
+      seed);
+}
+
+uint32_t Crc32(std::span<const std::byte> data, uint32_t seed) {
+  const uint32_t* t = CrcTable();
+  uint32_t c = seed ^ 0xffffffffu;
+  for (std::byte b : data) {
+    c = t[(c ^ static_cast<uint8_t>(b)) & 0xff] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+uint32_t Crc32(const void* data, size_t n, uint32_t seed) {
+  return Crc32(
+      std::span<const std::byte>(static_cast<const std::byte*>(data), n),
+      seed);
+}
+
+Sha256::Sha256()
+    : state_{0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f,
+             0x9b05688c, 0x1f83d9ab, 0x5be0cd19} {}
+
+void Sha256::ProcessBlock(const uint8_t* block) {
+  uint32_t w[64];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<uint32_t>(block[4 * i]) << 24) |
+           (static_cast<uint32_t>(block[4 * i + 1]) << 16) |
+           (static_cast<uint32_t>(block[4 * i + 2]) << 8) |
+           static_cast<uint32_t>(block[4 * i + 3]);
+  }
+  for (int i = 16; i < 64; ++i) {
+    const uint32_t s0 = Rotr(w[i - 15], 7) ^ Rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+    const uint32_t s1 = Rotr(w[i - 2], 17) ^ Rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+  }
+  uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+  uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+  for (int i = 0; i < 64; ++i) {
+    const uint32_t s1 = Rotr(e, 6) ^ Rotr(e, 11) ^ Rotr(e, 25);
+    const uint32_t ch = (e & f) ^ (~e & g);
+    const uint32_t t1 = h + s1 + ch + kSha256K[i] + w[i];
+    const uint32_t s0 = Rotr(a, 2) ^ Rotr(a, 13) ^ Rotr(a, 22);
+    const uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+    const uint32_t t2 = s0 + maj;
+    h = g; g = f; f = e; e = d + t1;
+    d = c; c = b; b = a; a = t1 + t2;
+  }
+  state_[0] += a; state_[1] += b; state_[2] += c; state_[3] += d;
+  state_[4] += e; state_[5] += f; state_[6] += g; state_[7] += h;
+}
+
+void Sha256::Update(std::span<const std::byte> data) {
+  if (finished_) throw std::logic_error("Sha256 reused after Finish");
+  total_bytes_ += data.size();
+  size_t i = 0;
+  // Fill a partially-buffered block first.
+  if (buffered_ > 0) {
+    while (buffered_ < 64 && i < data.size()) {
+      buffer_[buffered_++] = static_cast<uint8_t>(data[i++]);
+    }
+    if (buffered_ == 64) {
+      ProcessBlock(buffer_.data());
+      buffered_ = 0;
+    }
+  }
+  // Whole blocks straight from the input.
+  while (data.size() - i >= 64) {
+    ProcessBlock(reinterpret_cast<const uint8_t*>(data.data() + i));
+    i += 64;
+  }
+  // Stash the tail.
+  while (i < data.size()) {
+    buffer_[buffered_++] = static_cast<uint8_t>(data[i++]);
+  }
+}
+
+void Sha256::Update(std::string_view s) {
+  Update(std::span<const std::byte>(
+      reinterpret_cast<const std::byte*>(s.data()), s.size()));
+}
+
+Sha256Digest Sha256::Finish() {
+  if (finished_) throw std::logic_error("Sha256 reused after Finish");
+  finished_ = true;
+  const uint64_t bit_len = total_bytes_ * 8;
+  // Padding: 0x80, zeros, 8-byte big-endian bit length.
+  buffer_[buffered_++] = 0x80;
+  if (buffered_ > 56) {
+    while (buffered_ < 64) buffer_[buffered_++] = 0;
+    ProcessBlock(buffer_.data());
+    buffered_ = 0;
+  }
+  while (buffered_ < 56) buffer_[buffered_++] = 0;
+  for (int i = 7; i >= 0; --i) {
+    buffer_[buffered_++] = static_cast<uint8_t>((bit_len >> (8 * i)) & 0xff);
+  }
+  ProcessBlock(buffer_.data());
+
+  Sha256Digest out;
+  for (int i = 0; i < 8; ++i) {
+    out[4 * i] = static_cast<uint8_t>(state_[i] >> 24);
+    out[4 * i + 1] = static_cast<uint8_t>(state_[i] >> 16);
+    out[4 * i + 2] = static_cast<uint8_t>(state_[i] >> 8);
+    out[4 * i + 3] = static_cast<uint8_t>(state_[i]);
+  }
+  return out;
+}
+
+Sha256Digest Sha256::Hash(std::span<const std::byte> data) {
+  Sha256 ctx;
+  ctx.Update(data);
+  return ctx.Finish();
+}
+
+Sha256Digest Sha256::Hash(std::string_view s) {
+  Sha256 ctx;
+  ctx.Update(s);
+  return ctx.Finish();
+}
+
+std::string DigestToHex(const Sha256Digest& d) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(64);
+  for (uint8_t b : d) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xf]);
+  }
+  return out;
+}
+
+Sha256Digest HmacSha256(std::string_view key, std::string_view message) {
+  std::array<uint8_t, 64> k{};
+  if (key.size() > 64) {
+    const Sha256Digest kd = Sha256::Hash(key);
+    std::memcpy(k.data(), kd.data(), kd.size());
+  } else {
+    std::memcpy(k.data(), key.data(), key.size());
+  }
+  std::array<uint8_t, 64> ipad, opad;
+  for (int i = 0; i < 64; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+  Sha256 inner;
+  inner.Update(std::span<const std::byte>(
+      reinterpret_cast<const std::byte*>(ipad.data()), ipad.size()));
+  inner.Update(message);
+  const Sha256Digest inner_digest = inner.Finish();
+
+  Sha256 outer;
+  outer.Update(std::span<const std::byte>(
+      reinterpret_cast<const std::byte*>(opad.data()), opad.size()));
+  outer.Update(std::span<const std::byte>(
+      reinterpret_cast<const std::byte*>(inner_digest.data()),
+      inner_digest.size()));
+  return outer.Finish();
+}
+
+}  // namespace drai

@@ -1,0 +1,49 @@
+// drai/common/log.hpp
+//
+// Minimal leveled logger. Pipelines log stage transitions at kInfo; the
+// privacy audit trail uses its own structured log (privacy/audit.hpp), not
+// this one. Thread-safe via a single mutex — logging is not on hot paths.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace drai {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are discarded. Default kWarn so
+/// tests and benches stay quiet unless asked.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emit a single message (adds level tag and newline).
+void LogMessage(LogLevel level, const std::string& msg);
+
+namespace internal {
+
+/// Stream-style collector: destructor emits. Used by the DRAI_LOG macro.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define DRAI_LOG(level) ::drai::internal::LogLine(::drai::LogLevel::level)
+
+}  // namespace drai

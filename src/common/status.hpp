@@ -1,0 +1,153 @@
+// drai/common/status.hpp
+//
+// Error model for the drai library.
+//
+// Construction errors (programmer misuse: bad shapes, invalid arguments to
+// in-memory transforms) throw std::invalid_argument / std::out_of_range.
+// Fallible runtime paths (file I/O, decoding untrusted bytes, resource
+// limits) return Status or Result<T> so callers can recover, following the
+// Core Guidelines split between preconditions and runtime failures.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace drai {
+
+/// Coarse error category. Mirrors the classic absl/grpc canonical codes but
+/// restricted to what a data pipeline actually produces.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< caller passed something structurally wrong
+  kNotFound,          ///< file / key / dataset missing
+  kAlreadyExists,     ///< create-exclusive target already present
+  kOutOfRange,        ///< index / offset beyond bounds
+  kDataLoss,          ///< corrupt bytes: bad magic, CRC mismatch, truncation
+  kFailedPrecondition,///< object not in the right state for the call
+  kUnimplemented,     ///< feature intentionally not supported
+  kInternal,          ///< invariant violation inside drai itself
+  kResourceExhausted, ///< quota/limit hit (e.g. simulated storage full)
+  kPermissionDenied,  ///< governance/privacy policy refused the operation
+};
+
+/// Human-readable name of a status code ("OK", "DATA_LOSS", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// Value-semantic status: a code plus a message. OK statuses are cheap.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  /// "OK" or "DATA_LOSS: shard 3 crc mismatch".
+  [[nodiscard]] std::string ToString() const;
+
+  /// Throws std::runtime_error if not ok. For callers (tests, examples)
+  /// that have no recovery strategy.
+  void OrDie() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Shorthand constructors, e.g. `return InvalidArgument("bad shape");`.
+Status InvalidArgument(std::string msg);
+Status NotFound(std::string msg);
+Status AlreadyExists(std::string msg);
+Status OutOfRange(std::string msg);
+Status DataLoss(std::string msg);
+Status FailedPrecondition(std::string msg);
+Status Unimplemented(std::string msg);
+Status Internal(std::string msg);
+Status ResourceExhausted(std::string msg);
+Status PermissionDenied(std::string msg);
+
+/// Result<T>: either a value or a non-OK Status. A minimal StatusOr.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value — enables `return value;` in functions returning
+  /// Result<T>.
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  /// Implicit from error status. Must not be OK.
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(data_).ok()) {
+      throw std::invalid_argument("Result constructed from OK status");
+    }
+  }
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(data_); }
+
+  [[nodiscard]] Status status() const {
+    return ok() ? Status::Ok() : std::get<Status>(data_);
+  }
+
+  /// Access the value. Throws std::runtime_error when holding an error.
+  T& value() & {
+    EnsureOk();
+    return std::get<T>(data_);
+  }
+  const T& value() const& {
+    EnsureOk();
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    EnsureOk();
+    return std::get<T>(std::move(data_));
+  }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+
+  /// Value or a fallback when holding an error.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  void EnsureOk() const {
+    if (!ok()) {
+      throw std::runtime_error("Result error: " +
+                               std::get<Status>(data_).ToString());
+    }
+  }
+  std::variant<T, Status> data_;
+};
+
+/// Propagate a non-OK Status from an expression producing Status.
+#define DRAI_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::drai::Status drai_status_ = (expr);     \
+    if (!drai_status_.ok()) return drai_status_; \
+  } while (false)
+
+/// Assign from a Result<T>, propagating the error status on failure.
+/// Usage: DRAI_ASSIGN_OR_RETURN(auto v, MakeThing());
+#define DRAI_ASSIGN_OR_RETURN(decl, expr)                    \
+  auto DRAI_CONCAT_(drai_result_, __LINE__) = (expr);        \
+  if (!DRAI_CONCAT_(drai_result_, __LINE__).ok())            \
+    return DRAI_CONCAT_(drai_result_, __LINE__).status();    \
+  decl = std::move(DRAI_CONCAT_(drai_result_, __LINE__)).value()
+
+#define DRAI_CONCAT_INNER_(a, b) a##b
+#define DRAI_CONCAT_(a, b) DRAI_CONCAT_INNER_(a, b)
+
+}  // namespace drai

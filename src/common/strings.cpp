@@ -1,0 +1,120 @@
+#include "common/strings.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace drai {
+
+std::vector<std::string> Split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string HumanBytes(uint64_t bytes) {
+  static const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB", "PiB"};
+  if (bytes < 1024) return std::to_string(bytes) + " B";
+  double v = static_cast<double>(bytes);
+  int unit = 0;
+  while (v >= 1024.0 && unit < 5) {
+    v /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f %s", v, kUnits[unit]);
+  return buf;
+}
+
+std::string HumanDuration(double seconds) {
+  char buf[32];
+  if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+  } else if (seconds >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", seconds * 1e3);
+  } else if (seconds >= 1e-6) {
+    std::snprintf(buf, sizeof(buf), "%.2f us", seconds * 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f ns", seconds * 1e9);
+  }
+  return buf;
+}
+
+std::string FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+bool ParseInt64(std::string_view s, int64_t& out) {
+  s = Trim(s);
+  if (s.empty()) return false;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
+bool ParseDouble(std::string_view s, double& out) {
+  s = Trim(s);
+  if (s.empty()) return false;
+  // std::from_chars<double> is available in libstdc++ 11+; use it directly.
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
+std::string NormalizePath(std::string_view path) {
+  std::string out = "/";
+  for (const auto& comp : Split(path, '/')) {
+    if (comp.empty()) continue;
+    if (out.back() != '/') out += '/';
+    out += comp;
+  }
+  return out;
+}
+
+std::vector<std::string> PathComponents(std::string_view path) {
+  std::vector<std::string> out;
+  for (const auto& comp : Split(path, '/')) {
+    if (!comp.empty()) out.push_back(comp);
+  }
+  return out;
+}
+
+}  // namespace drai

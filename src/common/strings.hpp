@@ -1,0 +1,50 @@
+// drai/common/strings.hpp
+//
+// Small string utilities shared across modules (CSV-ish parsing in ingest,
+// report formatting in benches, path handling in containers).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace drai {
+
+/// Split on a single-character delimiter. Empty fields are preserved:
+/// Split("a,,b", ',') == {"a", "", "b"}.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Trim ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Join pieces with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// "1.50 GiB", "312.0 KiB", "87 B" — benches report volumes in these units.
+std::string HumanBytes(uint64_t bytes);
+
+/// "1.23 s", "45.6 ms", "789 us".
+std::string HumanDuration(double seconds);
+
+/// printf-style double with fixed precision, without iostream state leaks.
+std::string FormatDouble(double v, int precision = 3);
+
+/// Strict parse helpers; return false on malformed input (no partial reads).
+bool ParseInt64(std::string_view s, int64_t& out);
+bool ParseDouble(std::string_view s, double& out);
+
+/// Normalize a `/`-separated container path: collapses duplicate slashes,
+/// removes trailing slash, ensures a single leading slash. "" -> "/".
+std::string NormalizePath(std::string_view path);
+
+/// Split a normalized container path into components ("/a/b" -> {"a","b"}).
+std::vector<std::string> PathComponents(std::string_view path);
+
+}  // namespace drai

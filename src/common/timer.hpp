@@ -1,0 +1,50 @@
+// drai/common/timer.hpp
+//
+// Wall-clock timing for pipeline stage metrics and benches.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace drai {
+
+/// Steady-clock stopwatch. Starts running on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Elapsed seconds since construction or last Reset.
+  [[nodiscard]] double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  void Reset() { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates named timing buckets — the Figure-1 bench uses this to report
+/// the per-stage "where does curation time go" breakdown.
+class StageClock {
+ public:
+  /// Add `seconds` to bucket `name`.
+  void Add(const std::string& name, double seconds) {
+    buckets_[name] += seconds;
+  }
+  [[nodiscard]] double Total() const {
+    double t = 0;
+    for (const auto& [_, v] : buckets_) t += v;
+    return t;
+  }
+  [[nodiscard]] const std::map<std::string, double>& buckets() const {
+    return buckets_;
+  }
+
+ private:
+  std::map<std::string, double> buckets_;
+};
+
+}  // namespace drai

@@ -1,0 +1,79 @@
+// drai/container/bplite.hpp
+//
+// BpLite — an ADIOS-BP-style step-oriented container (§2.1 cites ADIOS as
+// an AI-ready target format). A producer appends *steps*; each step holds
+// named tensors. Data blocks are written append-only and a footer index (at
+// the end, like BP) records every (step, variable) -> offset, so readers
+// can fetch one variable of one step without scanning the file. This is the
+// access pattern simulation campaigns and HydraGNN-style graph shards use.
+//
+// Layout: magic | version | data blocks... | footer | footer_size:u64 |
+//         crc32(footer):u32 | magic_tail
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "codec/codec.hpp"
+#include "common/bytes.hpp"
+#include "ndarray/ndarray.hpp"
+
+namespace drai::container {
+
+/// Append-oriented writer. Steps are closed with EndStep; Finish writes the
+/// footer index and returns the file bytes.
+class BpWriter {
+ public:
+  BpWriter();
+
+  /// Begin a new step (steps are numbered 0, 1, ... implicitly).
+  void BeginStep();
+  /// Write one variable into the current step.
+  void Put(const std::string& name, const NDArray& data,
+           codec::Codec codec = codec::Codec::kNone);
+  /// Close the current step.
+  void EndStep();
+
+  [[nodiscard]] size_t step_count() const { return steps_completed_; }
+
+  /// Write footer and return the complete file. Writer must not be reused.
+  Bytes Finish();
+
+  static constexpr char kMagic[4] = {'B', 'P', 'L', '1'};
+
+ private:
+  struct IndexEntry {
+    uint64_t step;
+    std::string name;
+    uint64_t offset;  ///< into the data section
+    uint64_t size;
+  };
+  ByteWriter data_;
+  std::vector<IndexEntry> index_;
+  uint64_t steps_completed_ = 0;
+  bool in_step_ = false;
+  bool finished_ = false;
+};
+
+/// Random-access reader over a complete BpLite file.
+class BpReader {
+ public:
+  static Result<BpReader> Open(std::span<const std::byte> file);
+
+  [[nodiscard]] size_t step_count() const { return step_count_; }
+  /// Variable names present in a step, sorted.
+  [[nodiscard]] std::vector<std::string> Variables(size_t step) const;
+  /// Fetch one variable of one step (seeks directly via the index).
+  [[nodiscard]] Result<NDArray> Get(size_t step, const std::string& name) const;
+
+ private:
+  BpReader() = default;
+  std::span<const std::byte> file_;
+  size_t data_begin_ = 0;
+  size_t step_count_ = 0;
+  std::map<std::pair<uint64_t, std::string>, std::pair<uint64_t, uint64_t>>
+      index_;  ///< (step, name) -> (offset, size)
+};
+
+}  // namespace drai::container

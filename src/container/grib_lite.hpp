@@ -1,0 +1,51 @@
+// drai/container/grib_lite.hpp
+//
+// GRIB-style *encoded* (not self-describing) message format — the other
+// community format climate ingest must handle (§3.1). Real GRIB packs each
+// 2-D field with a reference value + binary scale into fixed-width
+// integers; decoding requires knowing the spec. grib-lite reproduces that
+// shape: a file is a raw concatenation of messages, each with a terse
+// binary header and a 16-bit (or 8-bit) linearly packed lat-lon field.
+//
+// The point for the readiness framework: GRIB-like inputs sit at Data
+// Readiness Level 1-2 — ingest must decode, validate, and re-materialize
+// them into floating-point grids before anything downstream can run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "codec/quantize.hpp"
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "ndarray/ndarray.hpp"
+
+namespace drai::container {
+
+/// One packed field. `valid_time` is seconds since an epoch the producing
+/// model defines; `level_hpa` is the pressure level (0 = surface).
+struct GribMessage {
+  std::string variable;      ///< e.g. "t2m", "z500"
+  int64_t valid_time = 0;
+  int32_t level_hpa = 0;
+  size_t n_lat = 0;
+  size_t n_lon = 0;
+  uint8_t bits = 16;         ///< packing width: 8 or 16
+  NDArray field;             ///< [n_lat, n_lon] f64 when decoded
+
+  /// Packing error of the last Encode (filled by EncodeGribMessage).
+  codec::QuantError pack_error;
+};
+
+/// Encode one message (packs `field` to `bits`-bit integers). The field
+/// must be a 2-D [n_lat, n_lon] floating array.
+Result<Bytes> EncodeGribMessage(GribMessage& msg);
+
+/// Append an encoded message to a growing file buffer.
+Status AppendGribMessage(Bytes& file, GribMessage& msg);
+
+/// Decode every message in a file buffer. Truncated/corrupt trailing data
+/// returns kDataLoss (GRIB readers must detect torn files).
+Result<std::vector<GribMessage>> DecodeGribFile(std::span<const std::byte> file);
+
+}  // namespace drai::container

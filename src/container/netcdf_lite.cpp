@@ -1,0 +1,172 @@
+#include "container/netcdf_lite.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace drai::container {
+
+std::optional<std::string> NcVariable::Units() const {
+  auto it = attrs.find("units");
+  if (it == attrs.end() || it->second.kind != AttrValue::Kind::kString) {
+    return std::nullopt;
+  }
+  return it->second.s;
+}
+
+std::optional<double> NcVariable::FillValue() const {
+  auto it = attrs.find("_FillValue");
+  if (it == attrs.end()) return std::nullopt;
+  if (it->second.kind == AttrValue::Kind::kDouble) return it->second.d;
+  if (it->second.kind == AttrValue::Kind::kInt) {
+    return static_cast<double>(it->second.i);
+  }
+  return std::nullopt;
+}
+
+Status NcFile::AddDimension(const std::string& name, size_t size) {
+  for (const NcDimension& d : dims_) {
+    if (d.name == name) {
+      if (d.size == size) return Status::Ok();  // idempotent
+      return AlreadyExists("dimension redefined with different size: " + name);
+    }
+  }
+  dims_.push_back({name, size});
+  return Status::Ok();
+}
+
+std::optional<size_t> NcFile::DimensionSize(const std::string& name) const {
+  for (const NcDimension& d : dims_) {
+    if (d.name == name) return d.size;
+  }
+  return std::nullopt;
+}
+
+Status NcFile::AddVariable(NcVariable var) {
+  if (FindVariable(var.name) != nullptr) {
+    return AlreadyExists("variable already defined: " + var.name);
+  }
+  if (var.dims.size() != var.data.rank()) {
+    return InvalidArgument("variable rank does not match dimension list: " +
+                           var.name);
+  }
+  for (size_t i = 0; i < var.dims.size(); ++i) {
+    const auto size = DimensionSize(var.dims[i]);
+    if (!size.has_value()) {
+      return NotFound("undefined dimension '" + var.dims[i] + "' in variable " +
+                      var.name);
+    }
+    if (*size != var.data.shape()[i]) {
+      return InvalidArgument("dimension '" + var.dims[i] + "' size mismatch in " +
+                             var.name);
+    }
+  }
+  vars_.push_back(std::move(var));
+  return Status::Ok();
+}
+
+const NcVariable* NcFile::FindVariable(const std::string& name) const {
+  for (const NcVariable& v : vars_) {
+    if (v.name == name) return &v;
+  }
+  return nullptr;
+}
+
+void NcFile::SetGlobalAttr(const std::string& name, AttrValue value) {
+  global_attrs_[name] = std::move(value);
+}
+
+std::optional<AttrValue> NcFile::GetGlobalAttr(const std::string& name) const {
+  auto it = global_attrs_.find(name);
+  if (it == global_attrs_.end()) return std::nullopt;
+  return it->second;
+}
+
+Bytes NcFile::Serialize() const {
+  SdfFile f;
+  SdfGroup& root = f.root();
+  root.SetAttr("container", AttrValue::String("netcdf-lite"));
+  for (const auto& [name, value] : global_attrs_) {
+    f.ResolveOrCreate("/global").SetAttr(name, value);
+  }
+  SdfGroup& dims = f.ResolveOrCreate("/dims");
+  for (const NcDimension& d : dims_) {
+    dims.SetAttr(d.name, AttrValue::Int(static_cast<int64_t>(d.size)));
+  }
+  // A stable ordering attribute keeps variable order across the round trip
+  // (SDF children are name-sorted).
+  std::string order;
+  for (const NcVariable& v : vars_) {
+    if (!order.empty()) order += ",";
+    order += v.name;
+  }
+  root.SetAttr("var_order", AttrValue::String(order));
+  for (const NcVariable& v : vars_) {
+    SdfGroup& g = f.ResolveOrCreate("/vars/" + v.name);
+    std::string dim_list;
+    for (const std::string& d : v.dims) {
+      if (!dim_list.empty()) dim_list += ",";
+      dim_list += d;
+    }
+    g.SetAttr("dims", AttrValue::String(dim_list));
+    for (const auto& [name, value] : v.attrs) {
+      g.Child("attrs").SetAttr(name, value);
+    }
+    SdfDatasetOptions opts;
+    if (v.data.dtype() == DType::kF32) opts.codec = codec::Codec::kXorF32;
+    if (v.data.dtype() == DType::kF64) opts.codec = codec::Codec::kXorF64;
+    g.PutDataset("data", v.data, opts);
+  }
+  return f.Serialize();
+}
+
+Result<NcFile> NcFile::Parse(std::span<const std::byte> bytes) {
+  DRAI_ASSIGN_OR_RETURN(SdfFile f, SdfFile::Parse(bytes));
+  const auto container = f.root().GetAttr("container");
+  if (!container.has_value() || container->s != "netcdf-lite") {
+    return DataLoss("not a netcdf-lite container");
+  }
+  NcFile nc;
+  if (const SdfGroup* global = f.Resolve("/global")) {
+    for (const auto& [name, value] : global->attrs()) {
+      nc.global_attrs_[name] = value;
+    }
+  }
+  if (const SdfGroup* dims = f.Resolve("/dims")) {
+    for (const auto& [name, value] : dims->attrs()) {
+      if (value.kind != AttrValue::Kind::kInt || value.i < 0) {
+        return DataLoss("netcdf-lite: bad dimension " + name);
+      }
+      DRAI_RETURN_IF_ERROR(
+          nc.AddDimension(name, static_cast<size_t>(value.i)));
+    }
+  }
+  const auto order = f.root().GetAttr("var_order");
+  std::vector<std::string> names;
+  if (order.has_value() && !order->s.empty()) {
+    for (auto& n : Split(order->s, ',')) names.push_back(n);
+  }
+  const SdfGroup* vars = f.Resolve("/vars");
+  if (vars != nullptr && names.empty()) {
+    for (const auto& [name, _] : vars->children()) names.push_back(name);
+  }
+  for (const std::string& name : names) {
+    if (vars == nullptr) return DataLoss("netcdf-lite: missing /vars");
+    const SdfGroup* g = vars->FindChild(name);
+    if (g == nullptr) return DataLoss("netcdf-lite: missing variable " + name);
+    NcVariable v;
+    v.name = name;
+    const auto dim_list = g->GetAttr("dims");
+    if (dim_list.has_value() && !dim_list->s.empty()) {
+      for (auto& d : Split(dim_list->s, ',')) v.dims.push_back(d);
+    }
+    if (const SdfGroup* attrs = g->FindChild("attrs")) {
+      for (const auto& [an, av] : attrs->attrs()) v.attrs[an] = av;
+    }
+    DRAI_ASSIGN_OR_RETURN(v.data, g->ReadDataset("data"));
+    DRAI_RETURN_IF_ERROR(nc.AddVariable(std::move(v)));
+  }
+  return nc;
+}
+
+}  // namespace drai::container

@@ -1,0 +1,69 @@
+// drai/container/netcdf_lite.hpp
+//
+// NcFile — a NetCDF-style dimension/variable model, the community format
+// climate pipelines ingest (§3.1). Variables reference named, shared
+// dimensions and carry conventions-style attributes (units, long_name,
+// _FillValue). Storage is layered on SDF: an NcFile lowers to an SdfFile
+// for bytes, the same way NetCDF-4 lowers to HDF5.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "container/sdf.hpp"
+
+namespace drai::container {
+
+/// A named dimension. Unlimited dimensions are modeled as ordinary sizes —
+/// drai ingests finished files, not appending streams.
+struct NcDimension {
+  std::string name;
+  size_t size = 0;
+};
+
+/// A variable over a list of dimensions, with attributes.
+struct NcVariable {
+  std::string name;
+  std::vector<std::string> dims;
+  NDArray data;
+  std::map<std::string, AttrValue> attrs;
+
+  /// Convenience: the "units" attribute, if present.
+  [[nodiscard]] std::optional<std::string> Units() const;
+  /// Convenience: the "_FillValue" attribute, if present.
+  [[nodiscard]] std::optional<double> FillValue() const;
+};
+
+class NcFile {
+ public:
+  /// Define a dimension. Redefinition with a different size is an error.
+  Status AddDimension(const std::string& name, size_t size);
+  [[nodiscard]] std::optional<size_t> DimensionSize(const std::string& name) const;
+  [[nodiscard]] const std::vector<NcDimension>& dimensions() const {
+    return dims_;
+  }
+
+  /// Add a variable. Its shape must match its dimension list.
+  Status AddVariable(NcVariable var);
+  [[nodiscard]] const NcVariable* FindVariable(const std::string& name) const;
+  [[nodiscard]] const std::vector<NcVariable>& variables() const {
+    return vars_;
+  }
+
+  void SetGlobalAttr(const std::string& name, AttrValue value);
+  [[nodiscard]] std::optional<AttrValue> GetGlobalAttr(
+      const std::string& name) const;
+
+  /// Lower to SDF bytes (datasets are XOR-compressed when floating).
+  [[nodiscard]] Bytes Serialize() const;
+  static Result<NcFile> Parse(std::span<const std::byte> bytes);
+
+ private:
+  std::vector<NcDimension> dims_;
+  std::vector<NcVariable> vars_;
+  std::map<std::string, AttrValue> global_attrs_;
+};
+
+}  // namespace drai::container

@@ -1,0 +1,132 @@
+// drai/container/sdf.hpp
+//
+// SDF — "Scientific Data Format", drai's HDF5-equivalent self-describing
+// hierarchical container. A file is a tree of groups; groups hold typed
+// attributes and chunked datasets. Datasets chunk along the first dimension
+// and compress each chunk independently, so partial reads of huge arrays
+// touch only the chunks they need (the property HDF5 chunking exists for).
+//
+// On-disk layout (little endian):
+//   magic "SDF1" | format version u16 | root group | crc32 of everything
+// Group: attr count + (name, AttrValue)*, dataset count + (name, Dataset)*,
+//        child count + (name, Group)*.
+// Dataset: dtype, shape, chunk_rows, codec id, chunk count,
+//          (encoded chunk blob + raw crc)*.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "codec/codec.hpp"
+#include "container/tensor_io.hpp"
+#include "ndarray/ndarray.hpp"
+
+namespace drai::container {
+
+/// Per-dataset storage options.
+struct SdfDatasetOptions {
+  /// Rows (first-dim slices) per chunk; 0 = single chunk.
+  size_t chunk_rows = 0;
+  codec::Codec codec = codec::Codec::kNone;
+};
+
+/// A chunked, compressed dataset inside an SDF group.
+class SdfDataset {
+ public:
+  SdfDataset() = default;
+  SdfDataset(const NDArray& data, SdfDatasetOptions options);
+
+  [[nodiscard]] const Shape& shape() const { return shape_; }
+  [[nodiscard]] DType dtype() const { return dtype_; }
+  [[nodiscard]] size_t chunk_rows() const { return chunk_rows_; }
+  [[nodiscard]] size_t num_chunks() const { return chunks_.size(); }
+  [[nodiscard]] codec::Codec codec() const { return codec_; }
+  /// Sum of encoded chunk sizes (what the file pays).
+  [[nodiscard]] size_t stored_bytes() const;
+
+  /// Decode the full array.
+  [[nodiscard]] Result<NDArray> Read() const;
+  /// Decode only rows [row_begin, row_end) of the first dimension, touching
+  /// only the covering chunks.
+  [[nodiscard]] Result<NDArray> ReadRows(size_t row_begin, size_t row_end) const;
+
+  void Serialize(ByteWriter& w) const;
+  static Result<SdfDataset> Deserialize(ByteReader& r);
+
+ private:
+  [[nodiscard]] Result<NDArray> DecodeChunk(size_t index) const;
+  [[nodiscard]] size_t RowsInChunk(size_t index) const;
+
+  Shape shape_;
+  DType dtype_ = DType::kF32;
+  size_t chunk_rows_ = 0;  ///< rows per full chunk (0 = all rows, 1 chunk)
+  codec::Codec codec_ = codec::Codec::kNone;
+  struct Chunk {
+    Bytes encoded;  ///< codec-framed payload
+    uint32_t raw_crc = 0;
+  };
+  std::vector<Chunk> chunks_;
+};
+
+/// A node in the SDF tree.
+class SdfGroup {
+ public:
+  // -- attributes --
+  void SetAttr(const std::string& name, AttrValue value);
+  [[nodiscard]] std::optional<AttrValue> GetAttr(const std::string& name) const;
+  [[nodiscard]] const std::map<std::string, AttrValue>& attrs() const {
+    return attrs_;
+  }
+
+  // -- datasets --
+  /// Store a dataset (replaces an existing one with the same name).
+  void PutDataset(const std::string& name, const NDArray& data,
+                  SdfDatasetOptions options = {});
+  [[nodiscard]] const SdfDataset* FindDataset(const std::string& name) const;
+  [[nodiscard]] Result<NDArray> ReadDataset(const std::string& name) const;
+  [[nodiscard]] const std::map<std::string, SdfDataset>& datasets() const {
+    return datasets_;
+  }
+
+  // -- children --
+  /// Get or create a child group.
+  SdfGroup& Child(const std::string& name);
+  [[nodiscard]] const SdfGroup* FindChild(const std::string& name) const;
+  [[nodiscard]] const std::map<std::string, std::unique_ptr<SdfGroup>>&
+  children() const {
+    return children_;
+  }
+
+  void Serialize(ByteWriter& w) const;
+  static Result<SdfGroup> Deserialize(ByteReader& r, int depth = 0);
+
+ private:
+  std::map<std::string, AttrValue> attrs_;
+  std::map<std::string, SdfDataset> datasets_;
+  std::map<std::string, std::unique_ptr<SdfGroup>> children_;
+};
+
+/// The file object: a root group plus (de)serialization with magic+CRC.
+class SdfFile {
+ public:
+  SdfGroup& root() { return root_; }
+  [[nodiscard]] const SdfGroup& root() const { return root_; }
+
+  /// Resolve a "/path/to/group" (creating nothing); nullptr when absent.
+  [[nodiscard]] const SdfGroup* Resolve(const std::string& path) const;
+  /// Resolve, creating intermediate groups.
+  SdfGroup& ResolveOrCreate(const std::string& path);
+
+  [[nodiscard]] Bytes Serialize() const;
+  static Result<SdfFile> Parse(std::span<const std::byte> bytes);
+
+  static constexpr char kMagic[4] = {'S', 'D', 'F', '1'};
+  static constexpr uint16_t kVersion = 1;
+
+ private:
+  SdfGroup root_;
+};
+
+}  // namespace drai::container

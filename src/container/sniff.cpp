@@ -1,0 +1,30 @@
+#include "container/sniff.hpp"
+
+#include <cstring>
+
+namespace drai::container {
+
+std::string_view FileFormatName(FileFormat f) {
+  switch (f) {
+    case FileFormat::kUnknown: return "unknown";
+    case FileFormat::kSdf: return "sdf";
+    case FileFormat::kGribLite: return "grib-lite";
+    case FileFormat::kRecio: return "recio";
+    case FileFormat::kBpLite: return "bplite";
+  }
+  return "?";
+}
+
+FileFormat SniffFormat(std::span<const std::byte> head) {
+  if (head.size() < 4) return FileFormat::kUnknown;
+  const auto is = [&](const char* magic) {
+    return std::memcmp(head.data(), magic, 4) == 0;
+  };
+  if (is("SDF1")) return FileFormat::kSdf;
+  if (is("GRBL")) return FileFormat::kGribLite;
+  if (is("REC1")) return FileFormat::kRecio;
+  if (is("BPL1")) return FileFormat::kBpLite;
+  return FileFormat::kUnknown;
+}
+
+}  // namespace drai::container

@@ -1,0 +1,28 @@
+// drai/container/sniff.hpp
+//
+// Format detection by magic bytes. Ingest stages receive heterogeneous
+// files (the paper's "fragmentation across domains" challenge); sniffing
+// lets one ingest front-end route each blob to the right decoder.
+#pragma once
+
+#include <string_view>
+
+#include "common/bytes.hpp"
+
+namespace drai::container {
+
+enum class FileFormat {
+  kUnknown,
+  kSdf,      ///< hierarchical self-describing (HDF5-like)
+  kGribLite, ///< packed message stream (GRIB-like)
+  kRecio,    ///< record stream (TFRecord-like)
+  kBpLite,   ///< step-append container (ADIOS-like)
+};
+
+std::string_view FileFormatName(FileFormat f);
+
+/// Detect the container format from leading magic bytes. Never fails;
+/// unrecognized data is kUnknown.
+FileFormat SniffFormat(std::span<const std::byte> head);
+
+}  // namespace drai::container

@@ -1,0 +1,51 @@
+#include "core/bundle.hpp"
+
+namespace drai::core {
+
+Result<NDArray> DataBundle::Tensor(const std::string& name) const {
+  auto it = tensors.find(name);
+  if (it == tensors.end()) return NotFound("bundle tensor not found: " + name);
+  return it->second;
+}
+
+Result<Bytes> DataBundle::Blob(const std::string& name) const {
+  auto it = blobs.find(name);
+  if (it == blobs.end()) return NotFound("bundle blob not found: " + name);
+  return it->second;
+}
+
+std::optional<container::AttrValue> DataBundle::Attr(
+    const std::string& name) const {
+  auto it = attrs.find(name);
+  if (it == attrs.end()) return std::nullopt;
+  return it->second;
+}
+
+double DataBundle::AttrOr(const std::string& name, double fallback) const {
+  auto it = attrs.find(name);
+  if (it == attrs.end()) return fallback;
+  switch (it->second.kind) {
+    case container::AttrValue::Kind::kDouble: return it->second.d;
+    case container::AttrValue::Kind::kInt:
+      return static_cast<double>(it->second.i);
+    default: return fallback;
+  }
+}
+
+uint64_t DataBundle::ApproxBytes() const {
+  uint64_t total = 0;
+  for (const auto& [_, b] : blobs) total += b.size();
+  for (const auto& [_, t] : tensors) total += t.nbytes();
+  for (const auto& [_, table] : tables) {
+    for (const auto& row : table.rows) {
+      for (const auto& cell : row) total += cell.size();
+    }
+  }
+  for (const auto& [_, signals] : signal_sets) {
+    for (const auto& s : signals) total += s.size() * 16;
+  }
+  for (const auto& ex : examples) total += ex.PayloadBytes();
+  return total;
+}
+
+}  // namespace drai::core

@@ -1,0 +1,70 @@
+#include "core/datasheet.hpp"
+
+#include "common/strings.hpp"
+
+namespace drai::core {
+
+Datasheet MakeDatasheet(std::string dataset_name,
+                        const shard::DatasetManifest& manifest,
+                        const QualityReport& quality,
+                        const ReadinessAssessment& readiness,
+                        std::string provenance_hash) {
+  Datasheet d;
+  d.dataset_name = std::move(dataset_name);
+  d.manifest = manifest;
+  d.quality = quality;
+  d.readiness = readiness;
+  d.provenance_hash = std::move(provenance_hash);
+  return d;
+}
+
+std::string Datasheet::ToMarkdown() const {
+  std::string out;
+  out += "# Data card: " + dataset_name + "\n\n";
+  auto section = [&](const char* title, const std::string& body) {
+    if (body.empty()) return;
+    out += std::string("## ") + title + "\n" + body + "\n\n";
+  };
+  section("Motivation", motivation);
+  section("Composition", composition);
+  section("Collection process", collection_process);
+  section("Recommended uses", recommended_uses);
+  section("Restrictions", restrictions);
+
+  out += "## Contents\n";
+  out += "- created by: " + manifest.created_by + "\n";
+  out += "- total examples: " + std::to_string(manifest.TotalRecords()) + "\n";
+  for (shard::Split s : shard::kAllSplits) {
+    out += "- " + std::string(shard::SplitName(s)) + ": " +
+           std::to_string(manifest.TotalRecords(s)) + " records in " +
+           std::to_string(manifest.shards.count(s)
+                              ? manifest.shards.at(s).size()
+                              : 0) +
+           " shards\n";
+  }
+  out += "- stored bytes: " + HumanBytes(manifest.TotalBytes()) + "\n";
+  out += "- split seed: " + std::to_string(manifest.split_seed) + "\n";
+  out += "\n## Schema\n";
+  for (const shard::FeatureSpec& f : manifest.schema) {
+    out += "- `" + f.name + "`: " + std::string(DTypeName(f.dtype)) + " " +
+           ShapeToString(f.shape) + "\n";
+  }
+  out += "\n## Quality\n```\n" + quality.ToText() + "```\n";
+  out += "\n## Readiness\n";
+  out += "- overall: " + std::string(ReadinessLevelName(readiness.overall)) +
+         "\n";
+  for (size_t i = 0; i < 5; ++i) {
+    out += "- " + std::string(StageKindName(kAllStageKinds[i])) + ": " +
+           std::string(ReadinessLevelName(readiness.per_stage[i])) + "\n";
+  }
+  if (!readiness.blocking.empty()) {
+    out += "- blocking next level:\n";
+    for (const std::string& b : readiness.blocking) {
+      out += "  - " + b + "\n";
+    }
+  }
+  out += "\n## Provenance\n- record hash: `" + provenance_hash + "`\n";
+  return out;
+}
+
+}  // namespace drai::core

@@ -1,0 +1,43 @@
+// drai/core/datasheet.hpp
+//
+// Datasheets for Datasets (§5 cites them as the bias-mitigation practice):
+// a structured data card generated from the manifest, quality report,
+// readiness assessment and provenance hash, rendered as markdown. Every
+// finalized drai dataset can emit one.
+#pragma once
+
+#include <string>
+
+#include "core/quality.hpp"
+#include "core/readiness.hpp"
+#include "shard/manifest.hpp"
+
+namespace drai::core {
+
+struct Datasheet {
+  // Motivation / composition (caller-provided narrative).
+  std::string dataset_name;
+  std::string motivation;
+  std::string composition;
+  std::string collection_process;
+  std::string recommended_uses;
+  std::string restrictions;  ///< e.g. "PHI-derived; de-identified under key K"
+
+  // Machine-derived sections.
+  shard::DatasetManifest manifest;
+  QualityReport quality;
+  ReadinessAssessment readiness;
+  std::string provenance_hash;
+
+  /// Render the full card as markdown.
+  [[nodiscard]] std::string ToMarkdown() const;
+};
+
+/// Assemble a datasheet from the pieces a finalize step has at hand.
+Datasheet MakeDatasheet(std::string dataset_name,
+                        const shard::DatasetManifest& manifest,
+                        const QualityReport& quality,
+                        const ReadinessAssessment& readiness,
+                        std::string provenance_hash);
+
+}  // namespace drai::core

@@ -1,0 +1,231 @@
+#include "core/provenance.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.hpp"
+
+namespace drai::core {
+
+size_t ProvenanceGraph::AddArtifact(const std::string& name,
+                                    std::span<const std::byte> content) {
+  return AddArtifactHashed(name, DigestToHex(Sha256::Hash(content)),
+                           content.size());
+}
+
+size_t ProvenanceGraph::AddArtifactHashed(const std::string& name,
+                                          std::string sha256_hex,
+                                          uint64_t bytes) {
+  artifacts_.push_back({name, std::move(sha256_hex), bytes});
+  return artifacts_.size() - 1;
+}
+
+Status ProvenanceGraph::AddActivity(Activity activity) {
+  for (size_t i : activity.inputs) {
+    if (i >= artifacts_.size()) {
+      return OutOfRange("activity input artifact index out of range");
+    }
+  }
+  for (size_t o : activity.outputs) {
+    if (o >= artifacts_.size()) {
+      return OutOfRange("activity output artifact index out of range");
+    }
+    if (produced_by_.count(o)) {
+      return AlreadyExists("artifact " + std::to_string(o) +
+                           " already has a producer");
+    }
+  }
+  const size_t act_index = activities_.size();
+  for (size_t o : activity.outputs) produced_by_[o] = act_index;
+  activities_.push_back(std::move(activity));
+  return Status::Ok();
+}
+
+Result<std::vector<size_t>> ProvenanceGraph::Ancestors(size_t artifact) const {
+  if (artifact >= artifacts_.size()) {
+    return OutOfRange("artifact index out of range");
+  }
+  std::set<size_t> seen;
+  std::vector<size_t> frontier{artifact};
+  while (!frontier.empty()) {
+    const size_t a = frontier.back();
+    frontier.pop_back();
+    auto it = produced_by_.find(a);
+    if (it == produced_by_.end()) continue;
+    for (size_t input : activities_[it->second].inputs) {
+      if (seen.insert(input).second) frontier.push_back(input);
+    }
+  }
+  return std::vector<size_t>(seen.begin(), seen.end());
+}
+
+Result<std::vector<size_t>> ProvenanceGraph::LineageActivities(
+    size_t artifact) const {
+  if (artifact >= artifacts_.size()) {
+    return OutOfRange("artifact index out of range");
+  }
+  std::set<size_t> acts;
+  std::vector<size_t> frontier{artifact};
+  std::set<size_t> visited;
+  while (!frontier.empty()) {
+    const size_t a = frontier.back();
+    frontier.pop_back();
+    if (!visited.insert(a).second) continue;
+    auto it = produced_by_.find(a);
+    if (it == produced_by_.end()) continue;
+    acts.insert(it->second);
+    for (size_t input : activities_[it->second].inputs) {
+      frontier.push_back(input);
+    }
+  }
+  return std::vector<size_t>(acts.begin(), acts.end());
+}
+
+std::string ProvenanceGraph::RecordHash() const {
+  Sha256 ctx;
+  for (const Artifact& a : artifacts_) {
+    ctx.Update(a.name);
+    ctx.Update("\x1f");
+    ctx.Update(a.sha256_hex);
+    ctx.Update("\x1f");
+    ctx.Update(std::to_string(a.bytes));
+    ctx.Update("\x1e");
+  }
+  for (const Activity& act : activities_) {
+    ctx.Update(act.name);
+    ctx.Update("\x1f");
+    ctx.Update(act.stage_kind);
+    for (const auto& [k, v] : act.params) {
+      ctx.Update("\x1f");
+      ctx.Update(k);
+      ctx.Update("=");
+      ctx.Update(v);
+    }
+    for (size_t i : act.inputs) {
+      ctx.Update("\x1fi");
+      ctx.Update(std::to_string(i));
+    }
+    for (size_t o : act.outputs) {
+      ctx.Update("\x1fo");
+      ctx.Update(std::to_string(o));
+    }
+    ctx.Update("\x1e");
+  }
+  return DigestToHex(ctx.Finish());
+}
+
+Bytes ProvenanceGraph::Serialize() const {
+  ByteWriter w;
+  w.PutRaw("PRV1", 4);
+  w.PutVarU64(artifacts_.size());
+  for (const Artifact& a : artifacts_) {
+    w.PutString(a.name);
+    w.PutString(a.sha256_hex);
+    w.PutU64(a.bytes);
+  }
+  w.PutVarU64(activities_.size());
+  for (const Activity& act : activities_) {
+    w.PutString(act.name);
+    w.PutString(act.stage_kind);
+    w.PutVarU64(act.params.size());
+    for (const auto& [k, v] : act.params) {
+      w.PutString(k);
+      w.PutString(v);
+    }
+    w.PutVarU64(act.inputs.size());
+    for (size_t i : act.inputs) w.PutVarU64(i);
+    w.PutVarU64(act.outputs.size());
+    for (size_t o : act.outputs) w.PutVarU64(o);
+    w.PutF64(act.seconds);
+  }
+  w.PutU32(Crc32(w.bytes()));
+  return w.Take();
+}
+
+Result<ProvenanceGraph> ProvenanceGraph::Parse(
+    std::span<const std::byte> bytes) {
+  if (bytes.size() < 8) return DataLoss("provenance: too small");
+  ByteReader crc_r(bytes.subspan(bytes.size() - 4));
+  uint32_t crc = 0;
+  DRAI_RETURN_IF_ERROR(crc_r.GetU32(crc));
+  if (Crc32(bytes.subspan(0, bytes.size() - 4)) != crc) {
+    return DataLoss("provenance: crc mismatch");
+  }
+  ByteReader r(bytes.subspan(0, bytes.size() - 4));
+  char magic[4];
+  DRAI_RETURN_IF_ERROR(r.GetRaw(magic, 4));
+  if (std::string_view(magic, 4) != "PRV1") {
+    return DataLoss("provenance: bad magic");
+  }
+  ProvenanceGraph g;
+  uint64_t n_artifacts = 0;
+  DRAI_RETURN_IF_ERROR(r.GetVarU64(n_artifacts));
+  if (n_artifacts > (1ull << 24)) return DataLoss("provenance: implausible");
+  g.artifacts_.resize(n_artifacts);
+  for (auto& a : g.artifacts_) {
+    DRAI_RETURN_IF_ERROR(r.GetString(a.name));
+    DRAI_RETURN_IF_ERROR(r.GetString(a.sha256_hex));
+    DRAI_RETURN_IF_ERROR(r.GetU64(a.bytes));
+  }
+  uint64_t n_activities = 0;
+  DRAI_RETURN_IF_ERROR(r.GetVarU64(n_activities));
+  if (n_activities > (1ull << 24)) return DataLoss("provenance: implausible");
+  for (uint64_t k = 0; k < n_activities; ++k) {
+    Activity act;
+    DRAI_RETURN_IF_ERROR(r.GetString(act.name));
+    DRAI_RETURN_IF_ERROR(r.GetString(act.stage_kind));
+    uint64_t n_params = 0;
+    DRAI_RETURN_IF_ERROR(r.GetVarU64(n_params));
+    for (uint64_t p = 0; p < n_params; ++p) {
+      std::string key, value;
+      DRAI_RETURN_IF_ERROR(r.GetString(key));
+      DRAI_RETURN_IF_ERROR(r.GetString(value));
+      act.params[key] = value;
+    }
+    uint64_t n_in = 0, n_out = 0;
+    DRAI_RETURN_IF_ERROR(r.GetVarU64(n_in));
+    act.inputs.resize(n_in);
+    for (auto& i : act.inputs) {
+      uint64_t v = 0;
+      DRAI_RETURN_IF_ERROR(r.GetVarU64(v));
+      i = static_cast<size_t>(v);
+    }
+    DRAI_RETURN_IF_ERROR(r.GetVarU64(n_out));
+    act.outputs.resize(n_out);
+    for (auto& o : act.outputs) {
+      uint64_t v = 0;
+      DRAI_RETURN_IF_ERROR(r.GetVarU64(v));
+      o = static_cast<size_t>(v);
+    }
+    DRAI_RETURN_IF_ERROR(r.GetF64(act.seconds));
+    DRAI_RETURN_IF_ERROR(g.AddActivity(std::move(act)));
+  }
+  return g;
+}
+
+std::string ProvenanceGraph::ToText() const {
+  std::string out;
+  out += "artifacts (" + std::to_string(artifacts_.size()) + "):\n";
+  for (size_t i = 0; i < artifacts_.size(); ++i) {
+    out += "  [" + std::to_string(i) + "] " + artifacts_[i].name + "  sha256=" +
+           artifacts_[i].sha256_hex.substr(0, 12) + "...  " +
+           HumanBytes(artifacts_[i].bytes) + "\n";
+  }
+  out += "activities (" + std::to_string(activities_.size()) + "):\n";
+  for (const Activity& act : activities_) {
+    out += "  " + act.stage_kind + "/" + act.name + " (" +
+           HumanDuration(act.seconds) + ")";
+    if (!act.inputs.empty()) {
+      out += "  in:";
+      for (size_t i : act.inputs) out += " " + std::to_string(i);
+    }
+    if (!act.outputs.empty()) {
+      out += "  out:";
+      for (size_t o : act.outputs) out += " " + std::to_string(o);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace drai::core

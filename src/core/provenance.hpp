@@ -1,0 +1,80 @@
+// drai/core/provenance.hpp
+//
+// Provenance capture (§5 "Provenance and Reproducibility"): a bipartite
+// lineage graph of *artifacts* (content-hashed data states) and
+// *activities* (stage executions with parameters), in the spirit of
+// W3C PROV / ProvEn. Every pipeline run appends activities; the record's
+// own hash goes into the dataset manifest so the shards are traceable back
+// to raw inputs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/hash.hpp"
+#include "common/status.hpp"
+
+namespace drai::core {
+
+/// A content-addressed data state.
+struct Artifact {
+  std::string name;       ///< human label, e.g. "raw/cmip6-0042.grb"
+  std::string sha256_hex; ///< content hash
+  uint64_t bytes = 0;
+};
+
+/// One stage execution.
+struct Activity {
+  std::string name;                   ///< e.g. "regrid[bilinear 64x128->32x64]"
+  std::string stage_kind;             ///< "ingest" ... "shard"
+  std::map<std::string, std::string> params;
+  std::vector<size_t> inputs;         ///< artifact indices consumed
+  std::vector<size_t> outputs;        ///< artifact indices produced
+  double seconds = 0;
+};
+
+class ProvenanceGraph {
+ public:
+  /// Register an artifact; returns its index. Hash is computed here.
+  size_t AddArtifact(const std::string& name, std::span<const std::byte> content);
+  /// Register with a precomputed hash (for large data hashed streaming).
+  size_t AddArtifactHashed(const std::string& name, std::string sha256_hex,
+                           uint64_t bytes);
+  /// Record an activity linking inputs to outputs. Indices must exist.
+  Status AddActivity(Activity activity);
+
+  [[nodiscard]] const std::vector<Artifact>& artifacts() const {
+    return artifacts_;
+  }
+  [[nodiscard]] const std::vector<Activity>& activities() const {
+    return activities_;
+  }
+
+  /// All artifact indices an artifact transitively derives from.
+  [[nodiscard]] Result<std::vector<size_t>> Ancestors(size_t artifact) const;
+  /// Activity chain (in execution order) that produced an artifact.
+  [[nodiscard]] Result<std::vector<size_t>> LineageActivities(
+      size_t artifact) const;
+
+  /// Stable hash of the whole record — what manifests store. Changes iff
+  /// any artifact hash, activity, or parameter changes.
+  [[nodiscard]] std::string RecordHash() const;
+
+  [[nodiscard]] Bytes Serialize() const;
+  static Result<ProvenanceGraph> Parse(std::span<const std::byte> bytes);
+
+  /// Render as indented text for reports.
+  [[nodiscard]] std::string ToText() const;
+
+ private:
+  std::vector<Artifact> artifacts_;
+  std::vector<Activity> activities_;
+  /// producer activity per artifact (if any)
+  std::map<size_t, size_t> produced_by_;
+};
+
+}  // namespace drai::core

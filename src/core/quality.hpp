@@ -1,0 +1,52 @@
+// drai/core/quality.hpp
+//
+// Dataset quality diagnostics (§5 "Data Quality, Bias, and Fairness"):
+// per-feature distribution statistics, missingness, duplicate detection,
+// and class balance — aggregated into a score that feeds the readiness
+// assessor's quantitative gates and the datasheet.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "shard/example.hpp"
+#include "stats/imbalance.hpp"
+#include "stats/running.hpp"
+
+namespace drai::core {
+
+struct FeatureQuality {
+  stats::RunningStats stats;   ///< over all elements of the feature
+  uint64_t total_elements = 0;
+  uint64_t nan_elements = 0;
+  [[nodiscard]] double MissingFraction() const {
+    return total_elements == 0
+               ? 0.0
+               : static_cast<double>(nan_elements) /
+                     static_cast<double>(total_elements);
+  }
+};
+
+struct QualityReport {
+  uint64_t n_examples = 0;
+  uint64_t duplicate_keys = 0;       ///< repeated example keys
+  uint64_t duplicate_payloads = 0;   ///< byte-identical feature payloads
+  std::map<std::string, FeatureQuality> features;
+  stats::ClassCounts label_counts;   ///< empty when unlabeled
+  double labeled_fraction = 0;
+
+  /// Overall missingness across features (element-weighted).
+  [[nodiscard]] double MissingFraction() const;
+  /// Normalized label entropy (1 = balanced); 0 when unlabeled.
+  [[nodiscard]] double BalanceScore() const;
+  /// Composite score in [0, 1]: penalizes missingness, duplicates and
+  /// imbalance equally. Heuristic, but monotone in each defect.
+  [[nodiscard]] double OverallScore() const;
+
+  [[nodiscard]] std::string ToText() const;
+};
+
+/// Scan a set of examples.
+QualityReport AssessQuality(std::span<const shard::Example> examples);
+
+}  // namespace drai::core

@@ -1,0 +1,199 @@
+#include "core/readiness.hpp"
+
+#include <cstdio>
+
+namespace drai::core {
+
+std::string_view ReadinessLevelName(ReadinessLevel level) {
+  switch (level) {
+    case ReadinessLevel::kRaw: return "1-raw";
+    case ReadinessLevel::kCleaned: return "2-cleaned";
+    case ReadinessLevel::kLabeled: return "3-labeled";
+    case ReadinessLevel::kFeatureEngineered: return "4-feature-engineered";
+    case ReadinessLevel::kAiReady: return "5-fully-AI-ready";
+  }
+  return "?";
+}
+
+std::optional<std::string_view> MatrixCell(ReadinessLevel level,
+                                           StageKind stage) {
+  // Transcription of Table 2; grey cells are nullopt.
+  switch (level) {
+    case ReadinessLevel::kRaw:
+      if (stage == StageKind::kIngest) return "initial raw acquisition";
+      return std::nullopt;
+    case ReadinessLevel::kCleaned:
+      switch (stage) {
+        case StageKind::kIngest: return "validated ingestion into standard formats";
+        case StageKind::kPreprocess:
+          return "initial spatial/temporal alignment or regridding";
+        default: return std::nullopt;
+      }
+    case ReadinessLevel::kLabeled:
+      switch (stage) {
+        case StageKind::kIngest: return "enhanced metadata enrichment";
+        case StageKind::kPreprocess: return "refined alignment; grids standardized";
+        case StageKind::kTransform:
+          return "initial normalization or anonymization; basic labels added";
+        default: return std::nullopt;
+      }
+    case ReadinessLevel::kFeatureEngineered:
+      switch (stage) {
+        case StageKind::kIngest: return "optimized high-throughput ingestion";
+        case StageKind::kPreprocess: return "alignment fully standardized";
+        case StageKind::kTransform:
+          return "normalization or anonymization finalized; comprehensive labeling";
+        case StageKind::kStructure:
+          return "domain-specific feature extraction completed";
+        default: return std::nullopt;
+      }
+    case ReadinessLevel::kAiReady:
+      switch (stage) {
+        case StageKind::kIngest:
+          return "ingestion pipelines fully automated and performance-optimized";
+        case StageKind::kPreprocess: return "alignment integrated and automated";
+        case StageKind::kTransform:
+          return "normalization / anonymization fully automated and audited";
+        case StageKind::kStructure:
+          return "feature extraction automated and validated";
+        case StageKind::kShard:
+          return "data partitioned into train/test/val & sharded into binary "
+                 "formats for scalable ingestion";
+      }
+  }
+  return std::nullopt;
+}
+
+bool CellSatisfied(const DatasetState& s, ReadinessLevel level,
+                   StageKind stage) {
+  if (!MatrixCell(level, stage).has_value()) return true;  // N/A
+  switch (level) {
+    case ReadinessLevel::kRaw:
+      return s.acquired;
+    case ReadinessLevel::kCleaned:
+      switch (stage) {
+        case StageKind::kIngest:
+          // "Cleaned" also carries a quality floor: a dataset that is 40%
+          // dropouts has not been cleaned no matter what ran.
+          return s.validated_standard_format && s.missing_fraction <= 0.25;
+        case StageKind::kPreprocess: return s.initial_alignment;
+        default: return true;
+      }
+    case ReadinessLevel::kLabeled:
+      switch (stage) {
+        case StageKind::kIngest: return s.metadata_enriched;
+        case StageKind::kPreprocess: return s.grids_standardized;
+        case StageKind::kTransform:
+          return (s.basic_normalization && s.anonymization_done) &&
+                 s.basic_labels && s.label_fraction > 0.0;
+        default: return true;
+      }
+    case ReadinessLevel::kFeatureEngineered:
+      switch (stage) {
+        case StageKind::kIngest: return s.high_throughput_ingest;
+        case StageKind::kPreprocess: return s.alignment_fully_standardized;
+        case StageKind::kTransform:
+          return s.normalization_finalized && s.comprehensive_labels &&
+                 s.label_fraction >= 0.95;
+        case StageKind::kStructure: return s.features_extracted;
+        default: return true;
+      }
+    case ReadinessLevel::kAiReady:
+      switch (stage) {
+        case StageKind::kIngest: return s.ingest_automated;
+        case StageKind::kPreprocess: return s.alignment_automated;
+        case StageKind::kTransform: return s.transform_automated_audited;
+        case StageKind::kStructure: return s.features_validated;
+        case StageKind::kShard: return s.split_and_sharded;
+      }
+  }
+  return false;
+}
+
+ReadinessAssessment Assess(const DatasetState& state) {
+  ReadinessAssessment out;
+  // Per-stage: highest level whose cells for this stage are satisfied
+  // cumulatively from level 1 upward.
+  for (size_t si = 0; si < 5; ++si) {
+    const StageKind stage = kAllStageKinds[si];
+    ReadinessLevel achieved = ReadinessLevel::kRaw;
+    bool broken = false;
+    for (ReadinessLevel level : kAllReadinessLevels) {
+      if (!CellSatisfied(state, level, stage)) {
+        broken = true;
+        break;
+      }
+      achieved = level;
+    }
+    // A stage that fails even level 1 (only possible for ingest) reports
+    // level 1 anyway — level "0" does not exist in the paper's scale.
+    (void)broken;
+    out.per_stage[si] = achieved;
+  }
+  // Overall: highest L with every cell of rows 1..L satisfied.
+  ReadinessLevel overall = ReadinessLevel::kRaw;
+  bool all_ok = true;
+  for (ReadinessLevel level : kAllReadinessLevels) {
+    for (StageKind stage : kAllStageKinds) {
+      if (!CellSatisfied(state, level, stage)) {
+        all_ok = false;
+        out.blocking.push_back(
+            std::string(ReadinessLevelName(level)) + "/" +
+            std::string(StageKindName(stage)) + ": " +
+            std::string(MatrixCell(level, stage).value_or("")));
+      }
+    }
+    if (!all_ok) break;
+    overall = level;
+  }
+  // Level 1 requires acquisition; report raw regardless (floor of scale).
+  out.overall = overall;
+  return out;
+}
+
+namespace {
+
+std::string RenderMatrixImpl(const DatasetState* state) {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%-24s", "Level \\ Stage");
+  out += buf;
+  for (StageKind stage : kAllStageKinds) {
+    std::snprintf(buf, sizeof(buf), " | %-12s",
+                  std::string(StageKindName(stage)).c_str());
+    out += buf;
+  }
+  out += "\n";
+  out += std::string(24 + 5 * 15, '-');
+  out += "\n";
+  for (ReadinessLevel level : kAllReadinessLevels) {
+    std::snprintf(buf, sizeof(buf), "%-24s",
+                  std::string(ReadinessLevelName(level)).c_str());
+    out += buf;
+    for (StageKind stage : kAllStageKinds) {
+      const auto cell = MatrixCell(level, stage);
+      std::string mark;
+      if (!cell.has_value()) {
+        mark = "  (n/a)";
+      } else if (state == nullptr) {
+        mark = "  req";
+      } else {
+        mark = CellSatisfied(*state, level, stage) ? "  [x]" : "  [ ]";
+      }
+      std::snprintf(buf, sizeof(buf), " | %-12s", mark.c_str());
+      out += buf;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RenderMaturityMatrix(const DatasetState& state) {
+  return RenderMatrixImpl(&state);
+}
+
+std::string RenderMaturityMatrix() { return RenderMatrixImpl(nullptr); }
+
+}  // namespace drai::core

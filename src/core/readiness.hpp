@@ -1,0 +1,99 @@
+// drai/core/readiness.hpp
+//
+// The paper's primary contribution: five Data Readiness Levels crossed
+// with five Data Processing Stages — Table 2's conceptual maturity matrix —
+// plus a rule-based assessor that scores a concrete dataset's state
+// against it.
+//
+// The matrix cells are requirements; a dataset *is at* level L when every
+// applicable cell of rows 1..L is satisfied. Grey (N/A) cells in Table 2
+// are encoded as "no requirement".
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+
+#include "core/pipeline.hpp"  // StageKind
+
+namespace drai::core {
+
+/// Data Readiness Levels (Table 2's rows).
+enum class ReadinessLevel : uint8_t {
+  kRaw = 1,
+  kCleaned = 2,
+  kLabeled = 3,
+  kFeatureEngineered = 4,
+  kAiReady = 5,
+};
+
+std::string_view ReadinessLevelName(ReadinessLevel level);
+inline constexpr ReadinessLevel kAllReadinessLevels[] = {
+    ReadinessLevel::kRaw, ReadinessLevel::kCleaned, ReadinessLevel::kLabeled,
+    ReadinessLevel::kFeatureEngineered, ReadinessLevel::kAiReady};
+
+/// Observable facts about a dataset, grouped by the stage that establishes
+/// them. The assessor reduces these to per-stage levels and an overall
+/// readiness level. Fill what applies; the defaults are all "not done".
+struct DatasetState {
+  // -- ingest --
+  bool acquired = false;                  ///< L1: raw data exists
+  bool validated_standard_format = false; ///< L2: decoded into standard formats
+  bool metadata_enriched = false;         ///< L3: units/attrs/ids attached
+  bool high_throughput_ingest = false;    ///< L4: parallel/optimized ingest
+  bool ingest_automated = false;          ///< L5: no manual steps
+
+  // -- preprocess --
+  bool initial_alignment = false;          ///< L2: first regrid/time-align pass
+  bool grids_standardized = false;         ///< L3: one target grid/clock
+  bool alignment_fully_standardized = false; ///< L4
+  bool alignment_automated = false;        ///< L5
+
+  // -- transform --
+  bool basic_normalization = false;        ///< L3 (or anonymization where required)
+  bool anonymization_done = true;          ///< set false when PHI present & raw
+  bool basic_labels = false;               ///< L3: some labels attached
+  bool normalization_finalized = false;    ///< L4: stats frozen & persisted
+  bool comprehensive_labels = false;       ///< L4: labels for ~all samples
+  bool transform_automated_audited = false;///< L5: automated + audit trail
+
+  // -- structure --
+  bool features_extracted = false;         ///< L4: domain features computed
+  bool features_validated = false;         ///< L5: automated validation
+
+  // -- shard --
+  bool split_and_sharded = false;          ///< L5: train/val/test in binary shards
+
+  // -- quantitative gates (quality floor for "cleaned") --
+  double missing_fraction = 0.0;  ///< NaN/dropout fraction after cleaning
+  double label_fraction = 0.0;    ///< labeled sample fraction
+};
+
+/// Requirement text of one matrix cell, or nullopt for N/A (grey) cells.
+std::optional<std::string_view> MatrixCell(ReadinessLevel level,
+                                           StageKind stage);
+
+/// Does `state` satisfy the (level, stage) cell? N/A cells return true.
+bool CellSatisfied(const DatasetState& state, ReadinessLevel level,
+                   StageKind stage);
+
+struct ReadinessAssessment {
+  ReadinessLevel overall = ReadinessLevel::kRaw;
+  /// Highest satisfied level per stage (level 1 is stage-independent; a
+  /// stage whose cells are all N/A up to L reports L).
+  std::array<ReadinessLevel, 5> per_stage{};
+  /// Unsatisfied (level, stage) cells blocking the next level, rendered as
+  /// "L3/transform: initial normalization ...".
+  std::vector<std::string> blocking;
+};
+
+/// Score a dataset state against the matrix.
+ReadinessAssessment Assess(const DatasetState& state);
+
+/// Render Table 2 with satisfied cells marked for the given state — the
+/// artifact bench_table2_maturity prints.
+std::string RenderMaturityMatrix(const DatasetState& state);
+/// Render the requirement matrix itself (no state).
+std::string RenderMaturityMatrix();
+
+}  // namespace drai::core

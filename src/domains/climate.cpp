@@ -1,0 +1,253 @@
+#include "domains/climate.hpp"
+
+#include <cmath>
+
+#include "container/grib_lite.hpp"
+#include "container/netcdf_lite.hpp"
+#include "container/sniff.hpp"
+#include "ndarray/kernels.hpp"
+#include "shard/shard_writer.hpp"
+#include "stats/normalizer.hpp"
+
+namespace drai::domains {
+
+using core::DataBundle;
+using core::StageContext;
+using core::StageKind;
+
+Result<ArchetypeResult> RunClimateArchetype(
+    par::StripedStore& store, const ClimateArchetypeConfig& config) {
+  ArchetypeResult result;
+  const grid::LatLonGrid src_grid = workloads::ClimateSourceGrid(config.workload);
+  const grid::LatLonGrid dst_grid =
+      grid::LatLonGrid::Uniform(config.target_lat, config.target_lon);
+  const auto& variables = config.workload.variables;
+
+  // Shared state the stages hand forward outside the bundle's generic maps.
+  auto normalizer = std::make_shared<stats::Normalizer>(
+      stats::NormKind::kZScore, variables.size());
+  auto manifest = std::make_shared<shard::DatasetManifest>();
+
+  core::Pipeline pipeline("climate-archetype");
+
+  // ingest: sniff the container format, decode either GRIB messages or a
+  // NetCDF-lite file into per-variable [time, lat, lon] stacks.
+  pipeline.Add("decode-source", StageKind::kIngest,
+               [&](DataBundle& bundle, StageContext& context) -> Status {
+                 DRAI_ASSIGN_OR_RETURN(Bytes blob, bundle.Blob("source"));
+                 const container::FileFormat format =
+                     container::SniffFormat(blob);
+                 context.NoteParam("format",
+                                   std::string(container::FileFormatName(format)));
+                 if (format == container::FileFormat::kGribLite) {
+                   DRAI_ASSIGN_OR_RETURN(auto messages,
+                                         container::DecodeGribFile(blob));
+                   context.NoteParam("messages",
+                                     std::to_string(messages.size()));
+                   std::map<std::string, std::vector<NDArray>> stacks;
+                   for (auto& msg : messages) {
+                     stacks[msg.variable].push_back(std::move(msg.field));
+                   }
+                   for (const std::string& var : variables) {
+                     auto it = stacks.find(var);
+                     if (it == stacks.end()) {
+                       return DataLoss("climate: variable missing from GRIB: " +
+                                       var);
+                     }
+                     const auto& frames = it->second;
+                     NDArray stack = NDArray::Zeros(
+                         {frames.size(), src_grid.n_lat(), src_grid.n_lon()},
+                         DType::kF64);
+                     for (size_t t = 0; t < frames.size(); ++t) {
+                       NDArray slot = stack.Slice(0, t, t + 1).Reshape(
+                           {src_grid.n_lat(), src_grid.n_lon()});
+                       slot.CopyFrom(frames[t]);
+                     }
+                     bundle.tensors["raw/" + var] = std::move(stack);
+                   }
+                 } else if (format == container::FileFormat::kSdf) {
+                   // NetCDF-lite lowers to SDF bytes; parse the variable
+                   // stacks straight out of the self-describing container.
+                   DRAI_ASSIGN_OR_RETURN(container::NcFile nc,
+                                         container::NcFile::Parse(blob));
+                   for (const std::string& var : variables) {
+                     const container::NcVariable* v = nc.FindVariable(var);
+                     if (v == nullptr) {
+                       return DataLoss(
+                           "climate: variable missing from NetCDF: " + var);
+                     }
+                     bundle.tensors["raw/" + var] = v->data.AsContiguous();
+                   }
+                 } else {
+                   return DataLoss("climate: unrecognized source format");
+                 }
+                 // Metadata enrichment (L3 ingest cell).
+                 bundle.SetAttr("source_grid",
+                                container::AttrValue::String("gaussian-like"));
+                 bundle.SetAttr("n_times",
+                                container::AttrValue::Int(static_cast<int64_t>(
+                                    config.workload.n_times)));
+                 return Status::Ok();
+               });
+
+  // preprocess: regrid every (variable, time) slice onto the target grid.
+  pipeline.Add("regrid", StageKind::kPreprocess,
+               [&](DataBundle& bundle, StageContext& context) -> Status {
+                 context.NoteParam("method", std::string(grid::RegridMethodName(
+                                                 config.regrid)));
+                 for (const std::string& var : variables) {
+                   DRAI_ASSIGN_OR_RETURN(NDArray stack,
+                                         bundle.Tensor("raw/" + var));
+                   const size_t n_times = stack.shape()[0];
+                   NDArray out = NDArray::Zeros(
+                       {n_times, dst_grid.n_lat(), dst_grid.n_lon()},
+                       DType::kF64);
+                   for (size_t t = 0; t < n_times; ++t) {
+                     const NDArray slice =
+                         stack.Slice(0, t, t + 1)
+                             .Reshape({src_grid.n_lat(), src_grid.n_lon()});
+                     DRAI_ASSIGN_OR_RETURN(
+                         NDArray regridded,
+                         grid::Regrid(slice, src_grid, dst_grid, config.regrid));
+                     NDArray slot = out.Slice(0, t, t + 1).Reshape(
+                         {dst_grid.n_lat(), dst_grid.n_lon()});
+                     slot.CopyFrom(regridded);
+                   }
+                   bundle.tensors["grid/" + var] = std::move(out);
+                   bundle.tensors.erase("raw/" + var);
+                 }
+                 return Status::Ok();
+               });
+
+  // transform: fill missing cells with the variable mean, then z-score.
+  pipeline.Add("normalize", StageKind::kTransform,
+               [&](DataBundle& bundle, StageContext& context) -> Status {
+                 for (size_t v = 0; v < variables.size(); ++v) {
+                   DRAI_ASSIGN_OR_RETURN(NDArray stack,
+                                         bundle.Tensor("grid/" + variables[v]));
+                   for (size_t i = 0; i < stack.numel(); ++i) {
+                     normalizer->Observe(v, stack.GetAsDouble(i));
+                   }
+                 }
+                 normalizer->Fit();
+                 context.NoteParam("kind", "zscore");
+                 for (size_t v = 0; v < variables.size(); ++v) {
+                   NDArray stack =
+                       bundle.tensors.at("grid/" + variables[v]);
+                   const double mean = normalizer->Center(v);
+                   for (size_t i = 0; i < stack.numel(); ++i) {
+                     double x = stack.GetAsDouble(i);
+                     if (std::isnan(x)) x = mean;  // mean-fill missing cells
+                     stack.SetFromDouble(i, normalizer->Apply(v, x));
+                   }
+                   bundle.tensors["norm/" + variables[v]] = stack;
+                   bundle.tensors.erase("grid/" + variables[v]);
+                 }
+                 return Status::Ok();
+               });
+
+  // structure: cut [vars, patch, patch] patches per time step.
+  pipeline.Add("patch", StageKind::kStructure,
+               [&](DataBundle& bundle, StageContext& context) -> Status {
+                 context.NoteParam("patch", std::to_string(config.patch));
+                 const size_t n_times = config.workload.n_times;
+                 // Assemble [vars, lat, lon] per time, then patch.
+                 for (size_t t = 0; t < n_times; ++t) {
+                   NDArray frame = NDArray::Zeros(
+                       {variables.size(), dst_grid.n_lat(), dst_grid.n_lon()},
+                       DType::kF64);
+                   for (size_t v = 0; v < variables.size(); ++v) {
+                     DRAI_ASSIGN_OR_RETURN(
+                         NDArray stack, bundle.Tensor("norm/" + variables[v]));
+                     NDArray slot = frame.Slice(0, v, v + 1).Reshape(
+                         {dst_grid.n_lat(), dst_grid.n_lon()});
+                     slot.CopyFrom(stack.Slice(0, t, t + 1).Reshape(
+                         {dst_grid.n_lat(), dst_grid.n_lon()}));
+                   }
+                   DRAI_ASSIGN_OR_RETURN(
+                       NDArray patches,
+                       grid::ExtractPatches(frame, config.patch, config.patch));
+                   const size_t n_patches = patches.shape()[0];
+                   for (size_t p = 0; p < n_patches; ++p) {
+                     shard::Example ex;
+                     ex.key = "t" + std::to_string(t) + "-p" + std::to_string(p);
+                     NDArray sample =
+                         patches.Slice(0, p, p + 1)
+                             .Reshape({variables.size(), config.patch,
+                                       config.patch})
+                             .Cast(DType::kF32);
+                     ex.features["x"] = std::move(sample);
+                     // Patch-mean regression target (self-supervised).
+                     ex.features["y"] = NDArray::FromVector<float>(
+                         {1}, {static_cast<float>(Mean(
+                                  patches.Slice(0, p, p + 1)))});
+                     bundle.examples.push_back(std::move(ex));
+                   }
+                 }
+                 return Status::Ok();
+               });
+
+  // shard: write RecIO shards + manifest with the normalizer embedded.
+  pipeline.Add("shard", StageKind::kShard,
+               [&](DataBundle& bundle, StageContext& context) -> Status {
+                 shard::ShardWriterConfig wc;
+                 wc.dataset_name = "climate-patches";
+                 wc.created_by = "drai/climate-archetype";
+                 wc.directory = config.dataset_dir;
+                 wc.split_seed = config.split_seed;
+                 wc.tensor_codec = codec::Codec::kNone;
+                 shard::ShardWriter writer(store, wc);
+                 ByteWriter nb;
+                 normalizer->Serialize(nb);
+                 writer.SetNormalizerBlob(nb.Take());
+                 writer.SetProvenanceHash(
+                     context.provenance() != nullptr
+                         ? context.provenance()->RecordHash()
+                         : "");
+                 for (const shard::Example& ex : bundle.examples) {
+                   DRAI_ASSIGN_OR_RETURN(shard::Split split, writer.Add(ex));
+                   (void)split;
+                 }
+                 DRAI_ASSIGN_OR_RETURN(*manifest, writer.Finalize());
+                 context.NoteParam("records",
+                                   std::to_string(manifest->TotalRecords()));
+                 return Status::Ok();
+               });
+
+  DataBundle bundle;
+  bundle.blobs["source"] =
+      config.source_format == ClimateSourceFormat::kNetcdf
+          ? workloads::GenerateClimateNetcdf(config.workload)
+          : workloads::GenerateClimateGrib(config.workload);
+  result.report = pipeline.Run(bundle);
+  if (!result.report.ok) return result.report.error;
+
+  result.manifest = *manifest;
+  result.quality = core::AssessQuality(bundle.examples);
+  result.provenance_hash = pipeline.provenance().RecordHash();
+
+  core::DatasetState& s = result.state;
+  s.acquired = true;
+  s.validated_standard_format = true;
+  s.metadata_enriched = true;
+  s.high_throughput_ingest = true;
+  s.ingest_automated = true;
+  s.initial_alignment = true;
+  s.grids_standardized = true;
+  s.alignment_fully_standardized = true;
+  s.alignment_automated = true;
+  s.basic_normalization = true;
+  s.normalization_finalized = true;
+  s.basic_labels = true;
+  s.comprehensive_labels = true;  // self-supervised target on every sample
+  s.transform_automated_audited = true;
+  s.features_extracted = true;
+  s.features_validated = true;
+  s.split_and_sharded = manifest->TotalRecords() > 0;
+  s.missing_fraction = result.quality.MissingFraction();
+  s.label_fraction = 1.0;
+  result.readiness = core::Assess(s);
+  return result;
+}
+
+}  // namespace drai::domains

@@ -1,0 +1,52 @@
+// drai/domains/climate.hpp
+//
+// Climate archetype (Table 1, §3.1): download -> regrid -> normalize ->
+// shard. Ingest decodes GRIB-lite messages into per-variable field stacks;
+// preprocess regrids every variable from its source (Gaussian-like) grid
+// onto one uniform target grid; transform fills missing cells and applies
+// per-variable z-score normalization; structure slices spatiotemporal
+// patches (Pangu-style); shard writes train/val/test RecIO shards plus the
+// manifest with the serialized normalizer.
+#pragma once
+
+#include "core/datasheet.hpp"
+#include "core/pipeline.hpp"
+#include "core/readiness.hpp"
+#include "grid/latlon.hpp"
+#include "parallel/striped_store.hpp"
+#include "shard/manifest.hpp"
+#include "workloads/climate.hpp"
+
+namespace drai::domains {
+
+/// Which community format the synthetic source arrives in. kAuto sniffs
+/// the magic bytes — the heterogeneous-ingest situation §5 calls
+/// "fragmentation across domains".
+enum class ClimateSourceFormat { kGrib, kNetcdf };
+
+struct ClimateArchetypeConfig {
+  workloads::ClimateConfig workload;
+  ClimateSourceFormat source_format = ClimateSourceFormat::kGrib;
+  size_t target_lat = 24;
+  size_t target_lon = 48;
+  grid::RegridMethod regrid = grid::RegridMethod::kBilinear;
+  size_t patch = 8;            ///< spatial patch edge (cells)
+  std::string dataset_dir = "/datasets/climate";
+  uint64_t split_seed = 11;
+};
+
+struct ArchetypeResult {
+  core::PipelineReport report;
+  shard::DatasetManifest manifest;
+  core::QualityReport quality;
+  core::ReadinessAssessment readiness;
+  core::DatasetState state;
+  std::string provenance_hash;
+};
+
+/// Run the full archetype against `store`. The pipeline is built fresh per
+/// call (stages capture config + store).
+Result<ArchetypeResult> RunClimateArchetype(par::StripedStore& store,
+                                            const ClimateArchetypeConfig& config);
+
+}  // namespace drai::domains

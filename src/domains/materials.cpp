@@ -1,0 +1,170 @@
+#include "domains/materials.hpp"
+
+#include <cmath>
+
+#include "common/strings.hpp"
+#include "shard/shard_writer.hpp"
+#include "stats/imbalance.hpp"
+#include "stats/normalizer.hpp"
+
+namespace drai::domains {
+
+using core::DataBundle;
+using core::StageContext;
+using core::StageKind;
+
+Result<MaterialsArchetypeResult> RunMaterialsArchetype(
+    par::StripedStore& store, const MaterialsArchetypeConfig& config) {
+  MaterialsArchetypeResult result;
+  auto structures = std::make_shared<std::vector<graph::Structure>>(
+      workloads::GenerateMaterials(config.workload));
+  auto samples = std::make_shared<std::vector<graph::GraphSample>>();
+  auto label_norm = std::make_shared<stats::Normalizer>(
+      stats::NormKind::kZScore, 1);
+  auto manifest = std::make_shared<shard::DatasetManifest>();
+
+  core::Pipeline pipeline("materials-archetype");
+
+  // ingest: parse/validate simulation outputs.
+  pipeline.Add(
+      "parse", StageKind::kIngest,
+      [&](DataBundle& bundle, StageContext& context) -> Status {
+        for (const auto& s : *structures) {
+          DRAI_RETURN_IF_ERROR(s.Validate());
+        }
+        context.NoteParam("structures", std::to_string(structures->size()));
+        bundle.SetAttr("source", container::AttrValue::String("dft-synthetic"));
+        return Status::Ok();
+      });
+
+  // preprocess: wrap fractional coordinates into [0, 1).
+  pipeline.Add(
+      "wrap-coords", StageKind::kPreprocess,
+      [&](DataBundle&, StageContext&) -> Status {
+        for (auto& s : *structures) {
+          for (auto& f : s.frac_coords) {
+            for (double& v : f) {
+              v -= std::floor(v);
+            }
+          }
+        }
+        return Status::Ok();
+      });
+
+  // transform: standardize energy labels (z-score over the corpus).
+  pipeline.Add(
+      "normalize-labels", StageKind::kTransform,
+      [&](DataBundle&, StageContext& context) -> Status {
+        for (const auto& s : *structures) {
+          label_norm->Observe(0, s.energy_per_atom);
+        }
+        label_norm->Fit();
+        context.NoteParam("label_mean", FormatDouble(label_norm->Center(0), 4));
+        context.NoteParam("label_std", FormatDouble(label_norm->Scale(0), 4));
+        return Status::Ok();
+      });
+
+  // structure: neighbor graphs + GNN encoding + class rebalancing.
+  pipeline.Add(
+      "graph-encode", StageKind::kStructure,
+      [&](DataBundle& bundle, StageContext& context) -> Status {
+        samples->clear();
+        std::vector<int> classes;
+        for (const auto& s : *structures) {
+          DRAI_ASSIGN_OR_RETURN(graph::GraphSample g,
+                                graph::EncodeGraph(s, config.encode));
+          g.label = label_norm->Apply(0, g.label);
+          classes.push_back(g.class_label);
+          samples->push_back(std::move(g));
+        }
+        std::vector<int64_t> class64(classes.begin(), classes.end());
+        result.imbalance_before =
+            stats::ImbalanceRatio(stats::CountClasses(class64));
+
+        std::vector<size_t> order(samples->size());
+        for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+        if (config.rebalance) {
+          order = graph::RebalanceIndices(classes, config.strategy,
+                                          config.split_seed);
+        }
+        std::vector<int64_t> after;
+        std::map<std::string, size_t> copy_count;
+        for (size_t idx : order) {
+          const graph::GraphSample& g = (*samples)[idx];
+          after.push_back(g.class_label);
+          shard::Example ex = graph::ToExample(g);
+          // Oversampled repeats need distinct keys (same split by
+          // construction: the split key strips the copy suffix).
+          const size_t copy = copy_count[g.id]++;
+          if (copy > 0) ex.key = g.id + "~dup" + std::to_string(copy);
+          bundle.examples.push_back(std::move(ex));
+        }
+        result.imbalance_after =
+            stats::ImbalanceRatio(stats::CountClasses(after));
+        context.NoteParam("imbalance_before",
+                          FormatDouble(result.imbalance_before, 2));
+        context.NoteParam("imbalance_after",
+                          FormatDouble(result.imbalance_after, 2));
+        return Status::Ok();
+      });
+
+  // shard: split by structure id (duplicates follow their original).
+  pipeline.Add(
+      "shard", StageKind::kShard,
+      [&](DataBundle& bundle, StageContext& context) -> Status {
+        shard::ShardWriterConfig wc;
+        wc.dataset_name = "materials-graphs";
+        wc.created_by = "drai/materials-archetype";
+        wc.directory = config.dataset_dir;
+        wc.split_seed = config.split_seed;
+        shard::ShardWriter writer(store, wc);
+        ByteWriter nb;
+        label_norm->Serialize(nb);
+        writer.SetNormalizerBlob(nb.Take());
+        writer.SetProvenanceHash(context.provenance() != nullptr
+                                     ? context.provenance()->RecordHash()
+                                     : "");
+        const shard::SplitAssigner by_structure(0.8, 0.1, 0.1,
+                                                config.split_seed);
+        for (const shard::Example& ex : bundle.examples) {
+          const std::string base = ex.key.substr(0, ex.key.find('~'));
+          DRAI_RETURN_IF_ERROR(writer.AddTo(by_structure.Assign(base), ex));
+        }
+        DRAI_ASSIGN_OR_RETURN(*manifest, writer.Finalize());
+        context.NoteParam("records", std::to_string(manifest->TotalRecords()));
+        return Status::Ok();
+      });
+
+  DataBundle bundle;
+  result.report = pipeline.Run(bundle);
+  if (!result.report.ok) return result.report.error;
+
+  result.manifest = *manifest;
+  result.quality = core::AssessQuality(bundle.examples);
+  result.provenance_hash = pipeline.provenance().RecordHash();
+
+  core::DatasetState& s = result.state;
+  s.acquired = true;
+  s.validated_standard_format = true;
+  s.metadata_enriched = true;
+  s.high_throughput_ingest = true;
+  s.ingest_automated = true;
+  s.initial_alignment = true;
+  s.grids_standardized = true;
+  s.alignment_fully_standardized = true;
+  s.alignment_automated = true;
+  s.basic_normalization = true;
+  s.normalization_finalized = true;
+  s.basic_labels = true;
+  s.comprehensive_labels = true;  // DFT labels exist for every structure
+  s.transform_automated_audited = true;
+  s.features_extracted = true;
+  s.features_validated = true;
+  s.split_and_sharded = manifest->TotalRecords() > 0;
+  s.missing_fraction = result.quality.MissingFraction();
+  s.label_fraction = 1.0;
+  result.readiness = core::Assess(s);
+  return result;
+}
+
+}  // namespace drai::domains

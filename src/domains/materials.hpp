@@ -1,0 +1,34 @@
+// drai/domains/materials.hpp
+//
+// Materials archetype (Table 1, §3.4): parse -> normalize -> encode ->
+// shard. Ingest validates parsed structures; preprocess wraps coordinates
+// into the unit cell; transform standardizes the energy labels and fits
+// the node-descriptor normalizer; structure builds the periodic neighbor
+// graph and encodes GNN samples, rebalancing the skewed crystal-system
+// classes; shard writes BpLite-backed RecIO shards.
+#pragma once
+
+#include "domains/climate.hpp"  // ArchetypeResult
+#include "graph/encode.hpp"
+#include "workloads/materials.hpp"
+
+namespace drai::domains {
+
+struct MaterialsArchetypeConfig {
+  workloads::MaterialsConfig workload;
+  graph::GraphEncodeOptions encode;
+  bool rebalance = true;
+  graph::RebalanceStrategy strategy = graph::RebalanceStrategy::kOversample;
+  std::string dataset_dir = "/datasets/materials";
+  uint64_t split_seed = 44;
+};
+
+struct MaterialsArchetypeResult : ArchetypeResult {
+  double imbalance_before = 0;  ///< max/min class ratio pre-rebalance
+  double imbalance_after = 0;
+};
+
+Result<MaterialsArchetypeResult> RunMaterialsArchetype(
+    par::StripedStore& store, const MaterialsArchetypeConfig& config);
+
+}  // namespace drai::domains

@@ -1,0 +1,133 @@
+#include "graph/encode.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/rng.hpp"
+
+namespace drai::graph {
+
+namespace {
+
+// Coarse periodic-table coordinates for feature purposes. Period/group from
+// Z by noble-gas boundaries; electronegativity proxy rises across a period.
+void PeriodGroup(int z, int& period, int& group) {
+  static const int kNoble[] = {0, 2, 10, 18, 36, 54, 86, 118};
+  period = 1;
+  for (int p = 1; p <= 7; ++p) {
+    if (z > kNoble[p - 1] && z <= kNoble[p]) {
+      period = p;
+      break;
+    }
+  }
+  group = z - kNoble[period - 1];
+}
+
+}  // namespace
+
+Result<GraphSample> EncodeGraph(const Structure& s,
+                                const GraphEncodeOptions& options) {
+  DRAI_ASSIGN_OR_RETURN(std::vector<Neighbor> edges,
+                        BuildNeighborList(s, options.cutoff));
+  GraphSample g;
+  g.id = s.id;
+  g.label = s.energy_per_atom;
+  g.class_label = s.space_group_class;
+
+  const size_t n = s.NumAtoms();
+  const size_t nf = options.include_period_group ? 4 : 1;
+  g.node_features = NDArray::Zeros({n, nf}, DType::kF32);
+  float* node = g.node_features.data<float>();
+  for (size_t i = 0; i < n; ++i) {
+    const int z = s.atomic_numbers[i];
+    node[i * nf + 0] = static_cast<float>(z) / 118.0f;
+    if (options.include_period_group) {
+      int period = 0, group = 0;
+      PeriodGroup(z, period, group);
+      node[i * nf + 1] = static_cast<float>(group) / 32.0f;  // EN proxy
+      node[i * nf + 2] = static_cast<float>(period) / 7.0f;
+      node[i * nf + 3] = static_cast<float>(group) / 32.0f;
+    }
+  }
+
+  const size_t e = edges.size();
+  const size_t fe = options.include_inverse_distance ? 2 : 1;
+  g.edge_index = NDArray::Zeros({2, e}, DType::kI64);
+  g.edge_features = NDArray::Zeros({e, fe}, DType::kF32);
+  int64_t* idx = g.edge_index.data<int64_t>();
+  float* ef = g.edge_features.data<float>();
+  for (size_t k = 0; k < e; ++k) {
+    idx[k] = edges[k].src;
+    idx[e + k] = edges[k].dst;
+    ef[k * fe + 0] = static_cast<float>(edges[k].distance);
+    if (options.include_inverse_distance) {
+      ef[k * fe + 1] = static_cast<float>(1.0 / std::max(edges[k].distance, 1e-6));
+    }
+  }
+  return g;
+}
+
+shard::Example ToExample(const GraphSample& g) {
+  shard::Example ex;
+  ex.key = g.id;
+  ex.features["nodes"] = g.node_features;
+  ex.features["edge_index"] = g.edge_index;
+  ex.features["edges"] = g.edge_features;
+  ex.features["energy"] = NDArray::FromVector<double>({1}, {g.label});
+  ex.SetLabel(g.class_label);
+  return ex;
+}
+
+Result<GraphSample> FromExample(const shard::Example& ex) {
+  GraphSample g;
+  g.id = ex.key;
+  const NDArray* nodes = ex.Find("nodes");
+  const NDArray* edge_index = ex.Find("edge_index");
+  const NDArray* edges = ex.Find("edges");
+  const NDArray* energy = ex.Find("energy");
+  if (!nodes || !edge_index || !edges || !energy) {
+    return DataLoss("graph example missing features");
+  }
+  g.node_features = *nodes;
+  g.edge_index = *edge_index;
+  g.edge_features = *edges;
+  g.label = energy->GetAsDouble(0);
+  DRAI_ASSIGN_OR_RETURN(int64_t cls, ex.Label());
+  g.class_label = static_cast<int>(cls);
+  return g;
+}
+
+std::vector<size_t> RebalanceIndices(std::span<const int> class_labels,
+                                     RebalanceStrategy strategy,
+                                     uint64_t seed) {
+  std::map<int, std::vector<size_t>> by_class;
+  for (size_t i = 0; i < class_labels.size(); ++i) {
+    by_class[class_labels[i]].push_back(i);
+  }
+  if (by_class.empty()) return {};
+  size_t mn = SIZE_MAX, mx = 0;
+  for (const auto& [_, v] : by_class) {
+    mn = std::min(mn, v.size());
+    mx = std::max(mx, v.size());
+  }
+  Rng rng(seed);
+  std::vector<size_t> out;
+  for (auto& [cls, members] : by_class) {
+    (void)cls;
+    if (strategy == RebalanceStrategy::kOversample) {
+      // All originals plus random repeats up to the majority count.
+      out.insert(out.end(), members.begin(), members.end());
+      for (size_t i = members.size(); i < mx; ++i) {
+        out.push_back(members[rng.UniformU64(members.size())]);
+      }
+    } else {
+      rng.Shuffle(members);
+      out.insert(out.end(), members.begin(),
+                 members.begin() + static_cast<ptrdiff_t>(mn));
+    }
+  }
+  rng.Shuffle(out);
+  return out;
+}
+
+}  // namespace drai::graph

@@ -1,0 +1,58 @@
+// drai/graph/encode.hpp
+//
+// Graph encoding for GNN training: a Structure plus its neighbor list
+// becomes a GraphSample — node features, COO edge index, edge features —
+// which converts directly to a shard::Example. This is the `encode` step
+// of the materials pipeline (parse -> normalize -> encode -> shard).
+#pragma once
+
+#include "graph/structure.hpp"
+#include "ndarray/ndarray.hpp"
+#include "shard/example.hpp"
+
+namespace drai::graph {
+
+struct GraphEncodeOptions {
+  double cutoff = 5.0;
+  /// Node features: [Z/Zmax, electroneg-proxy, period, group] per atom.
+  bool include_period_group = true;
+  /// Edge features: [distance, 1/distance].
+  bool include_inverse_distance = true;
+};
+
+/// Encoded graph, ready for batching.
+struct GraphSample {
+  std::string id;
+  NDArray node_features;  ///< [N, F] f32
+  NDArray edge_index;     ///< [2, E] i64 (src row 0, dst row 1)
+  NDArray edge_features;  ///< [E, Fe] f32
+  double label = 0;       ///< energy per atom
+  int class_label = 0;
+
+  [[nodiscard]] size_t NumNodes() const { return node_features.shape()[0]; }
+  [[nodiscard]] size_t NumEdges() const { return edge_index.shape()[1]; }
+};
+
+/// Encode one structure.
+Result<GraphSample> EncodeGraph(const Structure& s,
+                                const GraphEncodeOptions& options = {});
+
+/// Lower to a shard::Example (features: "nodes", "edge_index", "edges",
+/// "energy", "label").
+shard::Example ToExample(const GraphSample& g);
+
+/// Reconstruct from an Example (inverse of ToExample).
+Result<GraphSample> FromExample(const shard::Example& ex);
+
+/// Class-rebalancing plans for imbalanced structure datasets.
+enum class RebalanceStrategy {
+  kOversample,  ///< replicate minority-class indices up to the majority count
+  kUndersample, ///< subsample majority classes down to the minority count
+};
+
+/// Returns sample indices implementing the strategy. Deterministic given
+/// the seed; preserves at least one instance of every class.
+std::vector<size_t> RebalanceIndices(std::span<const int> class_labels,
+                                     RebalanceStrategy strategy, uint64_t seed);
+
+}  // namespace drai::graph

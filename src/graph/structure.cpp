@@ -1,0 +1,115 @@
+#include "graph/structure.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace drai::graph {
+
+namespace {
+Vec3 Cross(const Vec3& a, const Vec3& b) {
+  return {a[1] * b[2] - a[2] * b[1], a[2] * b[0] - a[0] * b[2],
+          a[0] * b[1] - a[1] * b[0]};
+}
+double Dot(const Vec3& a, const Vec3& b) {
+  return a[0] * b[0] + a[1] * b[1] + a[2] * b[2];
+}
+double Norm(const Vec3& a) { return std::sqrt(Dot(a, a)); }
+}  // namespace
+
+Status Structure::Validate() const {
+  if (frac_coords.size() != atomic_numbers.size()) {
+    return InvalidArgument("structure '" + id +
+                           "': coords/atomic_numbers length mismatch");
+  }
+  if (frac_coords.empty()) {
+    return InvalidArgument("structure '" + id + "': no atoms");
+  }
+  if (Volume() <= 1e-9) {
+    return InvalidArgument("structure '" + id + "': degenerate lattice");
+  }
+  for (int z : atomic_numbers) {
+    if (z < 1 || z > 118) {
+      return InvalidArgument("structure '" + id + "': bad atomic number");
+    }
+  }
+  return Status::Ok();
+}
+
+Vec3 Structure::Cartesian(size_t i) const {
+  const Vec3& f = frac_coords[i];
+  Vec3 out{};
+  for (int d = 0; d < 3; ++d) {
+    out[static_cast<size_t>(d)] = f[0] * lattice[0][static_cast<size_t>(d)] +
+                                  f[1] * lattice[1][static_cast<size_t>(d)] +
+                                  f[2] * lattice[2][static_cast<size_t>(d)];
+  }
+  return out;
+}
+
+double Structure::Volume() const {
+  return std::fabs(Dot(lattice[0], Cross(lattice[1], lattice[2])));
+}
+
+Result<std::vector<Neighbor>> BuildNeighborList(const Structure& s,
+                                                double cutoff) {
+  DRAI_RETURN_IF_ERROR(s.Validate());
+  if (cutoff <= 0) return InvalidArgument("cutoff must be > 0");
+
+  // How many images along each lattice direction can contain a neighbor:
+  // distance between parallel cell faces is V / |cross of the other two|.
+  const double volume = s.Volume();
+  std::array<int, 3> reach{};
+  for (int d = 0; d < 3; ++d) {
+    const Vec3& u = s.lattice[static_cast<size_t>((d + 1) % 3)];
+    const Vec3& v = s.lattice[static_cast<size_t>((d + 2) % 3)];
+    const double face = Norm(Cross(u, v));
+    const double spacing = volume / face;
+    reach[static_cast<size_t>(d)] =
+        static_cast<int>(std::ceil(cutoff / spacing));
+  }
+
+  const size_t n = s.NumAtoms();
+  std::vector<Vec3> cart(n);
+  for (size_t i = 0; i < n; ++i) cart[i] = s.Cartesian(i);
+
+  std::vector<Neighbor> edges;
+  const double cutoff_sq = cutoff * cutoff;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      for (int ia = -reach[0]; ia <= reach[0]; ++ia) {
+        for (int ib = -reach[1]; ib <= reach[1]; ++ib) {
+          for (int ic = -reach[2]; ic <= reach[2]; ++ic) {
+            if (i == j && ia == 0 && ib == 0 && ic == 0) continue;
+            Vec3 shifted{};
+            for (int d = 0; d < 3; ++d) {
+              shifted[static_cast<size_t>(d)] =
+                  cart[j][static_cast<size_t>(d)] +
+                  ia * s.lattice[0][static_cast<size_t>(d)] +
+                  ib * s.lattice[1][static_cast<size_t>(d)] +
+                  ic * s.lattice[2][static_cast<size_t>(d)];
+            }
+            const double dx = shifted[0] - cart[i][0];
+            const double dy = shifted[1] - cart[i][1];
+            const double dz = shifted[2] - cart[i][2];
+            const double d2 = dx * dx + dy * dy + dz * dz;
+            if (d2 <= cutoff_sq) {
+              edges.push_back({static_cast<uint32_t>(i),
+                               static_cast<uint32_t>(j), std::sqrt(d2),
+                               {static_cast<int8_t>(ia),
+                                static_cast<int8_t>(ib),
+                                static_cast<int8_t>(ic)}});
+            }
+          }
+        }
+      }
+    }
+  }
+  return edges;
+}
+
+double MeanDegree(const std::vector<Neighbor>& edges, size_t num_atoms) {
+  if (num_atoms == 0) return 0.0;
+  return static_cast<double>(edges.size()) / static_cast<double>(num_atoms);
+}
+
+}  // namespace drai::graph

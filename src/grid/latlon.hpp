@@ -1,0 +1,72 @@
+// drai/grid/latlon.hpp
+//
+// Spherical lat-lon grids and regridding — the climate archetype's
+// `regrid` step (§3.1: ClimaX interpolates CMIP6 grids to a common
+// resolution; Pangu-Weather regrids reanalyses before patching).
+//
+// Grids are cell-centered. Latitudes may be uniformly spaced or
+// Gaussian-like (sine-spaced, matching spectral-model output closely
+// enough to exercise the heterogeneous-grid alignment problem).
+// Longitudes are uniform on [0, 360) and periodic.
+#pragma once
+
+#include <vector>
+
+#include "common/status.hpp"
+#include "ndarray/ndarray.hpp"
+
+namespace drai::grid {
+
+class LatLonGrid {
+ public:
+  /// Uniform cell-centered grid: lat in (-90, 90), lon in [0, 360).
+  static LatLonGrid Uniform(size_t n_lat, size_t n_lon);
+  /// Gaussian-like grid: latitudes at arcsin of uniformly spaced sines —
+  /// denser near the equator, like spectral transform grids.
+  static LatLonGrid GaussianLike(size_t n_lat, size_t n_lon);
+
+  [[nodiscard]] size_t n_lat() const { return lats_.size(); }
+  [[nodiscard]] size_t n_lon() const { return n_lon_; }
+  /// Cell-center latitude in degrees, ascending.
+  [[nodiscard]] double lat(size_t i) const { return lats_[i]; }
+  /// Cell-center longitude in degrees, [0, 360).
+  [[nodiscard]] double lon(size_t j) const;
+  /// Latitude cell edges (n_lat + 1 values, ascending, clamped to ±90).
+  [[nodiscard]] const std::vector<double>& lat_edges() const { return edges_; }
+  /// Cell area weight (proportional to the true spherical cell area).
+  [[nodiscard]] double CellArea(size_t i_lat) const;
+
+  [[nodiscard]] bool SameAs(const LatLonGrid& other) const;
+
+ private:
+  LatLonGrid(std::vector<double> lats, size_t n_lon);
+  std::vector<double> lats_;
+  std::vector<double> edges_;
+  size_t n_lon_;
+};
+
+enum class RegridMethod {
+  kNearest,       ///< nearest cell center; cheap, non-smooth
+  kBilinear,      ///< lat-lon bilinear with periodic longitude
+  kConservative,  ///< first-order area-weighted; preserves the global mean
+};
+
+std::string_view RegridMethodName(RegridMethod m);
+
+/// Regrid a [n_lat, n_lon] field from `src` to `dst`. Output dtype follows
+/// the input. NaNs propagate under nearest/bilinear; conservative treats
+/// NaN cells as missing (zero weight) and yields NaN only where the entire
+/// overlap is missing.
+Result<NDArray> Regrid(const NDArray& field, const LatLonGrid& src,
+                       const LatLonGrid& dst, RegridMethod method);
+
+/// Area-weighted global mean of a field on a grid — the invariant the
+/// conservative method preserves (tested property).
+Result<double> AreaWeightedMean(const NDArray& field, const LatLonGrid& g);
+
+/// Slice a [channels, n_lat, n_lon] (or [n_lat, n_lon]) field into
+/// non-overlapping spatial patches of size (ph, pw), Pangu-style, returning
+/// [n_patches, channels, ph, pw]. Trailing partial patches are dropped.
+Result<NDArray> ExtractPatches(const NDArray& field, size_t ph, size_t pw);
+
+}  // namespace drai::grid

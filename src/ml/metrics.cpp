@@ -1,0 +1,98 @@
+#include "ml/metrics.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace drai::ml {
+
+namespace {
+void CheckSizes(size_t a, size_t b) {
+  if (a != b || a == 0) {
+    throw std::invalid_argument("metrics: size mismatch or empty");
+  }
+}
+}  // namespace
+
+double MeanSquaredError(std::span<const double> pred,
+                        std::span<const double> truth) {
+  CheckSizes(pred.size(), truth.size());
+  double acc = 0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    const double e = pred[i] - truth[i];
+    acc += e * e;
+  }
+  return acc / static_cast<double>(pred.size());
+}
+
+double MeanAbsoluteError(std::span<const double> pred,
+                         std::span<const double> truth) {
+  CheckSizes(pred.size(), truth.size());
+  double acc = 0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    acc += std::fabs(pred[i] - truth[i]);
+  }
+  return acc / static_cast<double>(pred.size());
+}
+
+double R2Score(std::span<const double> pred, std::span<const double> truth) {
+  CheckSizes(pred.size(), truth.size());
+  double mean = 0;
+  for (double t : truth) mean += t;
+  mean /= static_cast<double>(truth.size());
+  double ss_res = 0, ss_tot = 0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    ss_res += (truth[i] - pred[i]) * (truth[i] - pred[i]);
+    ss_tot += (truth[i] - mean) * (truth[i] - mean);
+  }
+  if (ss_tot == 0) return ss_res == 0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double Accuracy(std::span<const int64_t> pred, std::span<const int64_t> truth) {
+  CheckSizes(pred.size(), truth.size());
+  size_t correct = 0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    if (pred[i] == truth[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(pred.size());
+}
+
+Result<std::vector<std::vector<int64_t>>> ConfusionMatrix(
+    std::span<const int64_t> pred, std::span<const int64_t> truth, size_t k) {
+  if (pred.size() != truth.size() || pred.empty()) {
+    return InvalidArgument("ConfusionMatrix: size mismatch or empty");
+  }
+  std::vector<std::vector<int64_t>> m(k, std::vector<int64_t>(k, 0));
+  for (size_t i = 0; i < pred.size(); ++i) {
+    if (truth[i] < 0 || static_cast<size_t>(truth[i]) >= k || pred[i] < 0 ||
+        static_cast<size_t>(pred[i]) >= k) {
+      return InvalidArgument("ConfusionMatrix: label out of range");
+    }
+    ++m[static_cast<size_t>(truth[i])][static_cast<size_t>(pred[i])];
+  }
+  return m;
+}
+
+Result<double> MacroF1(std::span<const int64_t> pred,
+                       std::span<const int64_t> truth, size_t k) {
+  DRAI_ASSIGN_OR_RETURN(auto m, ConfusionMatrix(pred, truth, k));
+  double f1_sum = 0;
+  for (size_t c = 0; c < k; ++c) {
+    int64_t tp = m[c][c], fp = 0, fn = 0;
+    for (size_t o = 0; o < k; ++o) {
+      if (o == c) continue;
+      fp += m[o][c];
+      fn += m[c][o];
+    }
+    const double precision =
+        tp + fp > 0 ? static_cast<double>(tp) / static_cast<double>(tp + fp) : 0;
+    const double recall =
+        tp + fn > 0 ? static_cast<double>(tp) / static_cast<double>(tp + fn) : 0;
+    f1_sum += precision + recall > 0
+                  ? 2 * precision * recall / (precision + recall)
+                  : 0;
+  }
+  return f1_sum / static_cast<double>(k);
+}
+
+}  // namespace drai::ml

@@ -1,0 +1,32 @@
+// drai/ml/metrics.hpp
+//
+// Evaluation metrics used by examples, benches, and the readiness
+// assessor's "model feedback" loop (Figure 1's iterate-on-data arrow).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace drai::ml {
+
+double MeanSquaredError(std::span<const double> pred,
+                        std::span<const double> truth);
+double MeanAbsoluteError(std::span<const double> pred,
+                         std::span<const double> truth);
+/// Coefficient of determination; 1 = perfect, 0 = mean predictor.
+double R2Score(std::span<const double> pred, std::span<const double> truth);
+
+double Accuracy(std::span<const int64_t> pred, std::span<const int64_t> truth);
+
+/// Row = truth class, column = predicted class. Labels must be in [0, k).
+Result<std::vector<std::vector<int64_t>>> ConfusionMatrix(
+    std::span<const int64_t> pred, std::span<const int64_t> truth, size_t k);
+
+/// Macro-averaged F1 over k classes.
+Result<double> MacroF1(std::span<const int64_t> pred,
+                       std::span<const int64_t> truth, size_t k);
+
+}  // namespace drai::ml

@@ -1,0 +1,365 @@
+#include "ml/models.hpp"
+
+#include <algorithm>
+
+#include "common/hash.hpp"
+#include <cmath>
+#include <map>
+
+namespace drai::ml {
+
+namespace {
+
+Status CheckMatrix(const NDArray& x, size_t y_size, const char* who) {
+  if (x.rank() != 2) {
+    return InvalidArgument(std::string(who) + ": features must be [n, f]");
+  }
+  if (x.shape()[0] != y_size) {
+    return InvalidArgument(std::string(who) + ": target length mismatch");
+  }
+  if (x.shape()[0] == 0 || x.shape()[1] == 0) {
+    return InvalidArgument(std::string(who) + ": empty dataset");
+  }
+  return Status::Ok();
+}
+
+void FetchRow(const NDArray& x, size_t i, std::vector<double>& row) {
+  const size_t f = x.shape()[1];
+  row.resize(f);
+  for (size_t j = 0; j < f; ++j) row[j] = x.GetAsDouble(i * f + j);
+}
+
+std::vector<size_t> EpochOrder(size_t n, Rng& rng) {
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  rng.Shuffle(order);
+  return order;
+}
+
+}  // namespace
+
+// ---- LinearRegressor -----------------------------------------------------
+
+Result<double> LinearRegressor::PartialFit(const NDArray& x,
+                                           std::span<const double> y,
+                                           const SgdOptions& options) {
+  DRAI_RETURN_IF_ERROR(CheckMatrix(x, y.size(), "LinearRegressor"));
+  const size_t n = x.shape()[0];
+  const size_t f = x.shape()[1];
+  if (w_.empty()) {
+    w_.assign(f, 0.0);
+    b_ = 0;
+  } else if (w_.size() != f) {
+    return InvalidArgument("PartialFit: feature count changed");
+  }
+  Rng rng(options.seed ^ Fnv1a64("partial", n));
+  std::vector<double> row;
+  const auto order = EpochOrder(n, rng);
+  double loss_sum = 0;
+  for (size_t start = 0; start < n; start += options.batch_size) {
+    const size_t end = std::min(n, start + options.batch_size);
+    std::vector<double> gw(f, 0.0);
+    double gb = 0;
+    for (size_t b = start; b < end; ++b) {
+      const size_t i = order[b];
+      FetchRow(x, i, row);
+      const double err = Predict(row) - y[i];
+      loss_sum += err * err;
+      for (size_t j = 0; j < f; ++j) gw[j] += err * row[j];
+      gb += err;
+    }
+    const double scale =
+        options.learning_rate / static_cast<double>(end - start);
+    for (size_t j = 0; j < f; ++j) {
+      w_[j] -= scale * (gw[j] + options.l2 * w_[j]);
+    }
+    b_ -= scale * gb;
+  }
+  return loss_sum / static_cast<double>(n);
+}
+
+Result<std::vector<double>> LinearRegressor::Fit(const NDArray& x,
+                                                 std::span<const double> y,
+                                                 const SgdOptions& options) {
+  DRAI_RETURN_IF_ERROR(CheckMatrix(x, y.size(), "LinearRegressor"));
+  w_.assign(x.shape()[1], 0.0);
+  b_ = 0;
+  std::vector<double> history;
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    SgdOptions pass = options;
+    pass.seed = options.seed + epoch;
+    DRAI_ASSIGN_OR_RETURN(double loss, PartialFit(x, y, pass));
+    history.push_back(loss);
+  }
+  return history;
+}
+
+double LinearRegressor::Predict(std::span<const double> features) const {
+  double out = b_;
+  const size_t f = std::min(features.size(), w_.size());
+  for (size_t j = 0; j < f; ++j) out += w_[j] * features[j];
+  return out;
+}
+
+Result<double> LinearRegressor::Evaluate(const NDArray& x,
+                                         std::span<const double> y) const {
+  DRAI_RETURN_IF_ERROR(CheckMatrix(x, y.size(), "LinearRegressor::Evaluate"));
+  std::vector<double> row;
+  double mse = 0;
+  const size_t n = x.shape()[0];
+  for (size_t i = 0; i < n; ++i) {
+    FetchRow(x, i, row);
+    const double err = Predict(row) - y[i];
+    mse += err * err;
+  }
+  return mse / static_cast<double>(n);
+}
+
+// ---- SoftmaxClassifier -----------------------------------------------------
+
+Result<double> SoftmaxClassifier::PartialFit(
+    const NDArray& x, std::span<const int64_t> labels,
+    const SgdOptions& options, std::span<const double> class_weights) {
+  DRAI_RETURN_IF_ERROR(CheckMatrix(x, labels.size(), "SoftmaxClassifier"));
+  for (int64_t l : labels) {
+    if (l < 0 || static_cast<size_t>(l) >= k_) {
+      return InvalidArgument("SoftmaxClassifier: label out of range");
+    }
+  }
+  if (!class_weights.empty() && class_weights.size() != k_) {
+    return InvalidArgument("SoftmaxClassifier: class_weights size != k");
+  }
+  const size_t n = x.shape()[0];
+  Rng rng(options.seed ^ Fnv1a64("softmax-partial", n));
+  if (w_.empty()) {
+    f_ = x.shape()[1];
+    w_.assign(k_ * f_, 0.0);
+    b_.assign(k_, 0.0);
+    for (double& v : w_) v = rng.Normal(0, 0.01);
+  } else if (f_ != x.shape()[1]) {
+    return InvalidArgument("SoftmaxClassifier: feature count changed");
+  }
+
+  std::vector<double> row;
+  const auto order = EpochOrder(n, rng);
+  double loss_sum = 0;
+  for (size_t start = 0; start < n; start += options.batch_size) {
+    const size_t end = std::min(n, start + options.batch_size);
+    std::vector<double> gw(k_ * f_, 0.0), gb(k_, 0.0);
+    for (size_t b = start; b < end; ++b) {
+      const size_t i = order[b];
+      FetchRow(x, i, row);
+      const std::vector<double> p = PredictProba(row);
+      const size_t target = static_cast<size_t>(labels[i]);
+      const double cw = class_weights.empty() ? 1.0 : class_weights[target];
+      loss_sum += -cw * std::log(std::max(p[target], 1e-12));
+      for (size_t c = 0; c < k_; ++c) {
+        const double err = cw * (p[c] - (c == target ? 1.0 : 0.0));
+        for (size_t j = 0; j < f_; ++j) gw[c * f_ + j] += err * row[j];
+        gb[c] += err;
+      }
+    }
+    const double scale =
+        options.learning_rate / static_cast<double>(end - start);
+    for (size_t c = 0; c < k_; ++c) {
+      for (size_t j = 0; j < f_; ++j) {
+        w_[c * f_ + j] -= scale * (gw[c * f_ + j] + options.l2 * w_[c * f_ + j]);
+      }
+      b_[c] -= scale * gb[c];
+    }
+  }
+  return loss_sum / static_cast<double>(n);
+}
+
+Result<std::vector<double>> SoftmaxClassifier::Fit(
+    const NDArray& x, std::span<const int64_t> labels,
+    const SgdOptions& options, std::span<const double> class_weights) {
+  DRAI_RETURN_IF_ERROR(CheckMatrix(x, labels.size(), "SoftmaxClassifier"));
+  // Reset, then delegate epochs to PartialFit.
+  f_ = x.shape()[1];
+  Rng rng(options.seed);
+  w_.assign(k_ * f_, 0.0);
+  b_.assign(k_, 0.0);
+  for (double& v : w_) v = rng.Normal(0, 0.01);
+  std::vector<double> history;
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    SgdOptions pass = options;
+    pass.seed = options.seed + epoch;
+    DRAI_ASSIGN_OR_RETURN(double loss,
+                          PartialFit(x, labels, pass, class_weights));
+    history.push_back(loss);
+  }
+  return history;
+}
+
+std::vector<double> SoftmaxClassifier::PredictProba(
+    std::span<const double> features) const {
+  std::vector<double> logits(k_, 0.0);
+  for (size_t c = 0; c < k_; ++c) {
+    double z = b_.empty() ? 0.0 : b_[c];
+    const size_t f = std::min(features.size(), f_);
+    for (size_t j = 0; j < f; ++j) z += w_[c * f_ + j] * features[j];
+    logits[c] = z;
+  }
+  const double mx = *std::max_element(logits.begin(), logits.end());
+  double denom = 0;
+  for (double& z : logits) {
+    z = std::exp(z - mx);
+    denom += z;
+  }
+  for (double& z : logits) z /= denom;
+  return logits;
+}
+
+int64_t SoftmaxClassifier::Predict(std::span<const double> features) const {
+  const std::vector<double> p = PredictProba(features);
+  return static_cast<int64_t>(
+      std::max_element(p.begin(), p.end()) - p.begin());
+}
+
+Result<double> SoftmaxClassifier::Evaluate(
+    const NDArray& x, std::span<const int64_t> labels) const {
+  DRAI_RETURN_IF_ERROR(CheckMatrix(x, labels.size(), "SoftmaxClassifier::Evaluate"));
+  std::vector<double> row;
+  size_t correct = 0;
+  const size_t n = x.shape()[0];
+  for (size_t i = 0; i < n; ++i) {
+    FetchRow(x, i, row);
+    if (Predict(row) == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+// ---- MlpRegressor -----------------------------------------------------------
+
+Result<std::vector<double>> MlpRegressor::Fit(const NDArray& x,
+                                              std::span<const double> y,
+                                              const SgdOptions& options) {
+  DRAI_RETURN_IF_ERROR(CheckMatrix(x, y.size(), "MlpRegressor"));
+  const size_t n = x.shape()[0];
+  f_ = x.shape()[1];
+  Rng rng(options.seed);
+  const double init = 1.0 / std::sqrt(static_cast<double>(f_));
+  w1_.assign(hidden_ * f_, 0.0);
+  b1_.assign(hidden_, 0.0);
+  w2_.assign(hidden_, 0.0);
+  b2_ = 0;
+  for (double& v : w1_) v = rng.Normal(0, init);
+  for (double& v : w2_) {
+    v = rng.Normal(0, 1.0 / std::sqrt(static_cast<double>(hidden_)));
+  }
+
+  std::vector<double> history, row, h(hidden_), gh(hidden_);
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    const auto order = EpochOrder(n, rng);
+    double loss_sum = 0;
+    for (size_t oi = 0; oi < n; ++oi) {  // pure SGD: batch of 1 keeps it simple
+      const size_t i = order[oi];
+      FetchRow(x, i, row);
+      // Forward.
+      for (size_t u = 0; u < hidden_; ++u) {
+        double z = b1_[u];
+        for (size_t j = 0; j < f_; ++j) z += w1_[u * f_ + j] * row[j];
+        h[u] = std::tanh(z);
+      }
+      double out = b2_;
+      for (size_t u = 0; u < hidden_; ++u) out += w2_[u] * h[u];
+      const double err = out - y[i];
+      loss_sum += err * err;
+      // Backward.
+      const double lr = options.learning_rate;
+      for (size_t u = 0; u < hidden_; ++u) {
+        gh[u] = err * w2_[u] * (1.0 - h[u] * h[u]);
+      }
+      for (size_t u = 0; u < hidden_; ++u) {
+        w2_[u] -= lr * (err * h[u] + options.l2 * w2_[u]);
+        for (size_t j = 0; j < f_; ++j) {
+          w1_[u * f_ + j] -= lr * (gh[u] * row[j] + options.l2 * w1_[u * f_ + j]);
+        }
+        b1_[u] -= lr * gh[u];
+      }
+      b2_ -= lr * err;
+    }
+    history.push_back(loss_sum / static_cast<double>(n));
+  }
+  return history;
+}
+
+double MlpRegressor::Predict(std::span<const double> features) const {
+  double out = b2_;
+  for (size_t u = 0; u < hidden_; ++u) {
+    double z = b1_.empty() ? 0.0 : b1_[u];
+    const size_t f = std::min(features.size(), f_);
+    for (size_t j = 0; j < f; ++j) z += w1_[u * f_ + j] * features[j];
+    out += w2_[u] * std::tanh(z);
+  }
+  return out;
+}
+
+Result<double> MlpRegressor::Evaluate(const NDArray& x,
+                                      std::span<const double> y) const {
+  DRAI_RETURN_IF_ERROR(CheckMatrix(x, y.size(), "MlpRegressor::Evaluate"));
+  std::vector<double> row;
+  double mse = 0;
+  const size_t n = x.shape()[0];
+  for (size_t i = 0; i < n; ++i) {
+    FetchRow(x, i, row);
+    const double err = Predict(row) - y[i];
+    mse += err * err;
+  }
+  return mse / static_cast<double>(n);
+}
+
+// ---- KnnClassifier -----------------------------------------------------------
+
+Result<size_t> KnnClassifier::Fit(const NDArray& x,
+                                  std::span<const int64_t> labels) {
+  DRAI_RETURN_IF_ERROR(CheckMatrix(x, labels.size(), "KnnClassifier"));
+  f_ = x.shape()[1];
+  rows_.clear();
+  labels_.clear();
+  std::vector<double> row;
+  for (size_t i = 0; i < x.shape()[0]; ++i) {
+    if (labels[i] < 0) continue;
+    FetchRow(x, i, row);
+    rows_.push_back(row);
+    labels_.push_back(labels[i]);
+  }
+  if (rows_.empty()) {
+    return FailedPrecondition("KnnClassifier: no labeled rows");
+  }
+  return rows_.size();
+}
+
+std::pair<int64_t, double> KnnClassifier::Predict(
+    std::span<const double> features) const {
+  if (rows_.empty()) return {-1, 0.0};
+  const size_t k = std::min(k_, rows_.size());
+  // Partial selection of the k smallest distances.
+  std::vector<std::pair<double, int64_t>> d;
+  d.reserve(rows_.size());
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    double d2 = 0;
+    const size_t f = std::min(features.size(), f_);
+    for (size_t j = 0; j < f; ++j) {
+      const double diff = rows_[i][j] - features[j];
+      d2 += diff * diff;
+    }
+    d.emplace_back(d2, labels_[i]);
+  }
+  std::nth_element(d.begin(), d.begin() + static_cast<ptrdiff_t>(k - 1),
+                   d.end());
+  std::map<int64_t, size_t> votes;
+  for (size_t i = 0; i < k; ++i) ++votes[d[i].second];
+  int64_t best = -1;
+  size_t best_votes = 0;
+  for (const auto& [label, v] : votes) {
+    if (v > best_votes) {
+      best = label;
+      best_votes = v;
+    }
+  }
+  return {best, static_cast<double>(best_votes) / static_cast<double>(k)};
+}
+
+}  // namespace drai::ml

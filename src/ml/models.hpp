@@ -1,0 +1,141 @@
+// drai/ml/models.hpp
+//
+// Minimal training substrate. drai is a data-readiness framework, not a
+// DL framework — these models exist to *prove* level-5 datasets train:
+// a linear regressor, a softmax classifier, and a one-hidden-layer MLP,
+// all SGD-fit from NDArray feature matrices or shard DataLoaders.
+// Deterministic given the seed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "ndarray/ndarray.hpp"
+
+namespace drai::ml {
+
+struct SgdOptions {
+  double learning_rate = 0.01;
+  size_t epochs = 20;
+  size_t batch_size = 32;
+  double l2 = 0.0;
+  uint64_t seed = 42;
+};
+
+/// Ordinary least squares via mini-batch SGD.
+class LinearRegressor {
+ public:
+  /// Fit on X [n, f], y [n]. Resets weights, then runs options.epochs
+  /// passes. Returns per-epoch mean squared error.
+  Result<std::vector<double>> Fit(const NDArray& x, std::span<const double> y,
+                                  const SgdOptions& options = {});
+
+  /// One SGD pass *without* resetting weights (streaming/warm-start fit for
+  /// shard-fed training). Lazily initializes on first call. Returns the
+  /// pass's mean squared error.
+  Result<double> PartialFit(const NDArray& x, std::span<const double> y,
+                            const SgdOptions& options = {});
+
+  [[nodiscard]] double Predict(std::span<const double> features) const;
+  /// MSE on a dataset.
+  [[nodiscard]] Result<double> Evaluate(const NDArray& x,
+                                        std::span<const double> y) const;
+
+  [[nodiscard]] const std::vector<double>& weights() const { return w_; }
+  [[nodiscard]] double bias() const { return b_; }
+
+ private:
+  std::vector<double> w_;
+  double b_ = 0;
+};
+
+/// Multiclass softmax (multinomial logistic) classifier.
+class SoftmaxClassifier {
+ public:
+  explicit SoftmaxClassifier(size_t n_classes) : k_(n_classes) {
+    if (n_classes < 2) {
+      throw std::invalid_argument("SoftmaxClassifier: need >= 2 classes");
+    }
+  }
+
+  /// Fit on X [n, f], labels in [0, k). Resets weights, then runs
+  /// options.epochs passes. Returns per-epoch mean cross-entropy.
+  /// Optional per-class loss weights correct imbalance.
+  Result<std::vector<double>> Fit(const NDArray& x,
+                                  std::span<const int64_t> labels,
+                                  const SgdOptions& options = {},
+                                  std::span<const double> class_weights = {});
+
+  /// One SGD pass without resetting weights (streaming/warm-start fit for
+  /// shard-fed training). Lazily initializes on first call. Returns the
+  /// pass's mean cross-entropy.
+  Result<double> PartialFit(const NDArray& x, std::span<const int64_t> labels,
+                            const SgdOptions& options = {},
+                            std::span<const double> class_weights = {});
+
+  /// Class probabilities for one feature row.
+  [[nodiscard]] std::vector<double> PredictProba(
+      std::span<const double> features) const;
+  /// Argmax label.
+  [[nodiscard]] int64_t Predict(std::span<const double> features) const;
+  /// Accuracy on a dataset.
+  [[nodiscard]] Result<double> Evaluate(const NDArray& x,
+                                        std::span<const int64_t> labels) const;
+
+  [[nodiscard]] size_t n_classes() const { return k_; }
+
+ private:
+  size_t k_;
+  size_t f_ = 0;
+  std::vector<double> w_;  ///< [k, f] row-major
+  std::vector<double> b_;  ///< [k]
+};
+
+/// One-hidden-layer tanh MLP regressor (f -> hidden -> 1).
+class MlpRegressor {
+ public:
+  explicit MlpRegressor(size_t hidden) : hidden_(hidden) {
+    if (hidden == 0) throw std::invalid_argument("MlpRegressor: hidden > 0");
+  }
+
+  Result<std::vector<double>> Fit(const NDArray& x, std::span<const double> y,
+                                  const SgdOptions& options = {});
+  [[nodiscard]] double Predict(std::span<const double> features) const;
+  [[nodiscard]] Result<double> Evaluate(const NDArray& x,
+                                        std::span<const double> y) const;
+
+ private:
+  size_t hidden_;
+  size_t f_ = 0;
+  std::vector<double> w1_;  ///< [hidden, f]
+  std::vector<double> b1_;  ///< [hidden]
+  std::vector<double> w2_;  ///< [hidden]
+  double b2_ = 0;
+};
+
+/// k-nearest-neighbor classifier (exact, brute force). Supplies the
+/// confidence scores pseudo-labeling needs (vote fraction).
+class KnnClassifier {
+ public:
+  explicit KnnClassifier(size_t k) : k_(k) {
+    if (k == 0) throw std::invalid_argument("KnnClassifier: k > 0");
+  }
+
+  /// Stores rows with label >= 0 (negative = unlabeled, skipped).
+  Result<size_t> Fit(const NDArray& x, std::span<const int64_t> labels);
+
+  /// (label, confidence = vote fraction). Fails before Fit.
+  [[nodiscard]] std::pair<int64_t, double> Predict(
+      std::span<const double> features) const;
+
+ private:
+  size_t k_;
+  size_t f_ = 0;
+  std::vector<std::vector<double>> rows_;
+  std::vector<int64_t> labels_;
+};
+
+}  // namespace drai::ml

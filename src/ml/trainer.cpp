@@ -1,0 +1,177 @@
+#include "ml/trainer.hpp"
+
+#include "ml/metrics.hpp"
+
+namespace drai::ml {
+
+Status BatchToMatrix(const shard::Batch& batch,
+                     const std::string& feature_name,
+                     const std::string& target_name, NDArray& x_out,
+                     std::vector<double>& y_out) {
+  auto xit = batch.features.find(feature_name);
+  auto yit = batch.features.find(target_name);
+  if (xit == batch.features.end()) {
+    return NotFound("batch missing feature: " + feature_name);
+  }
+  if (yit == batch.features.end()) {
+    return NotFound("batch missing target: " + target_name);
+  }
+  const NDArray& x = xit->second;
+  const NDArray& y = yit->second;
+  const size_t n = batch.size();
+  if (x.shape().empty() || x.shape()[0] != n || y.shape().empty() ||
+      y.shape()[0] != n) {
+    return InvalidArgument("batch feature leading dim mismatch");
+  }
+  const size_t f = x.numel() / n;
+  const size_t targets_per = y.numel() / n;
+  if (targets_per == 0) return InvalidArgument("empty target");
+
+  x_out = NDArray::Zeros({n, f}, DType::kF64);
+  y_out.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < f; ++j) {
+      x_out.SetFromDouble(i * f + j, x.GetAsDouble(i * f + j));
+    }
+    y_out[i] = y.GetAsDouble(i * targets_per);  // first target component
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+/// Flatten a batch feature into [rows, f] plus integer labels.
+Status BatchToClassMatrix(const shard::Batch& batch,
+                          const std::string& feature_name, NDArray& x_out,
+                          std::vector<int64_t>& y_out) {
+  auto xit = batch.features.find(feature_name);
+  auto yit = batch.features.find("label");
+  if (xit == batch.features.end()) {
+    return NotFound("batch missing feature: " + feature_name);
+  }
+  if (yit == batch.features.end()) return NotFound("batch missing labels");
+  const NDArray& x = xit->second;
+  const size_t n = batch.size();
+  const size_t f = x.numel() / n;
+  x_out = NDArray::Zeros({n, f}, DType::kF64);
+  y_out.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < f; ++j) {
+      x_out.SetFromDouble(i * f + j, x.GetAsDouble(i * f + j));
+    }
+    y_out[i] = static_cast<int64_t>(yit->second.GetAsDouble(i));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<ClassifierTrainReport> TrainClassifierFromShards(
+    const shard::ShardReader& reader, const std::string& feature_name,
+    const SgdOptions& sgd, size_t epochs, SoftmaxClassifier& model) {
+  ClassifierTrainReport report;
+  shard::DataLoaderOptions loader_options;
+  loader_options.batch_size = sgd.batch_size;
+  loader_options.seed = sgd.seed;
+  shard::DataLoader loader(reader, shard::Split::kTrain, loader_options);
+  SgdOptions step = sgd;
+  for (size_t epoch = 0; epoch < epochs; ++epoch) {
+    loader.StartEpoch(epoch);
+    double loss_sum = 0;
+    size_t batches = 0;
+    for (;;) {
+      DRAI_ASSIGN_OR_RETURN(std::optional<shard::Batch> batch, loader.Next());
+      if (!batch.has_value()) break;
+      NDArray x;
+      std::vector<int64_t> y;
+      DRAI_RETURN_IF_ERROR(BatchToClassMatrix(*batch, feature_name, x, y));
+      step.seed = sgd.seed + epoch * 8191 + batches;
+      DRAI_ASSIGN_OR_RETURN(double loss, model.PartialFit(x, y, step));
+      loss_sum += loss;
+      report.samples_seen += batch->size();
+      ++batches;
+    }
+    report.epoch_train_loss.push_back(
+        batches ? loss_sum / static_cast<double>(batches) : 0.0);
+  }
+  DRAI_ASSIGN_OR_RETURN(std::vector<shard::Example> val,
+                        reader.ReadAll(shard::Split::kVal));
+  if (!val.empty()) {
+    DRAI_ASSIGN_OR_RETURN(shard::Batch vb, shard::Collate(val));
+    NDArray x;
+    std::vector<int64_t> y;
+    DRAI_RETURN_IF_ERROR(BatchToClassMatrix(vb, feature_name, x, y));
+    std::vector<int64_t> pred(y.size());
+    std::vector<double> row(x.shape()[1]);
+    for (size_t i = 0; i < y.size(); ++i) {
+      for (size_t j = 0; j < row.size(); ++j) {
+        row[j] = x.GetAsDouble(i * row.size() + j);
+      }
+      pred[i] = model.Predict(row);
+    }
+    report.val_accuracy = Accuracy(pred, y);
+    DRAI_ASSIGN_OR_RETURN(report.val_macro_f1,
+                          MacroF1(pred, y, model.n_classes()));
+  }
+  return report;
+}
+
+Result<TrainReport> TrainRegressorFromShards(
+    const shard::ShardReader& reader, const TrainFromShardsOptions& options,
+    LinearRegressor& model) {
+  TrainReport report;
+  shard::DataLoaderOptions loader_options;
+  loader_options.batch_size = options.sgd.batch_size;
+  loader_options.seed = options.sgd.seed;
+  shard::DataLoader train_loader(reader, shard::Split::kTrain, loader_options);
+
+  // Streaming fit: every batch advances the model via PartialFit, so the
+  // dataset never materializes whole.
+  SgdOptions step = options.sgd;
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    train_loader.StartEpoch(epoch);
+    double loss_sum = 0;
+    size_t batches = 0;
+    for (;;) {
+      DRAI_ASSIGN_OR_RETURN(std::optional<shard::Batch> batch,
+                            train_loader.Next());
+      if (!batch.has_value()) break;
+      NDArray x;
+      std::vector<double> y;
+      DRAI_RETURN_IF_ERROR(BatchToMatrix(*batch, options.feature_name,
+                                         options.target_name, x, y));
+      step.seed = options.sgd.seed + epoch * 131071 + batches;
+      DRAI_ASSIGN_OR_RETURN(double loss, model.PartialFit(x, y, step));
+      loss_sum += loss;
+      report.samples_seen += batch->size();
+      ++batches;
+    }
+    report.batches_seen += batches;
+    report.epoch_train_loss.push_back(
+        batches ? loss_sum / static_cast<double>(batches) : 0.0);
+  }
+
+  // Validation: materialize the val split (small by construction).
+  DRAI_ASSIGN_OR_RETURN(std::vector<shard::Example> val,
+                        reader.ReadAll(shard::Split::kVal));
+  if (!val.empty()) {
+    DRAI_ASSIGN_OR_RETURN(shard::Batch vb, shard::Collate(val));
+    NDArray x;
+    std::vector<double> y;
+    DRAI_RETURN_IF_ERROR(
+        BatchToMatrix(vb, options.feature_name, options.target_name, x, y));
+    std::vector<double> pred(y.size());
+    std::vector<double> row(x.shape()[1]);
+    for (size_t i = 0; i < y.size(); ++i) {
+      for (size_t j = 0; j < row.size(); ++j) {
+        row[j] = x.GetAsDouble(i * row.size() + j);
+      }
+      pred[i] = model.Predict(row);
+    }
+    report.val_mse = MeanSquaredError(pred, y);
+    report.val_r2 = R2Score(pred, y);
+  }
+  return report;
+}
+
+}  // namespace drai::ml

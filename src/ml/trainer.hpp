@@ -1,0 +1,57 @@
+// drai/ml/trainer.hpp
+//
+// Shard-fed training loop — the end of the readiness pipeline. Reads
+// batches from a shard::DataLoader (flattening one named feature into a
+// row per sample), trains, and evaluates on the val split. Its success is
+// the operational definition of "fully AI-ready" (level 5): the dataset
+// feeds a training loop with no further preparation.
+#pragma once
+
+#include "ml/models.hpp"
+#include "shard/shard_reader.hpp"
+
+namespace drai::ml {
+
+struct TrainFromShardsOptions {
+  std::string feature_name = "x";   ///< flattened into the row vector
+  std::string target_name = "y";    ///< scalar regression target
+  SgdOptions sgd;
+  size_t epochs = 3;                ///< loader epochs (sgd.epochs ignored)
+};
+
+struct TrainReport {
+  std::vector<double> epoch_train_loss;
+  double val_mse = 0;
+  double val_r2 = 0;
+  uint64_t samples_seen = 0;
+  uint64_t batches_seen = 0;
+};
+
+/// Train a LinearRegressor from the train split of a sharded dataset and
+/// evaluate on the val split. The model is fit incrementally batch by
+/// batch — data never materializes whole, which is the point of shards.
+Result<TrainReport> TrainRegressorFromShards(
+    const shard::ShardReader& reader, const TrainFromShardsOptions& options,
+    LinearRegressor& model);
+
+/// Extract [rows, features] + targets from a batch (helper shared with
+/// examples and tests). Flattens `feature_name` per sample; reads scalar
+/// `target_name`.
+Status BatchToMatrix(const shard::Batch& batch, const std::string& feature_name,
+                     const std::string& target_name, NDArray& x_out,
+                     std::vector<double>& y_out);
+
+struct ClassifierTrainReport {
+  std::vector<double> epoch_train_loss;  ///< mean cross-entropy per epoch
+  double val_accuracy = 0;
+  double val_macro_f1 = 0;
+  uint64_t samples_seen = 0;
+};
+
+/// Train a SoftmaxClassifier from the train split (streaming PartialFit per
+/// batch; the "label" feature is the target) and evaluate on val.
+Result<ClassifierTrainReport> TrainClassifierFromShards(
+    const shard::ShardReader& reader, const std::string& feature_name,
+    const SgdOptions& sgd, size_t epochs, SoftmaxClassifier& model);
+
+}  // namespace drai::ml

@@ -1,0 +1,118 @@
+#include "ndarray/dtype.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+namespace drai {
+
+size_t DTypeSize(DType t) {
+  switch (t) {
+    case DType::kF16: return 2;
+    case DType::kF32: return 4;
+    case DType::kF64: return 8;
+    case DType::kI8: return 1;
+    case DType::kI16: return 2;
+    case DType::kI32: return 4;
+    case DType::kI64: return 8;
+    case DType::kU8: return 1;
+  }
+  return 0;
+}
+
+std::string_view DTypeName(DType t) {
+  switch (t) {
+    case DType::kF16: return "f16";
+    case DType::kF32: return "f32";
+    case DType::kF64: return "f64";
+    case DType::kI8: return "i8";
+    case DType::kI16: return "i16";
+    case DType::kI32: return "i32";
+    case DType::kI64: return "i64";
+    case DType::kU8: return "u8";
+  }
+  return "?";
+}
+
+Result<DType> ParseDType(std::string_view name) {
+  for (DType t : {DType::kF16, DType::kF32, DType::kF64, DType::kI8,
+                  DType::kI16, DType::kI32, DType::kI64, DType::kU8}) {
+    if (DTypeName(t) == name) return t;
+  }
+  return InvalidArgument("unknown dtype: " + std::string(name));
+}
+
+bool IsFloating(DType t) {
+  return t == DType::kF16 || t == DType::kF32 || t == DType::kF64;
+}
+
+uint16_t FloatToHalf(float f) {
+  uint32_t bits;
+  std::memcpy(&bits, &f, sizeof(bits));
+  const uint32_t sign = (bits >> 16) & 0x8000u;
+  const int32_t exp = static_cast<int32_t>((bits >> 23) & 0xff) - 127 + 15;
+  uint32_t mant = bits & 0x7fffffu;
+
+  if (((bits >> 23) & 0xff) == 0xff) {  // inf / nan
+    return static_cast<uint16_t>(sign | 0x7c00u | (mant ? 0x200u : 0));
+  }
+  if (exp >= 0x1f) {  // overflow → inf
+    return static_cast<uint16_t>(sign | 0x7c00u);
+  }
+  if (exp <= 0) {
+    if (exp < -10) return static_cast<uint16_t>(sign);  // underflow → ±0
+    // Subnormal half: shift the (implicit-1) mantissa right.
+    mant |= 0x800000u;
+    const int shift = 14 - exp;
+    uint32_t half_mant = mant >> shift;
+    // Round to nearest even.
+    const uint32_t rem = mant & ((1u << shift) - 1);
+    const uint32_t halfway = 1u << (shift - 1);
+    if (rem > halfway || (rem == halfway && (half_mant & 1))) ++half_mant;
+    return static_cast<uint16_t>(sign | half_mant);
+  }
+  // Normalized: round mantissa from 23 to 10 bits, nearest-even.
+  uint32_t half_mant = mant >> 13;
+  const uint32_t rem = mant & 0x1fffu;
+  if (rem > 0x1000u || (rem == 0x1000u && (half_mant & 1))) {
+    ++half_mant;
+    if (half_mant == 0x400u) {  // mantissa overflow bumps the exponent
+      half_mant = 0;
+      if (exp + 1 >= 0x1f) return static_cast<uint16_t>(sign | 0x7c00u);
+      return static_cast<uint16_t>(sign | (static_cast<uint32_t>(exp + 1) << 10));
+    }
+  }
+  return static_cast<uint16_t>(sign | (static_cast<uint32_t>(exp) << 10) |
+                               half_mant);
+}
+
+float HalfToFloat(uint16_t h) {
+  const uint32_t sign = (static_cast<uint32_t>(h) & 0x8000u) << 16;
+  const uint32_t exp = (h >> 10) & 0x1f;
+  const uint32_t mant = h & 0x3ffu;
+  uint32_t bits;
+  if (exp == 0) {
+    if (mant == 0) {
+      bits = sign;  // ±0
+    } else {
+      // Subnormal half → normalized float.
+      int e = -1;
+      uint32_t m = mant;
+      do {
+        ++e;
+        m <<= 1;
+      } while ((m & 0x400u) == 0);
+      bits = sign | (static_cast<uint32_t>(127 - 15 - e) << 23) |
+             ((m & 0x3ffu) << 13);
+    }
+  } else if (exp == 0x1f) {
+    bits = sign | 0x7f800000u | (mant << 13);  // inf / nan
+  } else {
+    bits = sign | ((exp - 15 + 127) << 23) | (mant << 13);
+  }
+  float f;
+  std::memcpy(&f, &bits, sizeof(f));
+  return f;
+}
+
+}  // namespace drai

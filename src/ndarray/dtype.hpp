@@ -1,0 +1,57 @@
+// drai/ndarray/dtype.hpp
+//
+// Element types for NDArray and on-disk datasets. Scientific pipelines care
+// about precision explicitly (§2.2 of the paper: 32/64-bit floats for
+// physical realism, 16-bit only where the error budget allows), so dtype is
+// a first-class runtime value, and fp16 conversion is implemented in
+// software (IEEE 754 binary16, round-to-nearest-even).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.hpp"
+
+namespace drai {
+
+enum class DType : uint8_t {
+  kF16 = 0,
+  kF32 = 1,
+  kF64 = 2,
+  kI8 = 3,
+  kI16 = 4,
+  kI32 = 5,
+  kI64 = 6,
+  kU8 = 7,
+};
+
+/// Bytes per element.
+size_t DTypeSize(DType t);
+
+/// "f32", "i64", ...
+std::string_view DTypeName(DType t);
+
+/// Parse "f32" etc. Returns kInvalidArgument on unknown names.
+Result<DType> ParseDType(std::string_view name);
+
+/// True for kF16/kF32/kF64.
+bool IsFloating(DType t);
+
+/// IEEE 754 binary16 conversions. Round-to-nearest-even on narrowing;
+/// preserves inf/nan; flushes values below the subnormal range to ±0.
+uint16_t FloatToHalf(float f);
+float HalfToFloat(uint16_t h);
+
+/// Compile-time mapping from C++ type to DType.
+template <typename T> struct DTypeOf;
+template <> struct DTypeOf<float>   { static constexpr DType value = DType::kF32; };
+template <> struct DTypeOf<double>  { static constexpr DType value = DType::kF64; };
+template <> struct DTypeOf<int8_t>  { static constexpr DType value = DType::kI8;  };
+template <> struct DTypeOf<int16_t> { static constexpr DType value = DType::kI16; };
+template <> struct DTypeOf<int32_t> { static constexpr DType value = DType::kI32; };
+template <> struct DTypeOf<int64_t> { static constexpr DType value = DType::kI64; };
+template <> struct DTypeOf<uint8_t> { static constexpr DType value = DType::kU8;  };
+
+}  // namespace drai

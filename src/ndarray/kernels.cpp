@@ -1,0 +1,166 @@
+#include "ndarray/kernels.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace drai {
+
+namespace {
+
+void CheckSameShapeDtype(const NDArray& a, const NDArray& b) {
+  if (a.shape() != b.shape()) {
+    throw std::invalid_argument("kernel: shape mismatch");
+  }
+  if (a.dtype() != b.dtype()) {
+    throw std::invalid_argument("kernel: dtype mismatch");
+  }
+}
+
+template <typename T, typename Op>
+bool TryBinaryFast(const NDArray& a, const NDArray& b, NDArray& out, Op op) {
+  if (a.dtype() != DTypeOf<T>::value) return false;
+  if (!a.IsContiguous() || !b.IsContiguous()) return false;
+  const T* pa = a.data<T>();
+  const T* pb = b.data<T>();
+  T* po = out.data<T>();
+  const size_t n = a.numel();
+  for (size_t i = 0; i < n; ++i) po[i] = op(pa[i], pb[i]);
+  return true;
+}
+
+template <typename Op>
+NDArray Binary(const NDArray& a, const NDArray& b, Op op) {
+  CheckSameShapeDtype(a, b);
+  NDArray out = NDArray::Zeros(a.shape(), a.dtype());
+  if (TryBinaryFast<float>(a, b, out, op)) return out;
+  if (TryBinaryFast<double>(a, b, out, op)) return out;
+  const size_t n = a.numel();
+  for (size_t i = 0; i < n; ++i) {
+    out.SetFromDouble(i, op(a.GetAsDouble(i), b.GetAsDouble(i)));
+  }
+  return out;
+}
+
+}  // namespace
+
+NDArray Add(const NDArray& a, const NDArray& b) {
+  return Binary(a, b, [](auto x, auto y) { return x + y; });
+}
+NDArray Sub(const NDArray& a, const NDArray& b) {
+  return Binary(a, b, [](auto x, auto y) { return x - y; });
+}
+NDArray Mul(const NDArray& a, const NDArray& b) {
+  return Binary(a, b, [](auto x, auto y) { return x * y; });
+}
+
+void ScaleShiftInPlace(NDArray& a, double scale, double shift) {
+  if (a.IsContiguous() && a.dtype() == DType::kF32) {
+    float* p = a.data<float>();
+    const size_t n = a.numel();
+    const float fs = static_cast<float>(scale);
+    const float fo = static_cast<float>(shift);
+    for (size_t i = 0; i < n; ++i) p[i] = p[i] * fs + fo;
+    return;
+  }
+  if (a.IsContiguous() && a.dtype() == DType::kF64) {
+    double* p = a.data<double>();
+    const size_t n = a.numel();
+    for (size_t i = 0; i < n; ++i) p[i] = p[i] * scale + shift;
+    return;
+  }
+  const size_t n = a.numel();
+  for (size_t i = 0; i < n; ++i) {
+    a.SetFromDouble(i, a.GetAsDouble(i) * scale + shift);
+  }
+}
+
+void MapInPlace(NDArray& a, double (*fn)(double)) {
+  const size_t n = a.numel();
+  for (size_t i = 0; i < n; ++i) a.SetFromDouble(i, fn(a.GetAsDouble(i)));
+}
+
+double Sum(const NDArray& a) {
+  // Kahan summation: pipelines reduce over 1e8-element fields and plain
+  // accumulation loses digits the precision bench would misattribute.
+  double sum = 0, c = 0;
+  const size_t n = a.numel();
+  for (size_t i = 0; i < n; ++i) {
+    const double y = a.GetAsDouble(i) - c;
+    const double t = sum + y;
+    c = (t - sum) - y;
+    sum = t;
+  }
+  return sum;
+}
+
+double Mean(const NDArray& a) {
+  const size_t n = a.numel();
+  if (n == 0) throw std::invalid_argument("Mean of empty array");
+  return Sum(a) / static_cast<double>(n);
+}
+
+double Min(const NDArray& a) {
+  const size_t n = a.numel();
+  if (n == 0) throw std::invalid_argument("Min of empty array");
+  double m = a.GetAsDouble(0);
+  for (size_t i = 1; i < n; ++i) m = std::min(m, a.GetAsDouble(i));
+  return m;
+}
+
+double Max(const NDArray& a) {
+  const size_t n = a.numel();
+  if (n == 0) throw std::invalid_argument("Max of empty array");
+  double m = a.GetAsDouble(0);
+  for (size_t i = 1; i < n; ++i) m = std::max(m, a.GetAsDouble(i));
+  return m;
+}
+
+double Variance(const NDArray& a) {
+  const size_t n = a.numel();
+  if (n == 0) throw std::invalid_argument("Variance of empty array");
+  const double mean = Mean(a);
+  double acc = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = a.GetAsDouble(i) - mean;
+    acc += d * d;
+  }
+  return acc / static_cast<double>(n);
+}
+
+size_t CountNaN(const NDArray& a) {
+  if (!IsFloating(a.dtype())) return 0;
+  size_t count = 0;
+  const size_t n = a.numel();
+  for (size_t i = 0; i < n; ++i) {
+    if (std::isnan(a.GetAsDouble(i))) ++count;
+  }
+  return count;
+}
+
+double MaxAbsDiff(const NDArray& a, const NDArray& b) {
+  if (a.shape() != b.shape()) {
+    throw std::invalid_argument("MaxAbsDiff: shape mismatch");
+  }
+  double m = 0;
+  const size_t n = a.numel();
+  for (size_t i = 0; i < n; ++i) {
+    m = std::max(m, std::fabs(a.GetAsDouble(i) - b.GetAsDouble(i)));
+  }
+  return m;
+}
+
+double RmsDiff(const NDArray& a, const NDArray& b) {
+  if (a.shape() != b.shape()) {
+    throw std::invalid_argument("RmsDiff: shape mismatch");
+  }
+  const size_t n = a.numel();
+  if (n == 0) return 0;
+  double acc = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = a.GetAsDouble(i) - b.GetAsDouble(i);
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(n));
+}
+
+}  // namespace drai

@@ -1,0 +1,42 @@
+// drai/ndarray/kernels.hpp
+//
+// Elementwise and reduction kernels over NDArray. Generic (dtype-erased)
+// code paths route through GetAsDouble; the f32/f64 contiguous fast paths
+// are specialized because normalization and feature extraction dominate
+// pipeline compute.
+#pragma once
+
+#include "ndarray/ndarray.hpp"
+
+namespace drai {
+
+/// out[i] = a[i] + b[i]; shapes and dtypes must match. Returns a new
+/// contiguous array.
+NDArray Add(const NDArray& a, const NDArray& b);
+NDArray Sub(const NDArray& a, const NDArray& b);
+NDArray Mul(const NDArray& a, const NDArray& b);
+
+/// In-place scalar affine: a[i] = a[i] * scale + shift. Honors views.
+void ScaleShiftInPlace(NDArray& a, double scale, double shift);
+
+/// Elementwise map via double (slow generic path): a[i] = fn(a[i]).
+void MapInPlace(NDArray& a, double (*fn)(double));
+
+/// Reductions over the whole array (any view, any dtype).
+double Sum(const NDArray& a);
+double Mean(const NDArray& a);
+double Min(const NDArray& a);
+double Max(const NDArray& a);
+/// Population variance.
+double Variance(const NDArray& a);
+
+/// Count of NaN elements (floating dtypes; zero otherwise).
+size_t CountNaN(const NDArray& a);
+
+/// Largest absolute elementwise difference |a-b| (shape must match; dtypes
+/// may differ — used for precision-loss measurements).
+double MaxAbsDiff(const NDArray& a, const NDArray& b);
+/// Root-mean-square elementwise difference.
+double RmsDiff(const NDArray& a, const NDArray& b);
+
+}  // namespace drai

@@ -1,0 +1,320 @@
+#include "ndarray/ndarray.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace drai {
+
+size_t ShapeNumel(const Shape& shape) {
+  size_t n = 1;
+  for (size_t d : shape) n *= d;
+  return n;
+}
+
+std::string ShapeToString(const Shape& shape) {
+  std::string out = "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i) out += ", ";
+    out += std::to_string(shape[i]);
+  }
+  out += "]";
+  return out;
+}
+
+namespace {
+std::vector<int64_t> ContiguousStrides(const Shape& shape) {
+  std::vector<int64_t> strides(shape.size());
+  int64_t s = 1;
+  for (size_t i = shape.size(); i-- > 0;) {
+    strides[i] = s;
+    s *= static_cast<int64_t>(shape[i]);
+  }
+  return strides;
+}
+}  // namespace
+
+NDArray::NDArray()
+    : storage_(std::make_shared<std::vector<std::byte>>()),
+      shape_{0},
+      strides_{1},
+      dtype_(DType::kF32) {}
+
+NDArray::NDArray(std::shared_ptr<std::vector<std::byte>> storage,
+                 size_t offset_bytes, Shape shape,
+                 std::vector<int64_t> strides, DType dtype)
+    : storage_(std::move(storage)),
+      offset_bytes_(offset_bytes),
+      shape_(std::move(shape)),
+      strides_(std::move(strides)),
+      dtype_(dtype) {}
+
+NDArray NDArray::Zeros(Shape shape, DType dtype) {
+  const size_t bytes = ShapeNumel(shape) * DTypeSize(dtype);
+  auto storage = std::make_shared<std::vector<std::byte>>(bytes, std::byte{0});
+  auto strides = ContiguousStrides(shape);
+  return NDArray(std::move(storage), 0, std::move(shape), std::move(strides),
+                 dtype);
+}
+
+NDArray NDArray::Full(Shape shape, double value, DType dtype) {
+  NDArray a = Zeros(std::move(shape), dtype);
+  a.Fill(value);
+  return a;
+}
+
+bool NDArray::IsContiguous() const {
+  return strides_ == ContiguousStrides(shape_);
+}
+
+void NDArray::CheckIndex(std::span<const size_t> idx) const {
+  if (idx.size() != shape_.size()) {
+    throw std::out_of_range("NDArray index rank mismatch");
+  }
+  for (size_t i = 0; i < idx.size(); ++i) {
+    if (idx[i] >= shape_[i]) {
+      throw std::out_of_range("NDArray index out of bounds");
+    }
+  }
+}
+
+size_t NDArray::IndexToOffsetElems(std::span<const size_t> idx) const {
+  int64_t off = 0;
+  for (size_t i = 0; i < idx.size(); ++i) {
+    off += static_cast<int64_t>(idx[i]) * strides_[i];
+  }
+  return static_cast<size_t>(off);
+}
+
+size_t NDArray::FlatToOffsetElems(size_t flat) const {
+  // Decompose the flat logical index into per-dim indices (row-major) and
+  // apply strides. Works for any view.
+  int64_t off = 0;
+  for (size_t i = shape_.size(); i-- > 0;) {
+    const size_t dim = shape_[i];
+    if (dim == 0) return 0;
+    off += static_cast<int64_t>(flat % dim) * strides_[i];
+    flat /= dim;
+  }
+  return static_cast<size_t>(off);
+}
+
+std::span<const std::byte> NDArray::raw_bytes() const {
+  if (!IsContiguous()) {
+    throw std::logic_error("raw_bytes on non-contiguous view");
+  }
+  return {BasePtr(), nbytes()};
+}
+
+std::span<std::byte> NDArray::raw_bytes_mut() {
+  if (!IsContiguous()) {
+    throw std::logic_error("raw_bytes_mut on non-contiguous view");
+  }
+  return {BasePtr(), nbytes()};
+}
+
+double NDArray::GetAsDouble(size_t flat_index) const {
+  if (flat_index >= numel()) {
+    throw std::out_of_range("GetAsDouble index out of range");
+  }
+  const std::byte* p =
+      BasePtr() + FlatToOffsetElems(flat_index) * DTypeSize(dtype_);
+  switch (dtype_) {
+    case DType::kF16: {
+      uint16_t h;
+      std::memcpy(&h, p, 2);
+      return HalfToFloat(h);
+    }
+    case DType::kF32: {
+      float v;
+      std::memcpy(&v, p, 4);
+      return v;
+    }
+    case DType::kF64: {
+      double v;
+      std::memcpy(&v, p, 8);
+      return v;
+    }
+    case DType::kI8: {
+      int8_t v;
+      std::memcpy(&v, p, 1);
+      return v;
+    }
+    case DType::kI16: {
+      int16_t v;
+      std::memcpy(&v, p, 2);
+      return v;
+    }
+    case DType::kI32: {
+      int32_t v;
+      std::memcpy(&v, p, 4);
+      return v;
+    }
+    case DType::kI64: {
+      int64_t v;
+      std::memcpy(&v, p, 8);
+      return static_cast<double>(v);
+    }
+    case DType::kU8: {
+      uint8_t v;
+      std::memcpy(&v, p, 1);
+      return v;
+    }
+  }
+  throw std::logic_error("unreachable dtype");
+}
+
+void NDArray::SetFromDouble(size_t flat_index, double value) {
+  if (flat_index >= numel()) {
+    throw std::out_of_range("SetFromDouble index out of range");
+  }
+  std::byte* p = BasePtr() + FlatToOffsetElems(flat_index) * DTypeSize(dtype_);
+  switch (dtype_) {
+    case DType::kF16: {
+      const uint16_t h = FloatToHalf(static_cast<float>(value));
+      std::memcpy(p, &h, 2);
+      return;
+    }
+    case DType::kF32: {
+      const float v = static_cast<float>(value);
+      std::memcpy(p, &v, 4);
+      return;
+    }
+    case DType::kF64: {
+      std::memcpy(p, &value, 8);
+      return;
+    }
+    case DType::kI8: {
+      const int8_t v = static_cast<int8_t>(value);
+      std::memcpy(p, &v, 1);
+      return;
+    }
+    case DType::kI16: {
+      const int16_t v = static_cast<int16_t>(value);
+      std::memcpy(p, &v, 2);
+      return;
+    }
+    case DType::kI32: {
+      const int32_t v = static_cast<int32_t>(value);
+      std::memcpy(p, &v, 4);
+      return;
+    }
+    case DType::kI64: {
+      const int64_t v = static_cast<int64_t>(value);
+      std::memcpy(p, &v, 8);
+      return;
+    }
+    case DType::kU8: {
+      const uint8_t v = static_cast<uint8_t>(value);
+      std::memcpy(p, &v, 1);
+      return;
+    }
+  }
+}
+
+NDArray NDArray::Slice(size_t dim, size_t start, size_t stop) const {
+  if (dim >= rank()) throw std::out_of_range("Slice: dim out of range");
+  if (start > stop || stop > shape_[dim]) {
+    throw std::out_of_range("Slice: bad range");
+  }
+  Shape new_shape = shape_;
+  new_shape[dim] = stop - start;
+  const size_t new_offset =
+      offset_bytes_ + static_cast<size_t>(strides_[dim]) * start *
+                          DTypeSize(dtype_);
+  return NDArray(storage_, new_offset, std::move(new_shape), strides_, dtype_);
+}
+
+NDArray NDArray::Transpose() const {
+  if (rank() < 2) throw std::logic_error("Transpose needs rank >= 2");
+  return Transpose(rank() - 2, rank() - 1);
+}
+
+NDArray NDArray::Transpose(size_t a, size_t b) const {
+  if (a >= rank() || b >= rank()) {
+    throw std::out_of_range("Transpose: dim out of range");
+  }
+  Shape new_shape = shape_;
+  std::vector<int64_t> new_strides = strides_;
+  std::swap(new_shape[a], new_shape[b]);
+  std::swap(new_strides[a], new_strides[b]);
+  return NDArray(storage_, offset_bytes_, std::move(new_shape),
+                 std::move(new_strides), dtype_);
+}
+
+NDArray NDArray::Permute(std::span<const size_t> perm) const {
+  if (perm.size() != rank()) throw std::invalid_argument("Permute: bad rank");
+  std::vector<bool> seen(rank(), false);
+  Shape new_shape(rank());
+  std::vector<int64_t> new_strides(rank());
+  for (size_t i = 0; i < rank(); ++i) {
+    if (perm[i] >= rank() || seen[perm[i]]) {
+      throw std::invalid_argument("Permute: not a permutation");
+    }
+    seen[perm[i]] = true;
+    new_shape[i] = shape_[perm[i]];
+    new_strides[i] = strides_[perm[i]];
+  }
+  return NDArray(storage_, offset_bytes_, std::move(new_shape),
+                 std::move(new_strides), dtype_);
+}
+
+NDArray NDArray::Reshape(Shape new_shape) const {
+  if (ShapeNumel(new_shape) != numel()) {
+    throw std::invalid_argument("Reshape: numel mismatch");
+  }
+  if (!IsContiguous()) {
+    throw std::logic_error("Reshape requires a contiguous array");
+  }
+  auto strides = ContiguousStrides(new_shape);
+  return NDArray(storage_, offset_bytes_, std::move(new_shape),
+                 std::move(strides), dtype_);
+}
+
+NDArray NDArray::AsContiguous() const {
+  if (IsContiguous()) {
+    // Still deep-copy so the result owns fresh storage (documented copy).
+    NDArray out = Zeros(shape_, dtype_);
+    std::memcpy(out.BasePtr(), BasePtr(), nbytes());
+    return out;
+  }
+  NDArray out = Zeros(shape_, dtype_);
+  const size_t n = numel();
+  const size_t esize = DTypeSize(dtype_);
+  for (size_t i = 0; i < n; ++i) {
+    std::memcpy(out.BasePtr() + i * esize,
+                BasePtr() + FlatToOffsetElems(i) * esize, esize);
+  }
+  return out;
+}
+
+NDArray NDArray::Cast(DType target) const {
+  if (target == dtype_) return AsContiguous();
+  NDArray out = Zeros(shape_, target);
+  const size_t n = numel();
+  for (size_t i = 0; i < n; ++i) {
+    out.SetFromDouble(i, GetAsDouble(i));
+  }
+  return out;
+}
+
+void NDArray::CopyFrom(const NDArray& src) {
+  if (src.shape() != shape_) {
+    throw std::invalid_argument("CopyFrom: shape mismatch");
+  }
+  if (src.dtype() != dtype_) {
+    throw std::invalid_argument("CopyFrom: dtype mismatch");
+  }
+  const size_t n = numel();
+  const size_t esize = DTypeSize(dtype_);
+  for (size_t i = 0; i < n; ++i) {
+    std::memcpy(BasePtr() + FlatToOffsetElems(i) * esize,
+                src.BasePtr() + src.FlatToOffsetElems(i) * esize, esize);
+  }
+}
+
+void NDArray::Fill(double value) {
+  const size_t n = numel();
+  for (size_t i = 0; i < n; ++i) SetFromDouble(i, value);
+}
+
+}  // namespace drai

@@ -1,0 +1,79 @@
+#include "parallel/communicator.hpp"
+
+#include <exception>
+
+namespace drai::par {
+
+void Communicator::Send(int dst, int tag, std::span<const std::byte> data) {
+  if (dst < 0 || dst >= size()) {
+    throw std::out_of_range("Send: destination rank out of range");
+  }
+  internal::World& w = *world_;
+  {
+    std::lock_guard<std::mutex> lock(w.mutex);
+    w.mailboxes[{rank_, dst, tag}].emplace_back(data.begin(), data.end());
+  }
+  w.cv.notify_all();
+}
+
+Bytes Communicator::Recv(int src, int tag) {
+  if (src < 0 || src >= size()) {
+    throw std::out_of_range("Recv: source rank out of range");
+  }
+  internal::World& w = *world_;
+  std::unique_lock<std::mutex> lock(w.mutex);
+  const internal::World::Key key{src, rank_, tag};
+  w.cv.wait(lock, [&] {
+    auto it = w.mailboxes.find(key);
+    return it != w.mailboxes.end() && !it->second.empty();
+  });
+  auto it = w.mailboxes.find(key);
+  Bytes msg = std::move(it->second.front());
+  it->second.pop_front();
+  return msg;
+}
+
+void Communicator::Barrier() {
+  internal::World& w = *world_;
+  std::unique_lock<std::mutex> lock(w.mutex);
+  const uint64_t my_generation = w.barrier_generation;
+  if (++w.barrier_arrived == w.size) {
+    w.barrier_arrived = 0;
+    ++w.barrier_generation;
+    w.cv.notify_all();
+  } else {
+    w.cv.wait(lock, [&] { return w.barrier_generation != my_generation; });
+  }
+}
+
+double Communicator::AllReduceScalar(double v, ReduceOp op) {
+  return AllReduce(std::vector<double>{v}, op)[0];
+}
+
+int64_t Communicator::AllReduceScalar(int64_t v, ReduceOp op) {
+  return AllReduce(std::vector<int64_t>{v}, op)[0];
+}
+
+void RunSpmd(int n_ranks, const std::function<void(Communicator&)>& body) {
+  if (n_ranks <= 0) throw std::invalid_argument("RunSpmd: n_ranks must be > 0");
+  auto world = std::make_shared<internal::World>(n_ranks);
+  std::vector<std::exception_ptr> errors(static_cast<size_t>(n_ranks));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(n_ranks));
+  for (int r = 0; r < n_ranks; ++r) {
+    threads.emplace_back([&, r] {
+      Communicator comm(world, r);
+      try {
+        body(comm);
+      } catch (...) {
+        errors[static_cast<size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace drai::par

@@ -1,0 +1,42 @@
+#include "parallel/distributed_stats.hpp"
+
+namespace drai::par {
+
+stats::RunningStats AllMergeStats(Communicator& comm,
+                                  const stats::RunningStats& local) {
+  ByteWriter w;
+  local.Serialize(w);
+  const Bytes mine = w.Take();
+  const auto all = comm.AllGather(std::vector<std::byte>(mine.begin(), mine.end()));
+  stats::RunningStats merged;
+  for (const auto& payload : all) {
+    ByteReader r(payload);
+    stats::RunningStats part = stats::RunningStats::Deserialize(r).value();
+    merged.Merge(part);
+  }
+  return merged;
+}
+
+Result<stats::Normalizer> AllMergeFit(Communicator& comm,
+                                      stats::Normalizer local) {
+  ByteWriter w;
+  DRAI_RETURN_IF_ERROR(local.SerializeObservations(w));
+  const Bytes mine = w.Take();
+  const auto all =
+      comm.AllGather(std::vector<std::byte>(mine.begin(), mine.end()));
+  // Merge everyone into rank 0's copy in rank order (deterministic on
+  // every rank because AllGather orders by rank).
+  ByteReader first(all.front());
+  DRAI_ASSIGN_OR_RETURN(stats::Normalizer merged,
+                        stats::Normalizer::DeserializeObservations(first));
+  for (size_t r = 1; r < all.size(); ++r) {
+    ByteReader reader(all[r]);
+    DRAI_ASSIGN_OR_RETURN(stats::Normalizer part,
+                          stats::Normalizer::DeserializeObservations(reader));
+    merged.Merge(part);
+  }
+  merged.Fit();
+  return merged;
+}
+
+}  // namespace drai::par

@@ -1,0 +1,31 @@
+// drai/parallel/distributed_stats.hpp
+//
+// Cross-rank statistics — the piece that makes drai's normalization
+// "scalable preprocessing" in the paper's sense: each rank streams its
+// slice of the data through a local accumulator, then a tree-free
+// gather-merge-broadcast produces the global statistics every rank needs
+// to apply the transform. Works for RunningStats and whole Normalizers
+// (z-score / min-max / log1p — robust quantile sketches are not mergeable
+// and are rejected by Normalizer::Merge).
+#pragma once
+
+#include "common/bytes.hpp"
+#include "parallel/communicator.hpp"
+#include "stats/normalizer.hpp"
+#include "stats/running.hpp"
+
+namespace drai::par {
+
+/// Merge each rank's RunningStats into one global accumulator, returned on
+/// every rank. Deterministic merge order (by rank).
+stats::RunningStats AllMergeStats(Communicator& comm,
+                                  const stats::RunningStats& local);
+
+/// Merge each rank's (unfitted) Normalizer observations, fit once, and
+/// return the fitted Normalizer on every rank — the distributed version of
+/// Observe-everything-then-Fit. All ranks must pass identically configured
+/// normalizers. Robust normalizers are rejected (kFailedPrecondition).
+Result<stats::Normalizer> AllMergeFit(Communicator& comm,
+                                      stats::Normalizer local);
+
+}  // namespace drai::par

@@ -1,0 +1,113 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+
+namespace drai::par {
+
+namespace {
+// Set while executing inside a pool worker; nested ParallelFor calls then
+// run serially instead of deadlocking on their own pool.
+thread_local bool tls_in_pool_worker = false;
+}  // namespace
+
+ThreadPool::ThreadPool(size_t threads) {
+  if (threads == 0) {
+    threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  std::packaged_task<void()> pt(std::move(task));
+  auto fut = pt.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      throw std::runtime_error("ThreadPool::Submit after shutdown");
+    }
+    queue_.push(std::move(pt));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void ThreadPool::WorkerLoop() {
+  tls_in_pool_worker = true;
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();  // packaged_task captures exceptions into the future
+  }
+}
+
+ThreadPool& GlobalPool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ParallelForChunks(size_t begin, size_t end,
+                       const std::function<void(size_t, size_t)>& fn,
+                       size_t min_grain) {
+  if (begin >= end) return;
+  if (tls_in_pool_worker) {  // nested parallelism: degrade to serial
+    fn(begin, end);
+    return;
+  }
+  const size_t n = end - begin;
+  ThreadPool& pool = GlobalPool();
+  const size_t max_chunks = pool.thread_count();
+  size_t chunks = std::min(max_chunks, (n + min_grain - 1) / min_grain);
+  if (chunks <= 1) {
+    fn(begin, end);
+    return;
+  }
+  const size_t per = (n + chunks - 1) / chunks;
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  for (size_t c = 0; c < chunks; ++c) {
+    const size_t lo = begin + c * per;
+    const size_t hi = std::min(end, lo + per);
+    if (lo >= hi) break;
+    futures.push_back(pool.Submit([lo, hi, &fn] { fn(lo, hi); }));
+  }
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void ParallelFor(size_t begin, size_t end,
+                 const std::function<void(size_t)>& fn, size_t min_grain) {
+  ParallelForChunks(
+      begin, end,
+      [&fn](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) fn(i);
+      },
+      min_grain);
+}
+
+}  // namespace drai::par

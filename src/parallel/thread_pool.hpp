@@ -1,0 +1,62 @@
+// drai/parallel/thread_pool.hpp
+//
+// Fixed-size worker pool plus an OpenMP-style parallel_for. Used by the
+// shard loader (prefetch), the pipeline executor, and any stage kernel that
+// is data-parallel over records.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace drai::par {
+
+/// A fixed pool of worker threads executing submitted tasks FIFO.
+/// Destruction drains the queue and joins all workers (RAII — no detach).
+class ThreadPool {
+ public:
+  /// `threads == 0` means hardware_concurrency (at least 1).
+  explicit ThreadPool(size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task; the future resolves when it completes.
+  std::future<void> Submit(std::function<void()> task);
+
+  [[nodiscard]] size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Process-wide pool shared by parallel_for (lazily constructed).
+ThreadPool& GlobalPool();
+
+/// OpenMP-`parallel for`-style static chunking: splits [begin, end) into
+/// contiguous ranges, one per worker, and blocks until all complete.
+/// `fn(i)` is invoked exactly once per index. Exceptions from workers are
+/// rethrown on the calling thread (first one wins).
+void ParallelFor(size_t begin, size_t end,
+                 const std::function<void(size_t)>& fn,
+                 size_t min_grain = 1);
+
+/// Range-chunked variant: `fn(lo, hi)` is invoked once per contiguous chunk.
+/// Cheaper than per-index dispatch for tight kernels.
+void ParallelForChunks(size_t begin, size_t end,
+                       const std::function<void(size_t, size_t)>& fn,
+                       size_t min_grain = 1);
+
+}  // namespace drai::par

@@ -1,0 +1,99 @@
+// drai/privacy/anonymize.hpp
+//
+// De-identification transforms (§3.3: "anonymization and integration
+// across formats" under HIPAA/GA4GH):
+//  * Pseudonymizer  — HMAC-keyed stable tokens replacing direct identifiers
+//  * DateShifter    — per-subject constant day shift preserving intervals
+//  * k-anonymity    — generalize quasi-identifiers (age bands, zip prefixes)
+//                     and suppress residual small groups until every
+//                     equivalence class has >= k rows
+//  * l-diversity    — verify each class carries >= l distinct sensitive values
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "privacy/tabular.hpp"
+
+namespace drai::privacy {
+
+/// Stable keyed tokenization of identifier values. The same input under the
+/// same key yields the same token (joins across tables still work); without
+/// the key the mapping is computationally irreversible.
+class Pseudonymizer {
+ public:
+  explicit Pseudonymizer(std::string key, std::string prefix = "anon-");
+
+  [[nodiscard]] std::string Token(std::string_view value) const;
+
+  /// Replace every value of the given column in place.
+  Status PseudonymizeColumn(Table& table, const std::string& column) const;
+
+ private:
+  std::string key_;
+  std::string prefix_;
+};
+
+/// Per-subject constant date shift within ±`max_shift_days`. Constant per
+/// subject so intervals between a subject's events are preserved — the
+/// property clinical ML needs.
+class DateShifter {
+ public:
+  explicit DateShifter(std::string key, int max_shift_days = 365);
+
+  /// Shift one ISO date for a subject.
+  [[nodiscard]] Result<std::string> Shift(std::string_view subject_id,
+                                          const std::string& iso_date) const;
+
+  /// Shift a date column using `subject_column` as the shift key.
+  Status ShiftColumn(Table& table, const std::string& subject_column,
+                     const std::string& date_column) const;
+
+  /// Days-since-epoch <-> civil date helpers (public for tests).
+  static Result<int64_t> IsoToDays(const std::string& iso_date);
+  static std::string DaysToIso(int64_t days);
+
+ private:
+  [[nodiscard]] int64_t ShiftFor(std::string_view subject_id) const;
+  std::string key_;
+  int max_shift_days_;
+};
+
+/// k-anonymity configuration: which columns are quasi-identifiers and how
+/// each generalizes.
+struct KAnonymityConfig {
+  size_t k = 5;
+  /// Numeric columns generalized into bands; value = initial band width,
+  /// doubled per generalization level.
+  std::map<std::string, int64_t> numeric_bands;   // e.g. {"age", 5}
+  /// String columns generalized by prefix truncation; value = initial kept
+  /// prefix length, reduced by one per level.
+  std::map<std::string, size_t> prefix_lengths;   // e.g. {"zip", 3}
+  size_t max_levels = 5;
+};
+
+struct KAnonymityReport {
+  size_t k_achieved = 0;
+  size_t suppressed_rows = 0;
+  size_t generalization_level = 0;
+  size_t equivalence_classes = 0;
+};
+
+/// Generalize + suppress until k-anonymity holds over the configured
+/// quasi-identifiers. Modifies the table in place.
+Result<KAnonymityReport> EnforceKAnonymity(Table& table,
+                                           const KAnonymityConfig& config);
+
+/// Smallest equivalence-class size over the given quasi-identifier columns
+/// (0 for an empty table).
+Result<size_t> MinClassSize(const Table& table,
+                            const std::vector<std::string>& quasi_columns);
+
+/// l-diversity: smallest number of distinct `sensitive_column` values in
+/// any equivalence class over `quasi_columns`.
+Result<size_t> MinDiversity(const Table& table,
+                            const std::vector<std::string>& quasi_columns,
+                            const std::string& sensitive_column);
+
+}  // namespace drai::privacy

@@ -1,0 +1,53 @@
+// drai/privacy/audit.hpp
+//
+// Hash-chained audit log — the "secure and auditable workflows" requirement
+// (§2.2, §5). Every privacy-relevant operation appends an entry whose hash
+// covers the previous entry's hash, so any retroactive tampering breaks
+// verification from that point forward (a lightweight transparency log).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/hash.hpp"
+#include "common/status.hpp"
+
+namespace drai::privacy {
+
+struct AuditEntry {
+  uint64_t sequence = 0;
+  std::string actor;    ///< pipeline/user identity
+  std::string action;   ///< e.g. "pseudonymize", "k-anonymize", "export"
+  std::string detail;   ///< free text: columns touched, parameters
+  std::string prev_hash_hex;
+  std::string hash_hex;  ///< SHA-256 over (sequence, actor, action, detail, prev)
+};
+
+class AuditLog {
+ public:
+  /// Append an entry; hash chain is maintained internally.
+  const AuditEntry& Append(std::string actor, std::string action,
+                           std::string detail);
+
+  [[nodiscard]] const std::vector<AuditEntry>& entries() const {
+    return entries_;
+  }
+  [[nodiscard]] size_t size() const { return entries_.size(); }
+
+  /// Recompute the chain and compare; kDataLoss names the first bad entry.
+  [[nodiscard]] Status Verify() const;
+
+  /// Hash of the latest entry ("" when empty) — what a manifest records.
+  [[nodiscard]] std::string HeadHash() const;
+
+  [[nodiscard]] Bytes Serialize() const;
+  static Result<AuditLog> Parse(std::span<const std::byte> bytes);
+
+ private:
+  static std::string ComputeHash(const AuditEntry& e);
+  std::vector<AuditEntry> entries_;
+};
+
+}  // namespace drai::privacy

@@ -1,0 +1,125 @@
+#include "privacy/tabular.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/strings.hpp"
+
+namespace drai::privacy {
+
+int Table::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Table::Validate() const {
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].size() != columns.size()) {
+      return InvalidArgument("table row " + std::to_string(i) +
+                             " has wrong arity");
+    }
+  }
+  return Status::Ok();
+}
+
+std::string_view FieldClassName(FieldClass c) {
+  switch (c) {
+    case FieldClass::kDirectIdentifier: return "direct-identifier";
+    case FieldClass::kQuasiIdentifier: return "quasi-identifier";
+    case FieldClass::kSensitive: return "sensitive";
+    case FieldClass::kOther: return "other";
+  }
+  return "?";
+}
+
+namespace {
+bool AllDigits(std::string_view s) {
+  if (s.empty()) return false;
+  return std::all_of(s.begin(), s.end(), [](char c) {
+    return std::isdigit(static_cast<unsigned char>(c));
+  });
+}
+
+bool NameContainsAny(const std::string& lower,
+                     std::initializer_list<const char*> needles) {
+  for (const char* n : needles) {
+    if (lower.find(n) != std::string::npos) return true;
+  }
+  return false;
+}
+}  // namespace
+
+bool LooksLikeSsn(const std::string& v) {
+  return v.size() == 11 && v[3] == '-' && v[6] == '-' &&
+         AllDigits(v.substr(0, 3)) && AllDigits(v.substr(4, 2)) &&
+         AllDigits(v.substr(7, 4));
+}
+
+bool LooksLikeEmail(const std::string& v) {
+  const size_t at = v.find('@');
+  return at != std::string::npos && at > 0 && v.find('.', at) != std::string::npos;
+}
+
+bool LooksLikePhone(const std::string& v) {
+  size_t digits = 0;
+  for (char c : v) {
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      ++digits;
+    } else if (c != '-' && c != ' ' && c != '(' && c != ')' && c != '+') {
+      return false;
+    }
+  }
+  return digits == 10 || digits == 11;
+}
+
+bool LooksLikeIsoDate(const std::string& v) {
+  return v.size() == 10 && v[4] == '-' && v[7] == '-' &&
+         AllDigits(v.substr(0, 4)) && AllDigits(v.substr(5, 2)) &&
+         AllDigits(v.substr(8, 2));
+}
+
+FieldClass ClassifyField(const std::string& column_name,
+                         std::span<const std::string> sample_values) {
+  const std::string lower = ToLower(column_name);
+  if (NameContainsAny(lower, {"ssn", "social_security", "mrn", "medical_record",
+                              "patient_name", "first_name", "last_name",
+                              "full_name", "email", "phone", "address",
+                              "patient_id", "subject_id"})) {
+    return FieldClass::kDirectIdentifier;
+  }
+  if (NameContainsAny(lower, {"dob", "birth", "zip", "postal", "age", "sex",
+                              "gender", "race", "ethnicity", "admit_date",
+                              "discharge_date", "visit_date", "date"})) {
+    return FieldClass::kQuasiIdentifier;
+  }
+  if (NameContainsAny(lower, {"diagnosis", "icd", "lab", "result", "dose",
+                              "medication", "procedure", "outcome",
+                              "condition"})) {
+    return FieldClass::kSensitive;
+  }
+  // Value-shape fallback: identifier-shaped data is an identifier no matter
+  // what the column is called.
+  size_t ssn = 0, email = 0, phone = 0, date = 0, checked = 0;
+  for (const std::string& v : sample_values) {
+    if (v.empty()) continue;
+    ++checked;
+    if (LooksLikeSsn(v)) ++ssn;
+    if (LooksLikeEmail(v)) ++email;
+    if (LooksLikePhone(v)) ++phone;
+    if (LooksLikeIsoDate(v)) ++date;
+    if (checked >= 64) break;
+  }
+  if (checked > 0) {
+    const double frac_id = static_cast<double>(ssn + email + phone) /
+                           static_cast<double>(checked);
+    if (frac_id > 0.5) return FieldClass::kDirectIdentifier;
+    if (static_cast<double>(date) / static_cast<double>(checked) > 0.5) {
+      return FieldClass::kQuasiIdentifier;
+    }
+  }
+  return FieldClass::kOther;
+}
+
+}  // namespace drai::privacy

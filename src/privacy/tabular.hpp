@@ -1,0 +1,52 @@
+// drai/privacy/tabular.hpp
+//
+// String-typed tabular records — the clinical-data currency of the bio
+// archetype's anonymization step. Kept deliberately simple: a Table is
+// column names plus rows of strings; typed interpretation happens at the
+// privacy transforms that need it (ages, dates, zips).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace drai::privacy {
+
+struct Table {
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;
+
+  [[nodiscard]] size_t NumRows() const { return rows.size(); }
+  [[nodiscard]] size_t NumCols() const { return columns.size(); }
+  /// Index of a column name, or -1.
+  [[nodiscard]] int ColumnIndex(const std::string& name) const;
+  /// Validates rectangularity.
+  [[nodiscard]] Status Validate() const;
+};
+
+/// HIPAA-ish field sensitivity classes.
+enum class FieldClass {
+  kDirectIdentifier,  ///< names, MRNs, SSNs, emails, phones — must be removed
+  kQuasiIdentifier,   ///< dob, age, zip, sex — re-identification risk in combination
+  kSensitive,         ///< diagnoses, labs — the values research needs
+  kOther,
+};
+
+std::string_view FieldClassName(FieldClass c);
+
+/// Classify a column from its name and sample values (heuristics modeled on
+/// real de-identification tooling: name patterns first, value patterns as
+/// a fallback — an SSN-shaped column is an identifier whatever it's called).
+FieldClass ClassifyField(const std::string& column_name,
+                         std::span<const std::string> sample_values);
+
+/// True when the string looks like an SSN (###-##-####), email, or phone.
+bool LooksLikeSsn(const std::string& v);
+bool LooksLikeEmail(const std::string& v);
+bool LooksLikePhone(const std::string& v);
+/// ISO date YYYY-MM-DD.
+bool LooksLikeIsoDate(const std::string& v);
+
+}  // namespace drai::privacy

@@ -1,0 +1,179 @@
+#include "sequence/msa.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace drai::sequence {
+
+namespace {
+
+/// Merge a newly aligned (center', other') pair into the growing MSA whose
+/// first row is the current center alignment. Returns the new center row
+/// and rewrites every existing row to match its gap pattern.
+void MergeIntoMsa(std::string& center_row, std::vector<std::string>& rows,
+                  const std::string& new_center, const std::string& new_other,
+                  std::string& merged_other) {
+  // Two views of the center: the one the MSA already has (center_row, with
+  // gaps from earlier merges) and the pairwise one (new_center). Walk both
+  // and emit the union gap pattern.
+  std::string merged_center;
+  std::vector<std::string> merged_rows(rows.size());
+  merged_other.clear();
+  size_t i = 0;  // into center_row
+  size_t j = 0;  // into new_center
+  while (i < center_row.size() || j < new_center.size()) {
+    const bool old_gap = i < center_row.size() && center_row[i] == '-';
+    const bool new_gap = j < new_center.size() && new_center[j] == '-';
+    const bool old_done = i >= center_row.size();
+    const bool new_done = j >= new_center.size();
+    if (!old_done && old_gap && (new_done || !new_gap)) {
+      // Gap only in the old alignment: keep the old column, pad the new
+      // sequence with a gap.
+      merged_center += '-';
+      for (size_t r = 0; r < rows.size(); ++r) merged_rows[r] += rows[r][i];
+      merged_other += '-';
+      ++i;
+    } else if (!new_done && new_gap && (old_done || !old_gap)) {
+      // Gap only in the new pairwise alignment: open a column in the MSA.
+      merged_center += '-';
+      for (size_t r = 0; r < rows.size(); ++r) merged_rows[r] += '-';
+      merged_other += new_other[j];
+      ++j;
+    } else {
+      // Symbols (or gaps) agree: consume both.
+      merged_center += old_done ? new_center[j] : center_row[i];
+      for (size_t r = 0; r < rows.size(); ++r) {
+        merged_rows[r] += old_done ? '-' : rows[r][i];
+      }
+      merged_other += new_done ? '-' : new_other[j];
+      ++i;
+      ++j;
+    }
+  }
+  center_row = std::move(merged_center);
+  rows = std::move(merged_rows);
+}
+
+}  // namespace
+
+Result<MsaResult> CenterStarMsa(std::span<const std::string> sequences,
+                                AlignScores scores) {
+  if (sequences.size() < 2) {
+    return InvalidArgument("CenterStarMsa: need at least 2 sequences");
+  }
+  for (const auto& s : sequences) {
+    if (s.empty()) return InvalidArgument("CenterStarMsa: empty sequence");
+  }
+  const size_t n = sequences.size();
+
+  // Pick the center: highest summed pairwise alignment score.
+  std::vector<int64_t> total_score(n, 0);
+  for (size_t a = 0; a < n; ++a) {
+    for (size_t b = a + 1; b < n; ++b) {
+      const int64_t s = GlobalAlign(sequences[a], sequences[b], scores).score;
+      total_score[a] += s;
+      total_score[b] += s;
+    }
+  }
+  MsaResult result;
+  result.center = static_cast<size_t>(
+      std::max_element(total_score.begin(), total_score.end()) -
+      total_score.begin());
+
+  // Progressively merge every other sequence against the center.
+  std::string center_row = sequences[result.center];
+  std::vector<std::string> other_rows;   // aligned rows, input order sans center
+  std::vector<size_t> other_index;       // original index per row
+  for (size_t k = 0; k < n; ++k) {
+    if (k == result.center) continue;
+    const AlignmentResult pair =
+        GlobalAlign(sequences[result.center], sequences[k], scores);
+    std::string merged_other;
+    MergeIntoMsa(center_row, other_rows, pair.aligned_a, pair.aligned_b,
+                 merged_other);
+    other_rows.push_back(std::move(merged_other));
+    other_index.push_back(k);
+  }
+
+  // Assemble rows in input order.
+  result.aligned.resize(n);
+  result.aligned[result.center] = center_row;
+  for (size_t r = 0; r < other_rows.size(); ++r) {
+    result.aligned[other_index[r]] = other_rows[r];
+  }
+  // All rows must share the center's final length.
+  for (auto& row : result.aligned) {
+    if (row.size() < center_row.size()) {
+      row.append(center_row.size() - row.size(), '-');
+    }
+  }
+
+  // Conservation + identity.
+  const size_t cols = center_row.size();
+  result.conservation.resize(cols, 0.0);
+  for (size_t c = 0; c < cols; ++c) {
+    std::map<char, size_t> counts;
+    for (const auto& row : result.aligned) {
+      if (row[c] != '-') ++counts[row[c]];
+    }
+    size_t best = 0;
+    for (const auto& [_, v] : counts) best = std::max(best, v);
+    result.conservation[c] = static_cast<double>(best) / static_cast<double>(n);
+  }
+  double identity_sum = 0;
+  size_t pairs = 0;
+  for (size_t a = 0; a < n; ++a) {
+    for (size_t b = a + 1; b < n; ++b) {
+      size_t same = 0;
+      for (size_t c = 0; c < cols; ++c) {
+        if (result.aligned[a][c] == result.aligned[b][c] &&
+            result.aligned[a][c] != '-') {
+          ++same;
+        }
+      }
+      identity_sum += static_cast<double>(same) / static_cast<double>(cols);
+      ++pairs;
+    }
+  }
+  result.mean_identity = pairs ? identity_sum / static_cast<double>(pairs) : 1.0;
+  return result;
+}
+
+std::string MsaConsensus(const MsaResult& msa) {
+  if (msa.aligned.empty()) return "";
+  const size_t cols = msa.aligned.front().size();
+  std::string out(cols, '-');
+  for (size_t c = 0; c < cols; ++c) {
+    std::map<char, size_t> counts;
+    for (const auto& row : msa.aligned) {
+      if (row[c] != '-') ++counts[row[c]];
+    }
+    size_t best = 0;
+    for (const auto& [symbol, v] : counts) {
+      if (v > best) {
+        best = v;
+        out[c] = symbol;
+      }
+    }
+  }
+  return out;
+}
+
+Result<NDArray> MsaProfile(const MsaResult& msa, Alphabet alphabet) {
+  if (msa.aligned.empty()) return InvalidArgument("MsaProfile: empty MSA");
+  const size_t cols = msa.aligned.front().size();
+  const size_t k = AlphabetSize(alphabet);
+  NDArray profile = NDArray::Zeros({cols, k}, DType::kF32);
+  float* p = profile.data<float>();
+  for (size_t c = 0; c < cols; ++c) {
+    for (const auto& row : msa.aligned) {
+      const int idx = SymbolIndex(alphabet, row[c]);
+      if (idx >= 0) p[c * k + static_cast<size_t>(idx)] += 1.0f;
+    }
+  }
+  const float inv = 1.0f / static_cast<float>(msa.aligned.size());
+  for (size_t i = 0; i < cols * k; ++i) p[i] *= inv;
+  return profile;
+}
+
+}  // namespace drai::sequence

@@ -1,0 +1,41 @@
+// drai/sequence/msa.hpp
+//
+// Multiple sequence alignment — the AlphaFold-pipeline step §3.3 calls out
+// ("a complex preprocessing pipeline involving multiple sequence
+// alignment"). Implements the classic center-star heuristic: pick the
+// sequence with the highest summed pairwise score as the center, align all
+// others to it with Needleman–Wunsch, and merge gaps ("once a gap, always
+// a gap"). 2-approximation of the optimal SP-score alignment; exactly the
+// right fidelity for a preprocessing substrate.
+#pragma once
+
+#include "sequence/sequence.hpp"
+
+namespace drai::sequence {
+
+struct MsaResult {
+  /// All sequences padded to one length with '-' gaps; row order matches
+  /// the input order.
+  std::vector<std::string> aligned;
+  /// Index of the sequence chosen as the center.
+  size_t center = 0;
+  /// Per-column conservation: fraction of rows agreeing with the column's
+  /// most frequent non-gap symbol (0 for all-gap columns).
+  std::vector<double> conservation;
+  /// Mean pairwise identity across all row pairs.
+  double mean_identity = 0;
+};
+
+/// Align 2..N sequences. Fails on empty input or empty sequences.
+Result<MsaResult> CenterStarMsa(std::span<const std::string> sequences,
+                                AlignScores scores = {});
+
+/// Column-wise consensus (most frequent non-gap symbol; '-' for all-gap).
+std::string MsaConsensus(const MsaResult& msa);
+
+/// Position-specific frequency matrix over the DNA alphabet:
+/// [columns, 4] f32 with rows summing to <= 1 (gaps excluded) — the
+/// "position-wise statistics" Enformer-style pipelines compute.
+Result<NDArray> MsaProfile(const MsaResult& msa, Alphabet alphabet);
+
+}  // namespace drai::sequence

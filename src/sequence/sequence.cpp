@@ -1,0 +1,222 @@
+#include "sequence/sequence.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace drai::sequence {
+
+namespace {
+constexpr std::string_view kDnaSymbols = "ACGT";
+constexpr std::string_view kRnaSymbols = "ACGU";
+constexpr std::string_view kProteinSymbols = "ACDEFGHIKLMNPQRSTVWY";
+
+std::string_view Symbols(Alphabet a) {
+  switch (a) {
+    case Alphabet::kDna: return kDnaSymbols;
+    case Alphabet::kRna: return kRnaSymbols;
+    case Alphabet::kProtein: return kProteinSymbols;
+  }
+  return kDnaSymbols;
+}
+
+char UnknownSymbol(Alphabet a) {
+  return a == Alphabet::kProtein ? 'X' : 'N';
+}
+}  // namespace
+
+size_t AlphabetSize(Alphabet a) { return Symbols(a).size(); }
+
+int SymbolIndex(Alphabet a, char c) {
+  const char u = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  const std::string_view sym = Symbols(a);
+  const size_t pos = sym.find(u);
+  return pos == std::string_view::npos ? -1 : static_cast<int>(pos);
+}
+
+Result<double> UnknownFraction(Alphabet a, std::string_view seq) {
+  if (seq.empty()) return InvalidArgument("empty sequence");
+  size_t unknown = 0;
+  for (char c : seq) {
+    if (SymbolIndex(a, c) >= 0) continue;
+    const char u = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    if (u != UnknownSymbol(a)) {
+      return InvalidArgument(std::string("invalid symbol '") + c +
+                             "' for alphabet");
+    }
+    ++unknown;
+  }
+  return static_cast<double>(unknown) / static_cast<double>(seq.size());
+}
+
+Result<NDArray> OneHot(Alphabet a, std::string_view seq) {
+  DRAI_ASSIGN_OR_RETURN(double unknown_frac, UnknownFraction(a, seq));
+  (void)unknown_frac;
+  const size_t k = AlphabetSize(a);
+  NDArray out = NDArray::Zeros({seq.size(), k}, DType::kF32);
+  float* p = out.data<float>();
+  for (size_t i = 0; i < seq.size(); ++i) {
+    const int idx = SymbolIndex(a, seq[i]);
+    if (idx >= 0) p[i * k + static_cast<size_t>(idx)] = 1.0f;
+  }
+  return out;
+}
+
+std::vector<std::string> Tile(std::string_view seq, size_t tile_len,
+                              size_t stride, bool pad_last) {
+  if (tile_len == 0 || stride == 0) {
+    throw std::invalid_argument("Tile: tile_len and stride must be > 0");
+  }
+  std::vector<std::string> tiles;
+  size_t i = 0;
+  while (i < seq.size()) {
+    if (i + tile_len <= seq.size()) {
+      tiles.emplace_back(seq.substr(i, tile_len));
+    } else {
+      if (pad_last) {
+        std::string last(seq.substr(i));
+        last.resize(tile_len, 'N');
+        tiles.push_back(std::move(last));
+      }
+      break;
+    }
+    i += stride;
+  }
+  return tiles;
+}
+
+KmerTokenizer::KmerTokenizer(Alphabet alphabet, size_t k)
+    : alphabet_(alphabet), k_(k) {
+  if (k == 0 || k > 12) {
+    throw std::invalid_argument("KmerTokenizer: k must be in [1, 12]");
+  }
+  int64_t v = 1;
+  for (size_t i = 0; i < k; ++i) v *= static_cast<int64_t>(AlphabetSize(alphabet));
+  vocab_ = v + 1;  // + OOV
+}
+
+Result<std::vector<int64_t>> KmerTokenizer::Tokenize(
+    std::string_view seq) const {
+  if (seq.size() < k_) {
+    return InvalidArgument("sequence shorter than k");
+  }
+  const int64_t base = static_cast<int64_t>(AlphabetSize(alphabet_));
+  std::vector<int64_t> out;
+  out.reserve(seq.size() - k_ + 1);
+  for (size_t i = 0; i + k_ <= seq.size(); ++i) {
+    int64_t id = 0;
+    bool oov = false;
+    for (size_t j = 0; j < k_; ++j) {
+      const int idx = SymbolIndex(alphabet_, seq[i + j]);
+      if (idx < 0) {
+        oov = true;
+        break;
+      }
+      id = id * base + idx;
+    }
+    out.push_back(oov ? oov_id() : id);
+  }
+  return out;
+}
+
+Result<std::string> KmerTokenizer::Detokenize(int64_t token) const {
+  if (token < 0 || token >= vocab_ - 1) {
+    return InvalidArgument("token out of range or OOV");
+  }
+  const int64_t base = static_cast<int64_t>(AlphabetSize(alphabet_));
+  std::string out(k_, '?');
+  for (size_t j = k_; j-- > 0;) {
+    out[j] = Symbols(alphabet_)[static_cast<size_t>(token % base)];
+    token /= base;
+  }
+  return out;
+}
+
+AlignmentResult GlobalAlign(std::string_view a, std::string_view b,
+                            AlignScores scores) {
+  const size_t n = a.size(), m = b.size();
+  // DP matrix (n+1) x (m+1) of best scores; traceback via recompute.
+  std::vector<int64_t> dp((n + 1) * (m + 1));
+  auto at = [&](size_t i, size_t j) -> int64_t& { return dp[i * (m + 1) + j]; };
+  for (size_t i = 0; i <= n; ++i) at(i, 0) = static_cast<int64_t>(i) * scores.gap;
+  for (size_t j = 0; j <= m; ++j) at(0, j) = static_cast<int64_t>(j) * scores.gap;
+  for (size_t i = 1; i <= n; ++i) {
+    for (size_t j = 1; j <= m; ++j) {
+      const int64_t diag =
+          at(i - 1, j - 1) + (a[i - 1] == b[j - 1] ? scores.match : scores.mismatch);
+      const int64_t up = at(i - 1, j) + scores.gap;
+      const int64_t left = at(i, j - 1) + scores.gap;
+      at(i, j) = std::max({diag, up, left});
+    }
+  }
+  // Traceback.
+  AlignmentResult res;
+  res.score = at(n, m);
+  size_t i = n, j = m;
+  std::string ra, rb;
+  while (i > 0 || j > 0) {
+    if (i > 0 && j > 0 &&
+        at(i, j) == at(i - 1, j - 1) + (a[i - 1] == b[j - 1] ? scores.match
+                                                             : scores.mismatch)) {
+      ra.push_back(a[i - 1]);
+      rb.push_back(b[j - 1]);
+      --i;
+      --j;
+    } else if (i > 0 && at(i, j) == at(i - 1, j) + scores.gap) {
+      ra.push_back(a[i - 1]);
+      rb.push_back('-');
+      --i;
+    } else {
+      ra.push_back('-');
+      rb.push_back(b[j - 1]);
+      --j;
+    }
+  }
+  std::reverse(ra.begin(), ra.end());
+  std::reverse(rb.begin(), rb.end());
+  size_t same = 0;
+  for (size_t k = 0; k < ra.size(); ++k) {
+    if (ra[k] == rb[k] && ra[k] != '-') ++same;
+  }
+  res.identity = ra.empty() ? 1.0
+                            : static_cast<double>(same) /
+                                  static_cast<double>(ra.size());
+  res.aligned_a = std::move(ra);
+  res.aligned_b = std::move(rb);
+  return res;
+}
+
+double GcContent(std::string_view seq) {
+  if (seq.empty()) return 0.0;
+  size_t gc = 0, acgt = 0;
+  for (char c : seq) {
+    const char u = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    if (u == 'G' || u == 'C') {
+      ++gc;
+      ++acgt;
+    } else if (u == 'A' || u == 'T' || u == 'U') {
+      ++acgt;
+    }
+  }
+  return acgt == 0 ? 0.0 : static_cast<double>(gc) / static_cast<double>(acgt);
+}
+
+Result<std::string> ReverseComplement(std::string_view seq) {
+  std::string out(seq.size(), 'N');
+  for (size_t i = 0; i < seq.size(); ++i) {
+    const char c = static_cast<char>(
+        std::toupper(static_cast<unsigned char>(seq[seq.size() - 1 - i])));
+    switch (c) {
+      case 'A': out[i] = 'T'; break;
+      case 'T': out[i] = 'A'; break;
+      case 'C': out[i] = 'G'; break;
+      case 'G': out[i] = 'C'; break;
+      case 'N': out[i] = 'N'; break;
+      default:
+        return InvalidArgument(std::string("ReverseComplement: bad symbol '") +
+                               c + "'");
+    }
+  }
+  return out;
+}
+
+}  // namespace drai::sequence

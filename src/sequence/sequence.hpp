@@ -1,0 +1,89 @@
+// drai/sequence/sequence.hpp
+//
+// Sequence preprocessing — the bio archetype (§3.3): Enformer-style
+// one-hot encoding and fixed-length tiling of DNA, k-mer tokenization for
+// transformer vocabularies, and a Needleman–Wunsch aligner standing in for
+// the MSA step of AlphaFold-style pipelines.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+#include "ndarray/ndarray.hpp"
+
+namespace drai::sequence {
+
+enum class Alphabet { kDna, kRna, kProtein };
+
+/// Alphabet size (DNA/RNA: 4, protein: 20). The unknown symbol ('N'/'X')
+/// encodes as all-zeros in one-hot and as its own token id in k-mers.
+size_t AlphabetSize(Alphabet a);
+
+/// Index of a symbol in its alphabet; -1 for unknown. Case-insensitive.
+int SymbolIndex(Alphabet a, char c);
+
+/// Validates that a sequence contains only alphabet symbols or the unknown
+/// symbol; returns the fraction of unknowns.
+Result<double> UnknownFraction(Alphabet a, std::string_view seq);
+
+/// One-hot encode: [len, alphabet_size] f32. Unknown symbols become
+/// all-zero rows (Enformer's convention for 'N').
+Result<NDArray> OneHot(Alphabet a, std::string_view seq);
+
+/// Cut a sequence into fixed-length tiles with the given stride. The final
+/// partial tile is kept and right-padded with unknowns when `pad_last`.
+std::vector<std::string> Tile(std::string_view seq, size_t tile_len,
+                              size_t stride, bool pad_last = true);
+
+/// k-mer tokenizer: maps each window of k symbols to an integer id in
+/// [0, alphabet^k); windows containing unknowns map to the OOV id
+/// alphabet^k. Ids fit int64.
+class KmerTokenizer {
+ public:
+  KmerTokenizer(Alphabet alphabet, size_t k);
+
+  [[nodiscard]] size_t k() const { return k_; }
+  /// Vocabulary size including the OOV id.
+  [[nodiscard]] int64_t vocab_size() const { return vocab_; }
+  [[nodiscard]] int64_t oov_id() const { return vocab_ - 1; }
+
+  /// Tokenize with stride 1 (overlapping k-mers): n-k+1 tokens.
+  [[nodiscard]] Result<std::vector<int64_t>> Tokenize(std::string_view seq) const;
+  /// Invert a (non-OOV) token back to its k-mer string.
+  [[nodiscard]] Result<std::string> Detokenize(int64_t token) const;
+
+ private:
+  Alphabet alphabet_;
+  size_t k_;
+  int64_t vocab_;
+};
+
+/// Needleman–Wunsch global alignment (match/mismatch/gap scores).
+struct AlignmentResult {
+  std::string aligned_a;  ///< with '-' gaps
+  std::string aligned_b;
+  int64_t score = 0;
+  /// Identical positions / alignment length.
+  double identity = 0;
+};
+
+struct AlignScores {
+  int64_t match = 2;
+  int64_t mismatch = -1;
+  int64_t gap = -2;
+};
+
+AlignmentResult GlobalAlign(std::string_view a, std::string_view b,
+                            AlignScores scores = {});
+
+/// GC fraction of a DNA sequence (quality metric).
+double GcContent(std::string_view seq);
+
+/// Reverse complement of a DNA sequence (augmentation for genomics).
+Result<std::string> ReverseComplement(std::string_view seq);
+
+}  // namespace drai::sequence

@@ -1,0 +1,113 @@
+#include "shard/dataset_tools.hpp"
+
+namespace drai::shard {
+
+namespace {
+
+/// Does `shape` conform to `spec` (0 dims are wildcards)?
+bool ShapeConforms(const Shape& shape, const Shape& spec) {
+  if (shape.size() != spec.size()) return false;
+  for (size_t d = 0; d < spec.size(); ++d) {
+    if (spec[d] != 0 && shape[d] != spec[d]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<VerifyReport> VerifyDataset(par::StripedStore& store,
+                                   const std::string& directory) {
+  DRAI_ASSIGN_OR_RETURN(ShardReader reader,
+                        ShardReader::Open(store, directory));
+  const DatasetManifest& manifest = reader.manifest();
+  VerifyReport report;
+  auto problem = [&report](std::string msg) {
+    report.problems.push_back(std::move(msg));
+  };
+
+  for (Split split : kAllSplits) {
+    auto it = manifest.shards.find(split);
+    if (it == manifest.shards.end()) continue;
+    for (size_t s = 0; s < it->second.size(); ++s) {
+      const ShardInfo& info = it->second[s];
+      ++report.shards_checked;
+      const auto size = store.Size(info.file);
+      if (!size.ok()) {
+        problem("missing shard file: " + info.file);
+        continue;
+      }
+      if (*size != info.bytes) {
+        problem("size mismatch for " + info.file + ": manifest says " +
+                std::to_string(info.bytes) + ", store has " +
+                std::to_string(*size));
+      }
+      report.bytes_checked += *size;
+      const auto examples = reader.ReadShard(split, s);
+      if (!examples.ok()) {
+        problem("unreadable shard " + info.file + ": " +
+                examples.status().ToString());
+        continue;
+      }
+      report.records_checked += examples->size();
+      // ReadShard already checks counts; conform each example to the schema.
+      for (const Example& ex : *examples) {
+        if (ex.features.size() != manifest.schema.size()) {
+          problem("example '" + ex.key + "' feature count differs from schema");
+          continue;
+        }
+        size_t i = 0;
+        for (const auto& [name, tensor] : ex.features) {
+          const FeatureSpec& spec = manifest.schema[i++];
+          if (name != spec.name || tensor.dtype() != spec.dtype ||
+              !ShapeConforms(tensor.shape(), spec.shape)) {
+            problem("example '" + ex.key + "' feature '" + name +
+                    "' violates schema");
+          }
+        }
+      }
+    }
+  }
+  if (report.records_checked != manifest.TotalRecords()) {
+    problem("record total mismatch: manifest says " +
+            std::to_string(manifest.TotalRecords()) + ", shards hold " +
+            std::to_string(report.records_checked));
+  }
+  return report;
+}
+
+Result<DatasetManifest> ReshardDataset(par::StripedStore& store,
+                                       const std::string& src_directory,
+                                       const std::string& dst_directory,
+                                       const ReshardOptions& options) {
+  if (src_directory == dst_directory) {
+    return InvalidArgument("ReshardDataset: src and dst must differ");
+  }
+  DRAI_ASSIGN_OR_RETURN(ShardReader reader,
+                        ShardReader::Open(store, src_directory));
+  const DatasetManifest& src = reader.manifest();
+
+  ShardWriterConfig config;
+  config.dataset_name = src.dataset_name;
+  config.created_by = src.created_by + " (resharded)";
+  config.directory = dst_directory;
+  config.split_seed = src.split_seed;
+  config.target_shard_bytes = options.target_shard_bytes;
+  config.tensor_codec = options.tensor_codec;
+  config.stripe_count = options.stripe_count;
+  ShardWriter writer(store, config);
+  writer.SetNormalizerBlob(src.normalizer_blob);
+  writer.SetProvenanceHash(src.provenance_hash);
+
+  for (Split split : kAllSplits) {
+    for (size_t s = 0; s < reader.NumShards(split); ++s) {
+      DRAI_ASSIGN_OR_RETURN(std::vector<Example> examples,
+                            reader.ReadShard(split, s));
+      for (const Example& ex : examples) {
+        DRAI_RETURN_IF_ERROR(writer.AddTo(split, ex));
+      }
+    }
+  }
+  return writer.Finalize();
+}
+
+}  // namespace drai::shard

@@ -1,0 +1,50 @@
+// drai/shard/dataset_tools.hpp
+//
+// Dataset maintenance operations a facility operator runs on finished
+// datasets:
+//  * VerifyDataset  — walk the manifest, re-read every shard, check record
+//    counts, per-record CRCs (via RecReader) and schema conformance; the
+//    integrity audit that must pass before a dataset is published.
+//  * ReshardDataset — rewrite an existing dataset with a new target shard
+//    size / codec without touching the split assignment (records keep
+//    their split; only the file layout changes). The A2 ablation's answer,
+//    operationalized.
+#pragma once
+
+#include "shard/shard_reader.hpp"
+#include "shard/shard_writer.hpp"
+
+namespace drai::shard {
+
+struct VerifyReport {
+  uint64_t shards_checked = 0;
+  uint64_t records_checked = 0;
+  uint64_t bytes_checked = 0;
+  /// Human-readable problems; empty means the dataset verified clean.
+  std::vector<std::string> problems;
+
+  [[nodiscard]] bool ok() const { return problems.empty(); }
+};
+
+/// Full integrity audit of the dataset at `directory`. I/O or decode
+/// failures become problems, not errors — the report always returns so an
+/// operator sees every issue at once. Only a missing/corrupt manifest
+/// fails outright.
+Result<VerifyReport> VerifyDataset(par::StripedStore& store,
+                                   const std::string& directory);
+
+struct ReshardOptions {
+  uint64_t target_shard_bytes = 4 << 20;
+  codec::Codec tensor_codec = codec::Codec::kNone;
+  int stripe_count = 0;
+};
+
+/// Rewrite `src_directory` into `dst_directory` with a new layout. Records
+/// keep their original split (no re-assignment); the manifest's schema,
+/// normalizer blob and provenance hash are carried over.
+Result<DatasetManifest> ReshardDataset(par::StripedStore& store,
+                                       const std::string& src_directory,
+                                       const std::string& dst_directory,
+                                       const ReshardOptions& options);
+
+}  // namespace drai::shard

@@ -1,0 +1,51 @@
+// drai/shard/manifest.hpp
+//
+// DatasetManifest — the self-describing index of a sharded dataset: which
+// shard files belong to which split, how many records each holds, the
+// feature schema, and the serialized normalizer statistics used to produce
+// it. The manifest is what makes a shard directory a *dataset* instead of
+// a pile of files; loaders open it first and never glob.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "ndarray/dtype.hpp"
+#include "shard/example.hpp"
+
+namespace drai::shard {
+
+/// One shard file's index entry.
+struct ShardInfo {
+  std::string file;      ///< store path
+  uint64_t records = 0;
+  uint64_t bytes = 0;
+};
+
+/// Feature schema entry (per named feature): dtype and per-sample shape.
+struct FeatureSpec {
+  std::string name;
+  DType dtype = DType::kF32;
+  Shape shape;  ///< per-sample shape (no batch dim)
+};
+
+struct DatasetManifest {
+  std::string dataset_name;
+  std::string created_by;  ///< pipeline identifier, for provenance
+  uint64_t split_seed = 0;
+  std::vector<FeatureSpec> schema;
+  std::map<Split, std::vector<ShardInfo>> shards;
+  Bytes normalizer_blob;   ///< serialized stats::Normalizer (may be empty)
+  std::string provenance_hash;  ///< hex SHA-256 of the lineage record
+
+  [[nodiscard]] uint64_t TotalRecords(Split split) const;
+  [[nodiscard]] uint64_t TotalRecords() const;
+  [[nodiscard]] uint64_t TotalBytes() const;
+
+  [[nodiscard]] Bytes Serialize() const;
+  static Result<DatasetManifest> Parse(std::span<const std::byte> bytes);
+};
+
+}  // namespace drai::shard

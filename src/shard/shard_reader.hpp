@@ -1,0 +1,98 @@
+// drai/shard/shard_reader.hpp
+//
+// ShardReader opens a finalized dataset (manifest + shard files in a
+// StripedStore) and exposes split-wise record access. DataLoader builds on
+// it: shuffled multi-shard iteration with background prefetch and batch
+// collation — the "efficient interface to GPU training pipelines" the
+// paper's level 5 requires.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <future>
+#include <optional>
+
+#include "common/rng.hpp"
+#include "parallel/striped_store.hpp"
+#include "parallel/thread_pool.hpp"
+#include "shard/manifest.hpp"
+
+namespace drai::shard {
+
+class ShardReader {
+ public:
+  /// Open the dataset rooted at `directory` in `store` (reads manifest).
+  static Result<ShardReader> Open(par::StripedStore& store,
+                                  const std::string& directory);
+
+  [[nodiscard]] const DatasetManifest& manifest() const { return manifest_; }
+  [[nodiscard]] uint64_t NumRecords(Split split) const {
+    return manifest_.TotalRecords(split);
+  }
+  [[nodiscard]] size_t NumShards(Split split) const;
+
+  /// Decode every example of one shard file.
+  [[nodiscard]] Result<std::vector<Example>> ReadShard(Split split,
+                                                       size_t shard_index) const;
+
+  /// Decode every example of a split, shard order.
+  [[nodiscard]] Result<std::vector<Example>> ReadAll(Split split) const;
+
+ private:
+  ShardReader(par::StripedStore& store, DatasetManifest manifest)
+      : store_(&store), manifest_(std::move(manifest)) {}
+  par::StripedStore* store_;
+  DatasetManifest manifest_;
+};
+
+/// A collated batch: every feature stacked along a new leading dimension.
+struct Batch {
+  std::vector<std::string> keys;
+  std::map<std::string, NDArray> features;  ///< shape = [batch, ...sample]
+  [[nodiscard]] size_t size() const { return keys.size(); }
+};
+
+/// Stack examples (identical schemas) into a Batch.
+Result<Batch> Collate(std::span<const Example> examples);
+
+struct DataLoaderOptions {
+  size_t batch_size = 32;
+  bool shuffle = true;
+  uint64_t seed = 0x5eed;
+  bool drop_last = false;   ///< drop a trailing partial batch
+  size_t prefetch_shards = 2;  ///< shards decoded ahead by the worker pool
+};
+
+/// Iterates one split in (optionally shuffled) batches. Shard order and
+/// intra-shard order reshuffle per epoch deterministically from the seed —
+/// epoch e of run A equals epoch e of run B.
+class DataLoader {
+ public:
+  DataLoader(const ShardReader& reader, Split split, DataLoaderOptions options);
+
+  /// Begin an epoch (0-based). Resets iteration state.
+  void StartEpoch(uint64_t epoch);
+
+  /// Next batch, or nullopt at epoch end. Decoding errors surface here.
+  Result<std::optional<Batch>> Next();
+
+  /// Records this loader will yield per epoch (after drop_last).
+  [[nodiscard]] uint64_t RecordsPerEpoch() const;
+
+ private:
+  Status EnsureBuffered();
+  void ScheduleFetches();
+
+  const ShardReader* reader_;
+  Split split_;
+  DataLoaderOptions options_;
+  std::vector<size_t> shard_order_;
+  size_t next_shard_to_schedule_ = 0;
+  std::deque<std::future<Result<std::vector<Example>>>> inflight_;
+  std::deque<Example> buffer_;
+  Rng epoch_rng_{0};
+  uint64_t epoch_ = 0;
+  bool epoch_active_ = false;
+};
+
+}  // namespace drai::shard

@@ -1,0 +1,80 @@
+// drai/shard/shard_writer.hpp
+//
+// ShardWriter — the terminal `shard` stage of every pipeline: takes
+// Examples, assigns each to a split by key hash, packs them into RecIO
+// shard files of a target size, writes the files to a StripedStore, and
+// finalizes a DatasetManifest. Write path is append-only; a crash before
+// Finalize leaves no manifest, so partial datasets are never mistaken for
+// complete ones.
+#pragma once
+
+#include <memory>
+
+#include "container/recio.hpp"
+#include "parallel/striped_store.hpp"
+#include "shard/manifest.hpp"
+
+namespace drai::shard {
+
+struct ShardWriterConfig {
+  std::string dataset_name = "dataset";
+  std::string created_by = "drai";
+  std::string directory = "/datasets/default";  ///< store path prefix
+  uint64_t target_shard_bytes = 4 << 20;        ///< flush threshold
+  uint64_t max_records_per_shard = 0;           ///< 0 = unlimited
+  double train_frac = 0.8;
+  double val_frac = 0.1;
+  double test_frac = 0.1;
+  uint64_t split_seed = 0;
+  codec::Codec tensor_codec = codec::Codec::kNone;
+  int stripe_count = 0;  ///< 0 = store default
+};
+
+class ShardWriter {
+ public:
+  /// The store must outlive the writer.
+  ShardWriter(par::StripedStore& store, ShardWriterConfig config);
+
+  /// Add one example; split chosen by key hash. Returns the split it went
+  /// to. Schema is inferred from the first example and enforced afterwards.
+  Result<Split> Add(const Example& example);
+
+  /// Force an example into a specific split (for pre-split inputs).
+  Status AddTo(Split split, const Example& example);
+
+  /// Attach the serialized normalizer used upstream (stored in manifest).
+  void SetNormalizerBlob(Bytes blob);
+  /// Attach the provenance record hash (stored in manifest).
+  void SetProvenanceHash(std::string hex);
+
+  /// Flush open shards, write the manifest, return it.
+  Result<DatasetManifest> Finalize();
+
+  [[nodiscard]] uint64_t records_written() const { return records_written_; }
+
+  /// Store path of the manifest for a dataset directory.
+  static std::string ManifestPath(const std::string& directory);
+
+ private:
+  struct OpenShard {
+    container::RecWriter rec;
+    uint64_t records = 0;
+  };
+
+  Status CheckSchema(const Example& example);
+  Status FlushShard(Split split);
+  [[nodiscard]] std::string ShardPath(Split split, uint64_t index) const;
+
+  par::StripedStore& store_;
+  ShardWriterConfig config_;
+  SplitAssigner assigner_;
+  std::map<Split, OpenShard> open_;
+  std::map<Split, std::vector<ShardInfo>> done_;
+  std::vector<FeatureSpec> schema_;
+  Bytes normalizer_blob_;
+  std::string provenance_hash_;
+  uint64_t records_written_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace drai::shard

@@ -1,0 +1,90 @@
+#include "stats/imbalance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace drai::stats {
+
+ClassCounts CountClasses(std::span<const int64_t> labels) {
+  ClassCounts counts;
+  for (int64_t l : labels) ++counts[l];
+  return counts;
+}
+
+namespace {
+uint64_t TotalCount(const ClassCounts& counts) {
+  uint64_t total = 0;
+  for (const auto& [_, c] : counts) total += c;
+  return total;
+}
+}  // namespace
+
+double LabelEntropy(const ClassCounts& counts) {
+  const uint64_t total = TotalCount(counts);
+  if (total == 0) return 0.0;
+  double h = 0;
+  for (const auto& [_, c] : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    h -= p * std::log(p);
+  }
+  return h;
+}
+
+double BalanceScore(const ClassCounts& counts) {
+  size_t k = 0;
+  for (const auto& [_, c] : counts) {
+    if (c > 0) ++k;
+  }
+  if (k <= 1) return k == 1 ? 0.0 : 0.0;
+  return LabelEntropy(counts) / std::log(static_cast<double>(k));
+}
+
+double GiniImpurity(const ClassCounts& counts) {
+  const uint64_t total = TotalCount(counts);
+  if (total == 0) return 0.0;
+  double sum_sq = 0;
+  for (const auto& [_, c] : counts) {
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    sum_sq += p * p;
+  }
+  return 1.0 - sum_sq;
+}
+
+double ImbalanceRatio(const ClassCounts& counts) {
+  if (counts.empty()) return 0.0;
+  uint64_t mn = UINT64_MAX, mx = 0;
+  for (const auto& [_, c] : counts) {
+    mn = std::min(mn, c);
+    mx = std::max(mx, c);
+  }
+  if (mn == 0) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(mx) / static_cast<double>(mn);
+}
+
+double EffectiveClassCount(const ClassCounts& counts) {
+  if (TotalCount(counts) == 0) return 0.0;
+  return std::exp(LabelEntropy(counts));
+}
+
+std::map<int64_t, double> InverseFrequencyWeights(const ClassCounts& counts) {
+  std::map<int64_t, double> weights;
+  const uint64_t total = TotalCount(counts);
+  if (total == 0) return weights;
+  double sum = 0;
+  for (const auto& [label, c] : counts) {
+    const double w = c > 0 ? static_cast<double>(total) / static_cast<double>(c)
+                           : 0.0;
+    weights[label] = w;
+    sum += w;
+  }
+  // Normalize to mean 1 across classes.
+  const double mean = sum / static_cast<double>(weights.size());
+  if (mean > 0) {
+    for (auto& [_, w] : weights) w /= mean;
+  }
+  return weights;
+}
+
+}  // namespace drai::stats

@@ -1,0 +1,41 @@
+// drai/stats/imbalance.hpp
+//
+// Class-balance diagnostics — the materials archetype's headline readiness
+// challenge ("class imbalance") and part of every quality report. All
+// metrics are computed from a label histogram so they work for any integer
+// label space.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+namespace drai::stats {
+
+/// Counts per class label.
+using ClassCounts = std::map<int64_t, uint64_t>;
+
+ClassCounts CountClasses(std::span<const int64_t> labels);
+
+/// Shannon entropy of the label distribution in nats. Max = ln(K).
+double LabelEntropy(const ClassCounts& counts);
+
+/// Normalized entropy in [0, 1]: 1 = perfectly balanced, 0 = single class.
+double BalanceScore(const ClassCounts& counts);
+
+/// Gini impurity 1 - sum p_i^2.
+double GiniImpurity(const ClassCounts& counts);
+
+/// max count / min count (1 = balanced; inf-like large when a class nearly
+/// vanishes). Returns 0 for empty input.
+double ImbalanceRatio(const ClassCounts& counts);
+
+/// exp(entropy) — the "effective number of classes".
+double EffectiveClassCount(const ClassCounts& counts);
+
+/// Inverse-frequency class weights normalized to mean 1 — what a trainer
+/// multiplies into the loss to correct imbalance without resampling.
+std::map<int64_t, double> InverseFrequencyWeights(const ClassCounts& counts);
+
+}  // namespace drai::stats

@@ -1,0 +1,148 @@
+#include "stats/quantile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace drai::stats {
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  if (!(q > 0.0 && q < 1.0)) {
+    throw std::invalid_argument("P2Quantile: q must be in (0,1)");
+  }
+  warmup_.reserve(5);
+}
+
+void P2Quantile::Add(double x) {
+  if (std::isnan(x)) return;
+  ++count_;
+  if (warmup_.size() < 5) {
+    warmup_.push_back(x);
+    if (warmup_.size() == 5) {
+      std::sort(warmup_.begin(), warmup_.end());
+      for (int i = 0; i < 5; ++i) {
+        heights_[i] = warmup_[static_cast<size_t>(i)];
+        positions_[i] = i + 1;
+      }
+      // Standard P² desired positions {1, 1+2q, 1+4q, 3+2q, 5} and their
+      // per-observation increments.
+      desired_ = {1, 1 + 2 * q_, 1 + 4 * q_, 3 + 2 * q_, 5};
+      increments_ = {0, q_ / 2, q_, (1 + q_) / 2, 1};
+    }
+    return;
+  }
+
+  // Find cell k such that heights[k] <= x < heights[k+1].
+  int k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    for (int i = 1; i < 4; ++i) {
+      if (x >= heights_[i]) k = i;
+    }
+  }
+  for (int i = k + 1; i < 5; ++i) positions_[i] += 1;
+  for (int i = 0; i < 5; ++i) desired_[i] += increments_[i];
+
+  // Adjust interior markers.
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    const double dp = positions_[i + 1] - positions_[i];
+    const double dm = positions_[i - 1] - positions_[i];
+    if ((d >= 1 && dp > 1) || (d <= -1 && dm < -1)) {
+      const double sign = d >= 0 ? 1.0 : -1.0;
+      // Piecewise-parabolic (P²) prediction.
+      const double hp = heights_[i + 1] - heights_[i];
+      const double hm = heights_[i - 1] - heights_[i];
+      double candidate =
+          heights_[i] + sign / (dp - dm) * ((sign - dm) * hp / dp +
+                                            (dp - sign) * hm / dm);
+      if (heights_[i - 1] < candidate && candidate < heights_[i + 1]) {
+        heights_[i] = candidate;
+      } else {
+        // Linear fallback keeps markers ordered.
+        const int j = i + static_cast<int>(sign);
+        heights_[i] += sign * (heights_[j] - heights_[i]) /
+                       (positions_[j] - positions_[i]);
+      }
+      positions_[i] += sign;
+    }
+  }
+}
+
+double P2Quantile::Value() const {
+  if (count_ == 0) return 0.0;
+  if (warmup_.size() < 5 && count_ <= 5) {
+    std::vector<double> v = warmup_;
+    return ExactQuantile(std::move(v), q_);
+  }
+  return heights_[2];
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must be > lo");
+  if (bins == 0) throw std::invalid_argument("Histogram: bins must be > 0");
+}
+
+void Histogram::Add(double x) {
+  if (std::isnan(x)) return;
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  size_t bin = static_cast<size_t>((x - lo_) / width_);
+  if (bin >= counts_.size()) bin = counts_.size() - 1;  // fp edge
+  ++counts_[bin];
+}
+
+double Histogram::BinCenter(size_t i) const {
+  if (i >= counts_.size()) throw std::out_of_range("BinCenter");
+  return lo_ + (static_cast<double>(i) + 0.5) * width_;
+}
+
+double Histogram::Quantile(double q) const {
+  if (!(q >= 0.0 && q <= 1.0)) {
+    throw std::invalid_argument("Histogram::Quantile: q in [0,1]");
+  }
+  if (total_ == 0) return lo_;
+  const double target = q * static_cast<double>(total_);
+  double cum = static_cast<double>(underflow_);
+  if (cum >= target) return lo_;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (next >= target && counts_[i] > 0) {
+      // Linear interpolation within the bin.
+      const double frac = (target - cum) / static_cast<double>(counts_[i]);
+      return lo_ + (static_cast<double>(i) + frac) * width_;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+double ExactQuantile(std::vector<double> values, double q) {
+  if (values.empty()) throw std::invalid_argument("ExactQuantile: empty");
+  if (!(q >= 0.0 && q <= 1.0)) {
+    throw std::invalid_argument("ExactQuantile: q in [0,1]");
+  }
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1 - frac) + values[hi] * frac;
+}
+
+}  // namespace drai::stats

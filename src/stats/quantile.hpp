@@ -1,0 +1,64 @@
+// drai/stats/quantile.hpp
+//
+// Streaming quantile estimation (P² algorithm, Jain & Chlamtac 1985) and a
+// fixed-bin histogram. Robust normalization (median/IQR) over datasets too
+// large to sort uses P²; quality reports use the histogram.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace drai::stats {
+
+/// P² estimator for a single quantile q in (0, 1). Constant memory: five
+/// markers. Exact until five observations have arrived, then approximate
+/// with piecewise-parabolic marker updates.
+class P2Quantile {
+ public:
+  explicit P2Quantile(double q);
+
+  void Add(double x);
+  /// Current estimate. Exact for < 5 samples (interpolated order statistic).
+  [[nodiscard]] double Value() const;
+  [[nodiscard]] uint64_t count() const { return count_; }
+
+ private:
+  double q_;
+  uint64_t count_ = 0;
+  std::array<double, 5> heights_{};    // marker heights
+  std::array<double, 5> positions_{};  // actual marker positions
+  std::array<double, 5> desired_{};    // desired marker positions
+  std::array<double, 5> increments_{}; // desired position increments
+  std::vector<double> warmup_;         // first five observations
+};
+
+/// Fixed-range histogram with overflow/underflow buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t bins);
+
+  void Add(double x);
+  [[nodiscard]] uint64_t total() const { return total_; }
+  [[nodiscard]] uint64_t underflow() const { return underflow_; }
+  [[nodiscard]] uint64_t overflow() const { return overflow_; }
+  [[nodiscard]] const std::vector<uint64_t>& counts() const { return counts_; }
+  [[nodiscard]] size_t bins() const { return counts_.size(); }
+  /// Center of bin i.
+  [[nodiscard]] double BinCenter(size_t i) const;
+  /// Approximate quantile by walking the cumulative histogram.
+  [[nodiscard]] double Quantile(double q) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0, underflow_ = 0, overflow_ = 0;
+};
+
+/// Exact quantile of a copied, sorted sample (linear interpolation between
+/// order statistics). Reference implementation for tests and small data.
+double ExactQuantile(std::vector<double> values, double q);
+
+}  // namespace drai::stats

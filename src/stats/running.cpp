@@ -1,0 +1,71 @@
+#include "stats/running.hpp"
+
+#include <cmath>
+
+namespace drai::stats {
+
+void RunningStats::Add(double x) {
+  if (std::isnan(x)) {
+    ++nan_count_;
+    return;
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  if (x < min_) min_ = x;
+  if (x > max_) max_ = x;
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) {
+    nan_count_ += other.nan_count_;
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  nan_count_ += other.nan_count_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+double RunningStats::variance() const {
+  return count_ >= 2 ? m2_ / static_cast<double>(count_) : 0.0;
+}
+
+double RunningStats::sample_variance() const {
+  return count_ >= 2 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::Serialize(ByteWriter& w) const {
+  w.PutU64(count_);
+  w.PutU64(nan_count_);
+  w.PutF64(mean_);
+  w.PutF64(m2_);
+  w.PutF64(min_);
+  w.PutF64(max_);
+}
+
+Result<RunningStats> RunningStats::Deserialize(ByteReader& r) {
+  RunningStats s;
+  DRAI_RETURN_IF_ERROR(r.GetU64(s.count_));
+  DRAI_RETURN_IF_ERROR(r.GetU64(s.nan_count_));
+  DRAI_RETURN_IF_ERROR(r.GetF64(s.mean_));
+  DRAI_RETURN_IF_ERROR(r.GetF64(s.m2_));
+  DRAI_RETURN_IF_ERROR(r.GetF64(s.min_));
+  DRAI_RETURN_IF_ERROR(r.GetF64(s.max_));
+  return s;
+}
+
+}  // namespace drai::stats

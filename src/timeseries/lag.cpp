@@ -1,0 +1,99 @@
+#include "timeseries/lag.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace drai::timeseries {
+
+namespace {
+
+/// Pearson correlation of the finite co-observed samples of x and y.
+double Correlation(std::span<const double> x, std::span<const double> y) {
+  double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+  size_t n = 0;
+  for (size_t i = 0; i < x.size() && i < y.size(); ++i) {
+    if (std::isnan(x[i]) || std::isnan(y[i])) continue;
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    syy += y[i] * y[i];
+    sxy += x[i] * y[i];
+    ++n;
+  }
+  if (n < 8) return std::numeric_limits<double>::quiet_NaN();
+  const double nd = static_cast<double>(n);
+  const double cov = sxy / nd - (sx / nd) * (sy / nd);
+  const double vx = sxx / nd - (sx / nd) * (sx / nd);
+  const double vy = syy / nd - (sy / nd) * (sy / nd);
+  if (vx <= 0 || vy <= 0) return std::numeric_limits<double>::quiet_NaN();
+  return cov / std::sqrt(vx * vy);
+}
+
+}  // namespace
+
+Result<LagEstimate> EstimateLag(const Signal& a, const Signal& b, double dt,
+                                double max_lag) {
+  DRAI_RETURN_IF_ERROR(a.Validate());
+  DRAI_RETURN_IF_ERROR(b.Validate());
+  if (dt <= 0 || max_lag < 0) {
+    return InvalidArgument("EstimateLag: dt > 0, max_lag >= 0 required");
+  }
+  if (a.size() == 0 || b.size() == 0) {
+    return InvalidArgument("EstimateLag: empty signal");
+  }
+  // Evaluate on a's span widened by max_lag, so shifted b still overlaps.
+  const double t0 = a.t.front();
+  const double t1 = a.t.back();
+  const size_t n = static_cast<size_t>((t1 - t0) / dt) + 1;
+  if (n < 8) return FailedPrecondition("EstimateLag: overlap too short");
+  DRAI_ASSIGN_OR_RETURN(std::vector<double> ra,
+                        ResampleUniform(a, t0, dt, n));
+
+  const int lag_steps = static_cast<int>(std::lround(max_lag / dt));
+  LagEstimate best;
+  best.correlation = -2.0;
+  for (int k = -lag_steps; k <= lag_steps; ++k) {
+    // Shifting b's clock by +lag means sampling b at (t - lag).
+    const double lag = static_cast<double>(k) * dt;
+    DRAI_ASSIGN_OR_RETURN(std::vector<double> rb,
+                          ResampleUniform(b, t0 - lag, dt, n));
+    const double c = Correlation(ra, rb);
+    if (!std::isnan(c) && c > best.correlation) {
+      best.correlation = c;
+      best.lag_seconds = lag;
+    }
+  }
+  if (best.correlation <= -2.0) {
+    return FailedPrecondition("EstimateLag: no valid overlap at any lag");
+  }
+  return best;
+}
+
+Result<LagAlignedFrame> AlignChannelsWithLag(std::span<const Signal> signals,
+                                             double dt, double max_lag,
+                                             size_t reference_channel,
+                                             Interp interp) {
+  if (signals.empty()) return InvalidArgument("AlignChannelsWithLag: empty");
+  if (reference_channel >= signals.size()) {
+    return OutOfRange("AlignChannelsWithLag: bad reference index");
+  }
+  LagAlignedFrame out;
+  std::vector<Signal> shifted(signals.begin(), signals.end());
+  out.lags.resize(signals.size());
+  for (size_t c = 0; c < signals.size(); ++c) {
+    if (c == reference_channel) {
+      out.lags[c] = {0.0, 1.0};
+      continue;
+    }
+    DRAI_ASSIGN_OR_RETURN(
+        out.lags[c],
+        EstimateLag(signals[reference_channel], signals[c], dt, max_lag));
+    // A lag of +L means channel c's events appear L late; subtract it.
+    for (double& t : shifted[c].t) t += out.lags[c].lag_seconds;
+  }
+  DRAI_ASSIGN_OR_RETURN(out.frame, AlignChannels(shifted, dt, interp));
+  return out;
+}
+
+}  // namespace drai::timeseries

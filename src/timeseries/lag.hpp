@@ -1,0 +1,40 @@
+// drai/timeseries/lag.hpp
+//
+// Cross-channel lag estimation and lag-corrected alignment. Fusion
+// diagnostics are not only sampled on different clocks (§3.2) — their
+// clocks are *offset* (trigger skew, cable delays). Aligning without
+// correcting the offset smears the precursor features disruption
+// prediction depends on. EstimateLag computes the normalized
+// cross-correlation of two signals over a lag window; AlignChannelsWithLag
+// shifts every channel onto the reference channel's clock first.
+#pragma once
+
+#include "timeseries/signal.hpp"
+
+namespace drai::timeseries {
+
+struct LagEstimate {
+  double lag_seconds = 0;   ///< shift to ADD to b's clock to match a
+  double correlation = 0;   ///< normalized cross-correlation at that lag
+};
+
+/// Estimate the lag of `b` relative to `a` by maximizing normalized
+/// cross-correlation over lags in [-max_lag, +max_lag], evaluated on a
+/// common uniform clock of step `dt`. Both signals are resampled
+/// internally. Fails when the overlap is too short (< 8 samples).
+Result<LagEstimate> EstimateLag(const Signal& a, const Signal& b, double dt,
+                                double max_lag);
+
+/// Like AlignChannels, but first estimates each channel's lag against
+/// `reference_channel` and shifts its timestamps to compensate. Returns the
+/// aligned frame plus the per-channel corrections applied.
+struct LagAlignedFrame {
+  AlignedFrame frame;
+  std::vector<LagEstimate> lags;  ///< per input channel (reference = 0 lag)
+};
+Result<LagAlignedFrame> AlignChannelsWithLag(std::span<const Signal> signals,
+                                             double dt, double max_lag,
+                                             size_t reference_channel = 0,
+                                             Interp interp = Interp::kLinear);
+
+}  // namespace drai::timeseries

@@ -1,0 +1,81 @@
+// drai/timeseries/signal.hpp
+//
+// Irregular time-series handling — the fusion archetype (§3.2): diagnostic
+// channels sampled at different, drifting rates must be despiked,
+// gap-filled, resampled to a common clock, aligned into a channel matrix,
+// windowed, and reduced to physics-ish features before sharding.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "ndarray/ndarray.hpp"
+
+namespace drai::timeseries {
+
+/// One diagnostic channel: timestamps (seconds, strictly increasing) and
+/// values. NaN values mark dropouts.
+struct Signal {
+  std::string name;
+  std::vector<double> t;
+  std::vector<double> v;
+
+  [[nodiscard]] size_t size() const { return t.size(); }
+  /// Validates invariants: equal lengths, strictly increasing timestamps.
+  [[nodiscard]] Status Validate() const;
+  /// Fraction of NaN samples.
+  [[nodiscard]] double MissingFraction() const;
+};
+
+/// Replace samples more than `z_threshold` robust deviations from the
+/// median (MAD-based z-score) with NaN. Returns the number replaced.
+size_t Despike(Signal& s, double z_threshold = 6.0);
+
+/// Linearly interpolate interior NaN runs shorter than `max_gap_samples`;
+/// longer runs and edge NaNs remain missing. Returns samples filled.
+size_t FillGaps(Signal& s, size_t max_gap_samples = 16);
+
+enum class Interp { kLinear, kNearest, kPrevious };
+
+/// Resample onto the uniform clock t0 + k*dt, k in [0, n). Samples outside
+/// the signal's time span become NaN; NaN source samples are skipped by
+/// interpolation when a bracketing finite pair exists.
+Result<std::vector<double>> ResampleUniform(const Signal& s, double t0,
+                                            double dt, size_t n,
+                                            Interp interp = Interp::kLinear);
+
+/// Channels aligned onto one clock: data is [channels, samples] f64.
+struct AlignedFrame {
+  double t0 = 0;
+  double dt = 0;
+  std::vector<std::string> channel_names;
+  NDArray data;
+
+  [[nodiscard]] size_t n_channels() const { return channel_names.size(); }
+  [[nodiscard]] size_t n_samples() const {
+    return data.rank() == 2 ? data.shape()[1] : 0;
+  }
+};
+
+/// Align several signals onto a common uniform clock covering the
+/// *intersection* of their spans, at sample interval `dt`.
+/// Fails when the intersection is empty.
+Result<AlignedFrame> AlignChannels(std::span<const Signal> signals, double dt,
+                                   Interp interp = Interp::kLinear);
+
+/// Cut an aligned frame into fixed windows: [n_windows, channels, window]
+/// with the given stride. Windows containing NaN are dropped when
+/// `drop_missing`.
+Result<NDArray> SlidingWindows(const AlignedFrame& frame, size_t window,
+                               size_t stride, bool drop_missing = true);
+
+/// Per-(window, channel) summary features: mean, std, min, max, mean |dv/dt|,
+/// max |dv/dt| — 6 features. Input [n_windows, channels, window] ->
+/// output [n_windows, channels * 6].
+Result<NDArray> WindowFeatures(const NDArray& windows, double dt);
+
+/// Number of features WindowFeatures emits per channel.
+inline constexpr size_t kFeaturesPerChannel = 6;
+
+}  // namespace drai::timeseries

@@ -1,0 +1,40 @@
+// drai/workloads/bio.hpp
+//
+// Synthetic bio/health workload (substitute for genomic + clinical data):
+//  * DNA sequences with a planted regulatory motif whose presence drives a
+//    binary expression label (Enformer-shaped task), plus 'N' dropouts;
+//  * a clinical table carrying PHI columns (names, SSNs, DOBs, zips) and a
+//    sensitive diagnosis column — level-1 data the bio pipeline must
+//    classify, pseudonymize, date-shift and k-anonymize before fusion.
+#pragma once
+
+#include "common/rng.hpp"
+#include "privacy/tabular.hpp"
+
+namespace drai::workloads {
+
+struct BioConfig {
+  size_t n_subjects = 200;
+  size_t sequence_length = 512;
+  std::string motif = "TATAAGCG";
+  double motif_prob = 0.45;      ///< subjects whose sequence contains it
+  double n_dropout_prob = 0.005; ///< per-base 'N'
+  uint64_t seed = 4242;
+  /// Fraction of subjects with no expression label.
+  double unlabeled_fraction = 0.1;
+};
+
+struct BioSubject {
+  std::string subject_id;   ///< direct identifier pre-anonymization
+  std::string sequence;
+  int expression_label = 0; ///< 1 when motif present; -1 withheld
+};
+
+struct BioWorkload {
+  std::vector<BioSubject> subjects;
+  privacy::Table clinical;  ///< one row per subject, PHI included
+};
+
+BioWorkload GenerateBioWorkload(const BioConfig& config);
+
+}  // namespace drai::workloads

@@ -1,0 +1,151 @@
+#include "workloads/climate.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "container/grib_lite.hpp"
+#include "container/netcdf_lite.hpp"
+
+namespace drai::workloads {
+
+grid::LatLonGrid ClimateSourceGrid(const ClimateConfig& config) {
+  return config.gaussian_grid
+             ? grid::LatLonGrid::GaussianLike(config.n_lat, config.n_lon)
+             : grid::LatLonGrid::Uniform(config.n_lat, config.n_lon);
+}
+
+namespace {
+constexpr double kDegToRad = std::numbers::pi / 180.0;
+
+/// Variable-specific base climatology: value as a function of latitude.
+double Baseline(const std::string& variable, double lat_deg) {
+  const double coslat = std::cos(lat_deg * kDegToRad);
+  if (variable == "t2m") return 215.0 + 85.0 * coslat;          // kelvin-ish
+  if (variable == "z500") return 49000.0 + 8000.0 * coslat;     // gpm-ish
+  if (variable == "u10") return 8.0 * std::sin(3.0 * lat_deg * kDegToRad);
+  return 100.0 * coslat;
+}
+
+double Amplitude(const std::string& variable) {
+  if (variable == "t2m") return 6.0;
+  if (variable == "z500") return 400.0;
+  if (variable == "u10") return 4.0;
+  return 10.0;
+}
+}  // namespace
+
+std::vector<ClimateField> GenerateClimateFields(const ClimateConfig& config) {
+  const grid::LatLonGrid g = ClimateSourceGrid(config);
+  Rng rng(config.seed);
+  std::vector<ClimateField> out;
+  out.reserve(config.n_times * config.variables.size());
+
+  for (const std::string& variable : config.variables) {
+    // Per-variable wave set, shared across times so fields evolve smoothly.
+    struct Wave {
+      int k_lon;
+      int k_lat;
+      double phase;
+      double speed;
+      double amp;
+    };
+    std::vector<Wave> waves;
+    for (int w = 0; w < 6; ++w) {
+      waves.push_back({static_cast<int>(rng.UniformU64(5)) + 1,
+                       static_cast<int>(rng.UniformU64(4)) + 1,
+                       rng.Uniform(0, 2 * std::numbers::pi),
+                       rng.Uniform(-0.3, 0.3),
+                       Amplitude(variable) * rng.Uniform(0.3, 1.0)});
+    }
+    Rng dropout_rng = rng.Split();
+    for (size_t t = 0; t < config.n_times; ++t) {
+      ClimateField f;
+      f.variable = variable;
+      f.valid_time = static_cast<int64_t>(t) * 21600;  // 6-hourly
+      f.field = NDArray::Zeros({g.n_lat(), g.n_lon()}, DType::kF64);
+      for (size_t i = 0; i < g.n_lat(); ++i) {
+        const double lat = g.lat(i);
+        for (size_t j = 0; j < g.n_lon(); ++j) {
+          const double lon = g.lon(j) * kDegToRad;
+          double v = Baseline(variable, lat);
+          for (const Wave& w : waves) {
+            v += w.amp *
+                 std::sin(w.k_lon * (lon + w.speed * static_cast<double>(t)) +
+                          w.phase) *
+                 std::cos(w.k_lat * lat * kDegToRad);
+          }
+          if (config.missing_prob > 0 &&
+              dropout_rng.Bernoulli(config.missing_prob)) {
+            v = std::numeric_limits<double>::quiet_NaN();
+          }
+          f.field.SetFromDouble(i * g.n_lon() + j, v);
+        }
+      }
+      out.push_back(std::move(f));
+    }
+  }
+  return out;
+}
+
+Bytes GenerateClimateNetcdf(const ClimateConfig& config) {
+  const std::vector<ClimateField> fields = GenerateClimateFields(config);
+  const grid::LatLonGrid g = ClimateSourceGrid(config);
+  container::NcFile nc;
+  nc.SetGlobalAttr("institution",
+                   container::AttrValue::String("drai synthetic"));
+  nc.SetGlobalAttr("grid", container::AttrValue::String(
+                               config.gaussian_grid ? "gaussian-like"
+                                                    : "uniform"));
+  nc.AddDimension("time", config.n_times).OrDie();
+  nc.AddDimension("lat", config.n_lat).OrDie();
+  nc.AddDimension("lon", config.n_lon).OrDie();
+
+  // Coordinate variables.
+  container::NcVariable lat;
+  lat.name = "lat";
+  lat.dims = {"lat"};
+  lat.data = NDArray::Zeros({config.n_lat}, DType::kF64);
+  for (size_t i = 0; i < config.n_lat; ++i) {
+    lat.data.SetFromDouble(i, g.lat(i));
+  }
+  lat.attrs["units"] = container::AttrValue::String("degrees_north");
+  nc.AddVariable(std::move(lat)).OrDie();
+
+  for (const std::string& var : config.variables) {
+    container::NcVariable v;
+    v.name = var;
+    v.dims = {"time", "lat", "lon"};
+    v.data = NDArray::Zeros({config.n_times, config.n_lat, config.n_lon},
+                            DType::kF64);
+    size_t t = 0;
+    for (const ClimateField& f : fields) {
+      if (f.variable != var) continue;
+      NDArray slot = v.data.Slice(0, t, t + 1)
+                         .Reshape({config.n_lat, config.n_lon});
+      slot.CopyFrom(f.field);
+      ++t;
+    }
+    v.attrs["units"] = container::AttrValue::String(
+        var == "t2m" ? "K" : var == "z500" ? "gpm" : "m s-1");
+    nc.AddVariable(std::move(v)).OrDie();
+  }
+  return nc.Serialize();
+}
+
+Bytes GenerateClimateGrib(const ClimateConfig& config) {
+  const std::vector<ClimateField> fields = GenerateClimateFields(config);
+  Bytes file;
+  for (const ClimateField& f : fields) {
+    container::GribMessage msg;
+    msg.variable = f.variable;
+    msg.valid_time = f.valid_time;
+    msg.level_hpa = f.variable == "z500" ? 500 : 0;
+    msg.bits = 16;
+    msg.field = f.field;
+    container::AppendGribMessage(file, msg).OrDie();
+  }
+  return file;
+}
+
+}  // namespace drai::workloads

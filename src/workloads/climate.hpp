@@ -1,0 +1,51 @@
+// drai/workloads/climate.hpp
+//
+// Synthetic climate workload (substitute for CMIP6/ERA5, per DESIGN.md):
+// multi-variable, multi-timestep fields on a Gaussian-like grid, encoded
+// as a GRIB-lite byte stream — i.e. level-1 data the climate pipeline must
+// actually decode, regrid, normalize and shard. Fields are smooth
+// (superposed low-wavenumber waves + latitude structure) so regridding and
+// XOR compression behave like they do on real reanalyses; configurable
+// dropout injects the missing-data problem.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "grid/latlon.hpp"
+#include "ndarray/ndarray.hpp"
+
+namespace drai::workloads {
+
+struct ClimateConfig {
+  size_t n_times = 8;
+  size_t n_lat = 32;
+  size_t n_lon = 64;
+  std::vector<std::string> variables = {"t2m", "z500", "u10"};
+  double missing_prob = 0.0;  ///< per-cell NaN dropout before packing
+  uint64_t seed = 1234;
+  bool gaussian_grid = true;  ///< source on a Gaussian-like grid
+};
+
+/// One decoded field and its metadata (for tests that bypass encoding).
+struct ClimateField {
+  std::string variable;
+  int64_t valid_time = 0;
+  NDArray field;  ///< [n_lat, n_lon] f64
+};
+
+/// The grid the generator uses for `config`.
+grid::LatLonGrid ClimateSourceGrid(const ClimateConfig& config);
+
+/// Generate decoded fields (n_times * variables entries, time-major).
+std::vector<ClimateField> GenerateClimateFields(const ClimateConfig& config);
+
+/// Generate the GRIB-lite file bytes the ingest stage consumes.
+Bytes GenerateClimateGrib(const ClimateConfig& config);
+
+/// Generate the same fields as a NetCDF-lite container: variables over
+/// (time, lat, lon) dimensions with CF-ish attributes. Exercises the
+/// self-describing ingest path (real pipelines receive both GRIB and
+/// NetCDF; §3.1).
+Bytes GenerateClimateNetcdf(const ClimateConfig& config);
+
+}  // namespace drai::workloads

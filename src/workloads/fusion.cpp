@@ -1,0 +1,114 @@
+#include "workloads/fusion.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <numbers>
+
+namespace drai::workloads {
+
+namespace {
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+const char* ChannelName(size_t c) {
+  switch (c) {
+    case 0: return "ip";         // plasma current
+    case 1: return "mode_amp";   // MHD mode amplitude
+    case 2: return "density";    // line-averaged density
+    case 3: return "coil_v";     // coil voltage
+    default: return nullptr;
+  }
+}
+}  // namespace
+
+std::vector<FusionShot> GenerateFusionShots(const FusionConfig& config) {
+  Rng master(config.seed);
+  std::vector<FusionShot> shots;
+  shots.reserve(config.n_shots);
+  for (size_t s = 0; s < config.n_shots; ++s) {
+    Rng rng = master.Split();
+    FusionShot shot;
+    char id[32];
+    std::snprintf(id, sizeof(id), "shot-%06zu", 100000 + s);
+    shot.shot_id = id;
+    const bool disrupts = rng.Bernoulli(config.disruption_prob);
+    shot.label = disrupts ? 1 : 0;
+    const double t_end = config.flattop_seconds;
+    shot.disruption_time = disrupts ? rng.Uniform(0.5 * t_end, 0.95 * t_end)
+                                    : -1.0;
+
+    for (size_t c = 0; c < config.n_channels; ++c) {
+      timeseries::Signal sig;
+      const char* base_name = ChannelName(c);
+      sig.name = base_name != nullptr
+                     ? base_name
+                     : "diag" + std::to_string(c);
+      // Irregular clock: per-channel rate jitter plus per-sample jitter —
+      // exactly the alignment problem §3.2 describes.
+      const double rate = config.base_rate_hz * rng.Uniform(0.6, 1.4);
+      // Trigger skew: the channel's clock stamps time t while the physics
+      // actually happened at t - skew (channel 0 is the reference).
+      const double skew =
+          (c == 0 || config.trigger_skew_max <= 0)
+              ? 0.0
+              : rng.Uniform(0, config.trigger_skew_max);
+      double t = rng.Uniform(0, 2.0 / rate);  // channels start offset
+      while (t < t_end) {
+        double v = 0;
+        const double tw = t - skew;  // waveform time
+        const double phase = 2 * std::numbers::pi * tw;
+        switch (c % 4) {
+          case 0: {  // plasma current: ramp, flattop, crash at disruption
+            const double ramp = std::min(1.0, tw / (0.2 * t_end));
+            v = 1.2e6 * ramp;
+            if (disrupts && tw > shot.disruption_time) {
+              v *= std::exp(-(tw - shot.disruption_time) * 40.0);
+            }
+            v += rng.Normal(0, 8e3);
+            break;
+          }
+          case 1: {  // mode amplitude: precursor grows before disruption
+            v = 0.05 + 0.02 * std::sin(phase * 7.0) + rng.Normal(0, 0.01);
+            if (disrupts) {
+              const double lead = shot.disruption_time - tw;
+              if (lead < 0.3 && lead > -0.02) {
+                v += 0.5 * std::exp(-lead / 0.1) *
+                     std::fabs(std::sin(phase * 90.0));
+              }
+            }
+            break;
+          }
+          case 2: {  // density: slow drift + noise
+            v = 3.5e19 * (1.0 + 0.1 * std::sin(phase * 0.8)) +
+                rng.Normal(0, 5e17);
+            if (disrupts && tw > shot.disruption_time) {
+              v *= std::exp(-(tw - shot.disruption_time) * 15.0);
+            }
+            break;
+          }
+          default: {  // coil voltage etc.: broadband
+            v = 40.0 * std::sin(phase * 3.3) + rng.Normal(0, 4.0);
+            break;
+          }
+        }
+        if (rng.Bernoulli(config.dropout_prob)) v = kNaN;
+        if (rng.Bernoulli(config.spike_prob)) {
+          v = (rng.Bernoulli(0.5) ? 1.0 : -1.0) * 1e3 *
+              (std::fabs(v) + 1.0);  // grossly out of family
+        }
+        sig.t.push_back(t);
+        sig.v.push_back(v);
+        t += (1.0 / rate) * rng.Uniform(0.7, 1.3);
+      }
+      shot.channels.push_back(std::move(sig));
+    }
+    if (config.unlabeled_fraction > 0 &&
+        rng.Bernoulli(config.unlabeled_fraction)) {
+      shot.label = -1;
+    }
+    shots.push_back(std::move(shot));
+  }
+  return shots;
+}
+
+}  // namespace drai::workloads

@@ -1,0 +1,44 @@
+// drai/workloads/fusion.hpp
+//
+// Synthetic fusion workload (substitute for DIII-D/MDSplus shot archives):
+// per-shot multi-channel diagnostics sampled at *different, irregular*
+// rates, with dropouts, spikes, and an optional disruption event that the
+// downstream ML task predicts. Disrupted shots show a precursor signature
+// (growing oscillation on the mode-amplitude channel, current spike then
+// crash) so the label is learnable from the features the fusion pipeline
+// extracts — exercising extract -> align -> normalize -> shard end to end.
+#pragma once
+
+#include "common/rng.hpp"
+#include "timeseries/signal.hpp"
+
+namespace drai::workloads {
+
+struct FusionConfig {
+  size_t n_shots = 32;
+  size_t n_channels = 4;       ///< >= 3: ip, mode_amp, density, extra...
+  double flattop_seconds = 2.0;
+  double base_rate_hz = 1000;  ///< nominal sample rate; per-channel jittered
+  double disruption_prob = 0.35;
+  double dropout_prob = 0.01;  ///< per-sample NaN
+  double spike_prob = 0.002;   ///< per-sample despike-able outlier
+  /// Per-channel trigger skew: each non-reference channel's clock runs
+  /// late by Uniform(0, trigger_skew_max) seconds (the lag
+  /// AlignChannelsWithLag exists to correct). 0 disables.
+  double trigger_skew_max = 0.0;
+  uint64_t seed = 777;
+  /// Fraction of shots whose disruption label is withheld (sparse labels —
+  /// the fusion readiness challenge).
+  double unlabeled_fraction = 0.0;
+};
+
+struct FusionShot {
+  std::string shot_id;
+  std::vector<timeseries::Signal> channels;
+  int label = 0;            ///< 1 = disrupted; -1 = label withheld
+  double disruption_time = -1;  ///< seconds; < 0 when none
+};
+
+std::vector<FusionShot> GenerateFusionShots(const FusionConfig& config);
+
+}  // namespace drai::workloads

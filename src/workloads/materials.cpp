@@ -1,0 +1,88 @@
+#include "workloads/materials.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace drai::workloads {
+
+namespace {
+// Species pool: C, N, O, Al, Si, Fe.
+constexpr int kSpecies[] = {6, 7, 8, 13, 14, 26};
+
+double SigmaFor(int z) { return 1.2 + 0.02 * static_cast<double>(z); }
+}  // namespace
+
+double ReferenceEnergyPerAtom(const graph::Structure& s) {
+  const auto edges = graph::BuildNeighborList(s, 6.0);
+  if (!edges.ok()) return 0.0;
+  double energy = 0;
+  for (const graph::Neighbor& e : edges.value()) {
+    const double sigma = 0.5 * (SigmaFor(s.atomic_numbers[e.src]) +
+                                SigmaFor(s.atomic_numbers[e.dst]));
+    const double x = sigma / std::max(e.distance, 0.5);
+    const double x6 = x * x * x * x * x * x;
+    energy += 0.5 * 4.0 * 0.2 * (x6 * x6 - x6);  // 0.5: each pair seen twice
+  }
+  return energy / static_cast<double>(s.NumAtoms());
+}
+
+std::vector<graph::Structure> GenerateMaterials(const MaterialsConfig& config) {
+  Rng master(config.seed);
+  std::vector<graph::Structure> out;
+  out.reserve(config.n_structures);
+  for (size_t i = 0; i < config.n_structures; ++i) {
+    Rng rng = master.Split();
+    graph::Structure s;
+    char id[32];
+    std::snprintf(id, sizeof(id), "mat-%06zu", i);
+    s.id = id;
+    const size_t cls = rng.Categorical(config.class_weights);
+    s.space_group_class = static_cast<int>(cls);
+    const double a = rng.Uniform(3.2, 5.5);
+    switch (cls) {
+      case 0:  // cubic
+        s.lattice = {{{a, 0, 0}, {0, a, 0}, {0, 0, a}}};
+        break;
+      case 1: {  // tetragonal: c != a
+        const double c = a * rng.Uniform(1.2, 1.8);
+        s.lattice = {{{a, 0, 0}, {0, a, 0}, {0, 0, c}}};
+        break;
+      }
+      case 2: {  // orthorhombic
+        const double b = a * rng.Uniform(1.1, 1.5);
+        const double c = a * rng.Uniform(1.5, 2.0);
+        s.lattice = {{{a, 0, 0}, {0, b, 0}, {0, 0, c}}};
+        break;
+      }
+      default: {  // hexagonal-ish: 120° between a and b
+        const double c = a * rng.Uniform(1.4, 1.8);
+        s.lattice = {{{a, 0, 0},
+                      {-0.5 * a, 0.8660254037844386 * a, 0},
+                      {0, 0, c}}};
+        break;
+      }
+    }
+    const size_t n_atoms = config.min_atoms +
+                           rng.UniformU64(config.max_atoms - config.min_atoms + 1);
+    for (size_t k = 0; k < n_atoms; ++k) {
+      graph::Vec3 f{};
+      for (int d = 0; d < 3; ++d) {
+        // Grid-ish sites plus thermal displacement; keeps atoms from
+        // colliding while staying irregular.
+        const double site =
+            (static_cast<double>(rng.UniformU64(4)) + 0.5) / 4.0;
+        double v = site + rng.Normal(0, config.displacement);
+        v -= std::floor(v);
+        f[static_cast<size_t>(d)] = v;
+      }
+      s.frac_coords.push_back(f);
+      s.atomic_numbers.push_back(
+          kSpecies[rng.UniformU64(std::size(kSpecies))]);
+    }
+    s.energy_per_atom = ReferenceEnergyPerAtom(s);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace drai::workloads

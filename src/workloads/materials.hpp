@@ -1,0 +1,35 @@
+// drai/workloads/materials.hpp
+//
+// Synthetic materials workload (substitute for OMat24/AFLOW DFT archives):
+// randomized crystal structures — a lattice drawn from one of several
+// crystal systems with class-imbalanced frequencies, a basis of a few
+// species, thermal displacement noise — labeled with a deterministic
+// pair-potential energy per atom (a cheap stand-in for a DFT total energy
+// that a GNN can regress). The imbalance across crystal-system classes is
+// the §3.4 readiness challenge.
+#pragma once
+
+#include "common/rng.hpp"
+#include "graph/structure.hpp"
+
+namespace drai::workloads {
+
+struct MaterialsConfig {
+  size_t n_structures = 64;
+  size_t min_atoms = 2;
+  size_t max_atoms = 12;
+  double displacement = 0.02;  ///< fractional-coordinate thermal noise
+  uint64_t seed = 90210;
+  /// Class frequencies for crystal systems 0..3 (cubic, tetragonal,
+  /// orthorhombic, hexagonal-ish). Deliberately imbalanced by default.
+  std::vector<double> class_weights = {0.6, 0.25, 0.1, 0.05};
+};
+
+std::vector<graph::Structure> GenerateMaterials(const MaterialsConfig& config);
+
+/// The deterministic energy model the labels come from (exposed so tests
+/// can verify a trained surrogate approaches it): sum over neighbor pairs
+/// within 6 Å of a Lennard-Jones-like term with species-dependent sigma.
+double ReferenceEnergyPerAtom(const graph::Structure& s);
+
+}  // namespace drai::workloads

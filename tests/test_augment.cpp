@@ -1,0 +1,239 @@
+// Tests for drai/augment: spatial transforms, noise, SMOTE, pseudo-labeling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "augment/augment.hpp"
+#include "ml/models.hpp"
+#include "ndarray/kernels.hpp"
+
+namespace drai::augment {
+namespace {
+
+NDArray Ramp(Shape shape) {
+  NDArray a = NDArray::Zeros(shape, DType::kF64);
+  for (size_t i = 0; i < a.numel(); ++i) {
+    a.SetFromDouble(i, static_cast<double>(i));
+  }
+  return a;
+}
+
+bool SameValues(const NDArray& a, const NDArray& b) {
+  if (a.shape() != b.shape()) return false;
+  for (size_t i = 0; i < a.numel(); ++i) {
+    if (a.GetAsDouble(i) != b.GetAsDouble(i)) return false;
+  }
+  return true;
+}
+
+// ---- rotations / flips -------------------------------------------------------
+
+TEST(Rotate90, FourRotationsAreIdentity) {
+  const NDArray field = Ramp({5, 7});
+  NDArray current = field;
+  for (int i = 0; i < 4; ++i) {
+    current = Rotate90(current, 1).value();
+  }
+  EXPECT_TRUE(SameValues(current, field));
+}
+
+TEST(Rotate90, KnownSmallCase) {
+  // [[0, 1], [2, 3]] rotated 90° CCW -> [[1, 3], [0, 2]].
+  const NDArray field = Ramp({2, 2});
+  const auto r = Rotate90(field, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->GetAsDouble(0), 1.0);
+  EXPECT_EQ(r->GetAsDouble(1), 3.0);
+  EXPECT_EQ(r->GetAsDouble(2), 0.0);
+  EXPECT_EQ(r->GetAsDouble(3), 2.0);
+}
+
+TEST(Rotate90, RectangularSwapsDims) {
+  const auto r = Rotate90(Ramp({3, 5}), 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->shape(), (Shape{5, 3}));
+  EXPECT_EQ(Rotate90(Ramp({3, 5}), 2)->shape(), (Shape{3, 5}));
+}
+
+TEST(Rotate90, NegativeAndLargeKNormalized) {
+  const NDArray field = Ramp({4, 4});
+  EXPECT_TRUE(SameValues(*Rotate90(field, -1), *Rotate90(field, 3)));
+  EXPECT_TRUE(SameValues(*Rotate90(field, 5), *Rotate90(field, 1)));
+}
+
+TEST(Rotate90, MultiChannelRotatesEachPlane) {
+  const NDArray field = Ramp({2, 2, 2});
+  const auto r = Rotate90(field, 2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->shape(), (Shape{2, 2, 2}));
+  // 180°: channel 0 reverses within itself.
+  EXPECT_EQ(r->GetAsDouble(0), 3.0);
+  EXPECT_EQ(r->GetAsDouble(4), 7.0);  // channel 1 stays in channel 1
+}
+
+TEST(Flip, Involution) {
+  const NDArray field = Ramp({4, 6});
+  for (int axis : {0, 1}) {
+    const auto once = Flip(field, axis).value();
+    const auto twice = Flip(once, axis).value();
+    EXPECT_TRUE(SameValues(twice, field)) << "axis " << axis;
+    EXPECT_FALSE(SameValues(once, field));
+  }
+  EXPECT_FALSE(Flip(field, 2).ok());
+}
+
+TEST(Flip, KnownSmallCase) {
+  const NDArray field = Ramp({2, 2});
+  const auto v = Flip(field, 0).value();  // rows swap
+  EXPECT_EQ(v.GetAsDouble(0), 2.0);
+  const auto h = Flip(field, 1).value();  // cols swap
+  EXPECT_EQ(h.GetAsDouble(0), 1.0);
+}
+
+// ---- noise & crop ------------------------------------------------------------
+
+TEST(AddNoise, StatisticsScaleWithSigma) {
+  Rng rng(3);
+  NDArray field = NDArray::Zeros({64, 64}, DType::kF64);
+  for (size_t i = 0; i < field.numel(); ++i) {
+    field.SetFromDouble(i, rng.Normal(100, 5));
+  }
+  Rng noise_rng(4);
+  const auto noisy = AddNoise(field, 0.5, noise_rng);
+  ASSERT_TRUE(noisy.ok());
+  const double added_std = RmsDiff(field, *noisy);
+  EXPECT_NEAR(added_std, 2.5, 0.3);  // 0.5 * field std (5)
+  // Zero sigma is identity.
+  Rng rng2(5);
+  EXPECT_TRUE(SameValues(*AddNoise(field, 0.0, rng2), field));
+}
+
+TEST(AddNoise, RejectsBadInput) {
+  Rng rng(1);
+  EXPECT_FALSE(AddNoise(NDArray::Zeros({4}, DType::kI32), 0.1, rng).ok());
+  EXPECT_FALSE(AddNoise(NDArray::Zeros({4}), -1.0, rng).ok());
+}
+
+TEST(RandomCropResize, PreservesShapeAndValueSet) {
+  Rng rng(6);
+  const NDArray field = Ramp({8, 8});
+  const auto out = RandomCropResize(field, 4, 4, rng);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->shape(), (Shape{8, 8}));
+  // Every output value existed in the input (nearest-neighbor resize).
+  std::set<double> input_values;
+  for (size_t i = 0; i < field.numel(); ++i) {
+    input_values.insert(field.GetAsDouble(i));
+  }
+  for (size_t i = 0; i < out->numel(); ++i) {
+    EXPECT_TRUE(input_values.count(out->GetAsDouble(i)));
+  }
+  EXPECT_FALSE(RandomCropResize(field, 0, 4, rng).ok());
+  EXPECT_FALSE(RandomCropResize(field, 9, 4, rng).ok());
+}
+
+// ---- SMOTE -----------------------------------------------------------------
+
+TEST(Smote, SynthesizesOnSegmentsBetweenMinorityNeighbors) {
+  // Minority points on a line: synthetics must stay on that line segment.
+  NDArray features = NDArray::Zeros({10, 2}, DType::kF64);
+  std::vector<size_t> minority;
+  for (size_t i = 0; i < 5; ++i) {
+    features.SetFromDouble(i * 2, static_cast<double>(i));      // x = i
+    features.SetFromDouble(i * 2 + 1, 2.0 * static_cast<double>(i));  // y = 2x
+    minority.push_back(i);
+  }
+  // Majority rows far away (must not be used).
+  for (size_t i = 5; i < 10; ++i) {
+    features.SetFromDouble(i * 2, 1000.0);
+    features.SetFromDouble(i * 2 + 1, -1000.0);
+  }
+  Rng rng(8);
+  const auto synth = SmoteSynthesize(features, minority, 50, 2, rng);
+  ASSERT_TRUE(synth.ok());
+  EXPECT_EQ(synth->shape(), (Shape{50, 2}));
+  for (size_t s = 0; s < 50; ++s) {
+    const double x = synth->GetAsDouble(s * 2);
+    const double y = synth->GetAsDouble(s * 2 + 1);
+    EXPECT_NEAR(y, 2.0 * x, 1e-9);  // on the minority manifold
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 4.0);
+  }
+}
+
+TEST(Smote, RejectsDegenerateInput) {
+  Rng rng(1);
+  NDArray f = NDArray::Zeros({4, 2}, DType::kF64);
+  EXPECT_FALSE(SmoteSynthesize(f, std::vector<size_t>{0}, 5, 3, rng).ok());
+  EXPECT_FALSE(
+      SmoteSynthesize(f, std::vector<size_t>{0, 9}, 5, 3, rng).ok());
+  EXPECT_FALSE(SmoteSynthesize(NDArray::Zeros({4}), std::vector<size_t>{0, 1},
+                               5, 3, rng)
+                   .ok());
+}
+
+// ---- pseudo-labeling -----------------------------------------------------------
+
+TEST(PseudoLabel, PropagatesLabelsThroughClusters) {
+  // Two well-separated clusters; only one seed label per cluster.
+  Rng rng(10);
+  const size_t n = 60;
+  NDArray features = NDArray::Zeros({n, 2}, DType::kF64);
+  std::vector<int64_t> labels(n, -1);
+  for (size_t i = 0; i < n; ++i) {
+    const bool right = i >= n / 2;
+    features.SetFromDouble(i * 2, (right ? 10.0 : 0.0) + rng.Normal(0, 0.5));
+    features.SetFromDouble(i * 2 + 1, rng.Normal(0, 0.5));
+  }
+  labels[0] = 0;
+  labels[n / 2] = 1;
+
+  TrainFn train = [](const NDArray& x, std::span<const int64_t> y) {
+    auto knn = std::make_shared<ml::KnnClassifier>(1);
+    knn->Fit(x, y).status().OrDie();
+    return Classifier(
+        [knn](std::span<const double> row) { return knn->Predict(row); });
+  };
+  PseudoLabelOptions options;
+  options.confidence_threshold = 0.9;
+  options.max_rounds = 3;
+  const auto result = PseudoLabel(features, labels, train, options);
+  ASSERT_TRUE(result.ok());
+  // Everything gets labeled, and correctly by cluster.
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(result->labels[i], i < n / 2 ? 0 : 1) << i;
+  }
+  EXPECT_EQ(result->total_adopted, n - 2);
+  EXPECT_GE(result->rounds_run, 1u);
+}
+
+TEST(PseudoLabel, NoSeedsFails) {
+  NDArray features = NDArray::Zeros({4, 1}, DType::kF64);
+  std::vector<int64_t> labels(4, -1);
+  TrainFn train = [](const NDArray&, std::span<const int64_t>) {
+    return Classifier(
+        [](std::span<const double>) { return std::make_pair<int64_t>(0, 1.0); });
+  };
+  EXPECT_EQ(PseudoLabel(features, labels, train).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(PseudoLabel, LowConfidencePredictionsNotAdopted) {
+  NDArray features = NDArray::Zeros({4, 1}, DType::kF64);
+  std::vector<int64_t> labels = {0, -1, -1, -1};
+  TrainFn train = [](const NDArray&, std::span<const int64_t>) {
+    return Classifier([](std::span<const double>) {
+      return std::make_pair<int64_t, double>(1, 0.4);  // below threshold
+    });
+  };
+  PseudoLabelOptions options;
+  options.confidence_threshold = 0.9;
+  const auto result = PseudoLabel(features, labels, train, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->total_adopted, 0u);
+  EXPECT_EQ(result->labels[1], -1);
+}
+
+}  // namespace
+}  // namespace drai::augment

@@ -1,0 +1,380 @@
+// Tests for drai/common: status model, byte serialization, hashing, RNG,
+// string utilities.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/bytes.hpp"
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "common/strings.hpp"
+
+namespace drai {
+namespace {
+
+// ---- Status / Result ----------------------------------------------------
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  const Status s = DataLoss("shard 3 crc mismatch");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(s.ToString(), "DATA_LOSS: shard 3 crc mismatch");
+}
+
+TEST(Status, OrDieThrowsOnError) {
+  EXPECT_THROW(NotFound("x").OrDie(), std::runtime_error);
+  EXPECT_NO_THROW(Status::Ok().OrDie());
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = NotFound("gone");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+  EXPECT_THROW(r.value(), std::runtime_error);
+}
+
+TEST(Result, OkStatusConstructionThrows) {
+  EXPECT_THROW(Result<int> r{Status::Ok()}, std::invalid_argument);
+}
+
+Result<int> Doubler(Result<int> in) {
+  DRAI_ASSIGN_OR_RETURN(int v, std::move(in));
+  return v * 2;
+}
+
+TEST(Result, AssignOrReturnPropagates) {
+  EXPECT_EQ(Doubler(21).value(), 42);
+  EXPECT_EQ(Doubler(InvalidArgument("nope")).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ---- bytes ----------------------------------------------------------------
+
+TEST(Bytes, PrimitiveRoundTrip) {
+  ByteWriter w;
+  w.PutU8(0xAB);
+  w.PutU16(0xBEEF);
+  w.PutU32(0xDEADBEEF);
+  w.PutU64(0x0123456789ABCDEFull);
+  w.PutI32(-12345);
+  w.PutF32(3.5f);
+  w.PutF64(-2.25);
+  w.PutString("hello");
+
+  const Bytes buf = w.Take();
+  ByteReader r(buf);
+  uint8_t u8;
+  uint16_t u16;
+  uint32_t u32;
+  uint64_t u64;
+  int32_t i32;
+  float f32;
+  double f64;
+  std::string s;
+  ASSERT_TRUE(r.GetU8(u8).ok());
+  ASSERT_TRUE(r.GetU16(u16).ok());
+  ASSERT_TRUE(r.GetU32(u32).ok());
+  ASSERT_TRUE(r.GetU64(u64).ok());
+  ASSERT_TRUE(r.GetI32(i32).ok());
+  ASSERT_TRUE(r.GetF32(f32).ok());
+  ASSERT_TRUE(r.GetF64(f64).ok());
+  ASSERT_TRUE(r.GetString(s).ok());
+  EXPECT_EQ(u8, 0xAB);
+  EXPECT_EQ(u16, 0xBEEF);
+  EXPECT_EQ(u32, 0xDEADBEEF);
+  EXPECT_EQ(u64, 0x0123456789ABCDEFull);
+  EXPECT_EQ(i32, -12345);
+  EXPECT_EQ(f32, 3.5f);
+  EXPECT_EQ(f64, -2.25);
+  EXPECT_EQ(s, "hello");
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Bytes, TruncationIsDataLossNotUB) {
+  ByteWriter w;
+  w.PutU32(7);
+  const Bytes buf = w.Take();
+  ByteReader r(std::span<const std::byte>(buf).subspan(0, 2));
+  uint32_t v;
+  EXPECT_EQ(r.GetU32(v).code(), StatusCode::kDataLoss);
+}
+
+class VarintProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VarintProperty, UnsignedRoundTrip) {
+  ByteWriter w;
+  w.PutVarU64(GetParam());
+  const Bytes buf = w.Take();
+  ByteReader r(buf);
+  uint64_t v = 1;
+  ASSERT_TRUE(r.GetVarU64(v).ok());
+  EXPECT_EQ(v, GetParam());
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST_P(VarintProperty, SignedZigzagRoundTrip) {
+  for (const int64_t sign : {1, -1}) {
+    const int64_t x = sign * static_cast<int64_t>(GetParam() >> 1);
+    ByteWriter w;
+    w.PutVarI64(x);
+    const Bytes buf = w.Take();
+    ByteReader r(buf);
+    int64_t v = 1;
+    ASSERT_TRUE(r.GetVarI64(v).ok());
+    EXPECT_EQ(v, x);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundaries, VarintProperty,
+                         ::testing::Values(0ull, 1ull, 127ull, 128ull,
+                                           16383ull, 16384ull, 1ull << 32,
+                                           UINT64_MAX, UINT64_MAX - 1,
+                                           0x8080808080ull));
+
+TEST(Bytes, VarintRandomRoundTrip) {
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t x = rng.NextU64() >> (rng.UniformU64(64));
+    ByteWriter w;
+    w.PutVarU64(x);
+    const Bytes buf = w.Take();
+    ByteReader r(buf);
+    uint64_t v;
+    ASSERT_TRUE(r.GetVarU64(v).ok());
+    ASSERT_EQ(v, x);
+  }
+}
+
+TEST(Bytes, PatchU32) {
+  ByteWriter w;
+  w.PutU32(0);
+  w.PutU32(99);
+  w.PatchU32(0, 0xCAFEBABE);
+  const Bytes buf = w.Take();
+  ByteReader r(buf);
+  uint32_t a, b;
+  ASSERT_TRUE(r.GetU32(a).ok());
+  ASSERT_TRUE(r.GetU32(b).ok());
+  EXPECT_EQ(a, 0xCAFEBABE);
+  EXPECT_EQ(b, 99u);
+}
+
+TEST(Bytes, PatchPastEndThrows) {
+  ByteWriter w;
+  w.PutU16(1);
+  EXPECT_THROW(w.PatchU32(0, 1), std::out_of_range);
+}
+
+// ---- hash ------------------------------------------------------------------
+
+TEST(Hash, Sha256KnownVectors) {
+  // FIPS 180-2 test vectors.
+  EXPECT_EQ(DigestToHex(Sha256::Hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(DigestToHex(Sha256::Hash("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(
+      DigestToHex(Sha256::Hash(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Hash, Sha256MillionA) {
+  Sha256 ctx;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) ctx.Update(chunk);
+  EXPECT_EQ(DigestToHex(ctx.Finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Hash, Sha256IncrementalMatchesOneShot) {
+  Rng rng(3);
+  std::string data(1037, '\0');
+  for (char& c : data) c = static_cast<char>(rng.UniformU64(256));
+  const auto oneshot = Sha256::Hash(data);
+  for (const size_t cut : {0ul, 1ul, 63ul, 64ul, 65ul, 1000ul}) {
+    Sha256 ctx;
+    ctx.Update(std::string_view(data).substr(0, cut));
+    ctx.Update(std::string_view(data).substr(cut));
+    EXPECT_EQ(ctx.Finish(), oneshot) << "cut=" << cut;
+  }
+}
+
+TEST(Hash, HmacSha256Rfc4231) {
+  // RFC 4231 test case 2.
+  EXPECT_EQ(DigestToHex(HmacSha256("Jefe", "what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+  // Test case 1: key = 20 bytes of 0x0b.
+  EXPECT_EQ(DigestToHex(HmacSha256(std::string(20, '\x0b'), "Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hash, Crc32KnownValue) {
+  // CRC-32("123456789") = 0xCBF43926 (IEEE).
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+}
+
+TEST(Hash, Fnv1aStableAndSeedSensitive) {
+  const uint64_t a = Fnv1a64("drai");
+  EXPECT_EQ(a, Fnv1a64("drai"));
+  EXPECT_NE(a, Fnv1a64("drai", 1));
+  EXPECT_NE(a, Fnv1a64("drai2"));
+}
+
+// ---- rng ---------------------------------------------------------------------
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(Rng, UniformDoubleInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.UniformDouble();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(11);
+  double sum = 0, sum_sq = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, UniformU64Unbiased) {
+  Rng rng(13);
+  int counts[7] = {0};
+  for (int i = 0; i < 70000; ++i) ++counts[rng.UniformU64(7)];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(Rng, PoissonMeanMatches) {
+  Rng rng(17);
+  for (const double lambda : {0.5, 4.0, 100.0}) {
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.Poisson(lambda));
+    EXPECT_NEAR(sum / n, lambda, std::max(0.05, lambda * 0.05));
+  }
+}
+
+TEST(Rng, CategoricalFollowsWeights) {
+  Rng rng(19);
+  const std::vector<double> w = {1.0, 3.0, 6.0};
+  int counts[3] = {0};
+  for (int i = 0; i < 50000; ++i) ++counts[rng.Categorical(w)];
+  EXPECT_NEAR(counts[0], 5000, 400);
+  EXPECT_NEAR(counts[1], 15000, 700);
+  EXPECT_NEAR(counts[2], 30000, 900);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(23);
+  const auto sample = rng.SampleWithoutReplacement(100, 30);
+  ASSERT_EQ(sample.size(), 30u);
+  std::set<size_t> uniq(sample.begin(), sample.end());
+  EXPECT_EQ(uniq.size(), 30u);
+  for (size_t i : sample) EXPECT_LT(i, 100u);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(7);
+  Rng child = a.Split();
+  EXPECT_NE(a.NextU64(), child.NextU64());
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(29);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, InvalidArgsThrow) {
+  Rng rng(1);
+  EXPECT_THROW(rng.UniformU64(0), std::invalid_argument);
+  EXPECT_THROW(rng.Exponential(0), std::invalid_argument);
+  EXPECT_THROW(rng.Categorical(std::vector<double>{0, 0}),
+               std::invalid_argument);
+}
+
+// ---- strings -----------------------------------------------------------------
+
+TEST(Strings, SplitPreservesEmptyFields) {
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(Trim("  x y \t\n"), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(Strings, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(1536), "1.50 KiB");
+  EXPECT_EQ(HumanBytes(3ull << 30), "3.00 GiB");
+}
+
+TEST(Strings, ParseInt64Strict) {
+  int64_t v = 0;
+  EXPECT_TRUE(ParseInt64("-42", v));
+  EXPECT_EQ(v, -42);
+  EXPECT_TRUE(ParseInt64("  17 ", v));
+  EXPECT_EQ(v, 17);
+  EXPECT_FALSE(ParseInt64("12x", v));
+  EXPECT_FALSE(ParseInt64("", v));
+}
+
+TEST(Strings, ParseDoubleStrict) {
+  double v = 0;
+  EXPECT_TRUE(ParseDouble("2.5e3", v));
+  EXPECT_DOUBLE_EQ(v, 2500.0);
+  EXPECT_FALSE(ParseDouble("nanx", v));
+}
+
+TEST(Strings, NormalizePath) {
+  EXPECT_EQ(NormalizePath("a//b/"), "/a/b");
+  EXPECT_EQ(NormalizePath("/"), "/");
+  EXPECT_EQ(NormalizePath(""), "/");
+  EXPECT_EQ(PathComponents("/a/b/c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("train-00001.rec", "train-"));
+  EXPECT_TRUE(EndsWith("train-00001.rec", ".rec"));
+  EXPECT_FALSE(StartsWith("x", "xy"));
+}
+
+}  // namespace
+}  // namespace drai

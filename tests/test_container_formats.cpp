@@ -1,0 +1,324 @@
+// Tests for netcdf-lite, grib-lite, recio, bplite, and format sniffing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.hpp"
+#include "container/bplite.hpp"
+#include "container/grib_lite.hpp"
+#include "container/netcdf_lite.hpp"
+#include "container/recio.hpp"
+#include "container/sniff.hpp"
+
+namespace drai::container {
+namespace {
+
+NDArray MakeField(size_t h, size_t w, uint64_t seed, double nan_prob = 0.0) {
+  Rng rng(seed);
+  NDArray a = NDArray::Zeros({h, w}, DType::kF64);
+  for (size_t i = 0; i < a.numel(); ++i) {
+    a.SetFromDouble(i, rng.Bernoulli(nan_prob)
+                           ? std::numeric_limits<double>::quiet_NaN()
+                           : rng.Uniform(250, 320));
+  }
+  return a;
+}
+
+// ---- netcdf-lite ----------------------------------------------------------
+
+TEST(NetcdfLite, DimensionConsistencyEnforced) {
+  NcFile nc;
+  ASSERT_TRUE(nc.AddDimension("lat", 4).ok());
+  ASSERT_TRUE(nc.AddDimension("lat", 4).ok());  // idempotent
+  EXPECT_EQ(nc.AddDimension("lat", 5).code(), StatusCode::kAlreadyExists);
+
+  NcVariable v;
+  v.name = "t2m";
+  v.dims = {"lat", "lon"};
+  v.data = NDArray::Zeros({4, 8});
+  EXPECT_EQ(nc.AddVariable(v).code(), StatusCode::kNotFound);  // lon undefined
+  ASSERT_TRUE(nc.AddDimension("lon", 9).ok());
+  EXPECT_EQ(nc.AddVariable(v).code(), StatusCode::kInvalidArgument);  // 8 != 9
+}
+
+TEST(NetcdfLite, FullRoundTrip) {
+  NcFile nc;
+  nc.SetGlobalAttr("institution", AttrValue::String("drai"));
+  nc.AddDimension("time", 2).OrDie();
+  nc.AddDimension("lat", 3).OrDie();
+  nc.AddDimension("lon", 4).OrDie();
+  NcVariable v;
+  v.name = "t2m";
+  v.dims = {"time", "lat", "lon"};
+  v.data = NDArray::Full({2, 3, 4}, 288.5, DType::kF64);
+  v.attrs["units"] = AttrValue::String("K");
+  v.attrs["_FillValue"] = AttrValue::Double(-9999.0);
+  nc.AddVariable(v).OrDie();
+  NcVariable lat;
+  lat.name = "lat";
+  lat.dims = {"lat"};
+  lat.data = NDArray::FromVector<double>({-60.0, 0.0, 60.0});
+  nc.AddVariable(lat).OrDie();
+
+  const Bytes bytes = nc.Serialize();
+  const auto back = NcFile::Parse(bytes);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->DimensionSize("lat").value(), 3u);
+  EXPECT_EQ(back->GetGlobalAttr("institution")->s, "drai");
+  ASSERT_EQ(back->variables().size(), 2u);
+  EXPECT_EQ(back->variables()[0].name, "t2m");  // order preserved
+  const NcVariable* t2m = back->FindVariable("t2m");
+  ASSERT_NE(t2m, nullptr);
+  EXPECT_EQ(t2m->Units().value(), "K");
+  EXPECT_EQ(t2m->FillValue().value(), -9999.0);
+  EXPECT_EQ(t2m->dims, (std::vector<std::string>{"time", "lat", "lon"}));
+  EXPECT_EQ(t2m->data.GetAsDouble(7), 288.5);
+}
+
+TEST(NetcdfLite, RejectsForeignSdf) {
+  SdfFile f;
+  EXPECT_EQ(NcFile::Parse(f.Serialize()).status().code(),
+            StatusCode::kDataLoss);
+}
+
+// ---- grib-lite -----------------------------------------------------------
+
+class GribBits : public ::testing::TestWithParam<uint8_t> {};
+
+TEST_P(GribBits, RoundTripWithinPackError) {
+  GribMessage msg;
+  msg.variable = "z500";
+  msg.valid_time = 86400;
+  msg.level_hpa = 500;
+  msg.bits = GetParam();
+  msg.field = MakeField(16, 32, 7);
+
+  Bytes file;
+  ASSERT_TRUE(AppendGribMessage(file, msg).ok());
+  const auto decoded = DecodeGribFile(file);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->size(), 1u);
+  const GribMessage& out = (*decoded)[0];
+  EXPECT_EQ(out.variable, "z500");
+  EXPECT_EQ(out.valid_time, 86400);
+  EXPECT_EQ(out.level_hpa, 500);
+  for (size_t i = 0; i < out.field.numel(); ++i) {
+    EXPECT_NEAR(out.field.GetAsDouble(i), msg.field.GetAsDouble(i),
+                msg.pack_error.max_abs * (1 + 1e-9));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, GribBits, ::testing::Values(8, 16));
+
+TEST(GribLite, MissingBitmapPreservesNaN) {
+  GribMessage msg;
+  msg.variable = "t2m";
+  msg.field = MakeField(12, 12, 9, /*nan_prob=*/0.15);
+  Bytes file;
+  ASSERT_TRUE(AppendGribMessage(file, msg).ok());
+  const auto decoded = DecodeGribFile(file);
+  ASSERT_TRUE(decoded.ok());
+  const NDArray& out = (*decoded)[0].field;
+  size_t nan_in = 0, nan_out = 0;
+  for (size_t i = 0; i < out.numel(); ++i) {
+    const bool in_nan = std::isnan(msg.field.GetAsDouble(i));
+    const bool out_nan = std::isnan(out.GetAsDouble(i));
+    EXPECT_EQ(in_nan, out_nan) << "cell " << i;
+    nan_in += in_nan;
+    nan_out += out_nan;
+  }
+  EXPECT_GT(nan_in, 0u);  // the workload actually injected dropouts
+}
+
+TEST(GribLite, MultiMessageStream) {
+  Bytes file;
+  for (int t = 0; t < 5; ++t) {
+    GribMessage msg;
+    msg.variable = t % 2 ? "u10" : "t2m";
+    msg.valid_time = t * 3600;
+    msg.field = MakeField(8, 16, static_cast<uint64_t>(t));
+    ASSERT_TRUE(AppendGribMessage(file, msg).ok());
+  }
+  const auto decoded = DecodeGribFile(file);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->size(), 5u);
+  EXPECT_EQ((*decoded)[3].valid_time, 3 * 3600);
+}
+
+TEST(GribLite, TornFileDetected) {
+  GribMessage msg;
+  msg.variable = "t2m";
+  msg.field = MakeField(8, 8, 3);
+  Bytes file;
+  ASSERT_TRUE(AppendGribMessage(file, msg).ok());
+  file.resize(file.size() - 7);
+  EXPECT_EQ(DecodeGribFile(file).status().code(), StatusCode::kDataLoss);
+}
+
+TEST(GribLite, CorruptPayloadCaughtByCrc) {
+  GribMessage msg;
+  msg.variable = "t2m";
+  msg.field = MakeField(8, 8, 4);
+  Bytes file;
+  ASSERT_TRUE(AppendGribMessage(file, msg).ok());
+  file[file.size() / 2] ^= std::byte{0x10};
+  EXPECT_EQ(DecodeGribFile(file).status().code(), StatusCode::kDataLoss);
+}
+
+TEST(GribLite, RejectsNonFloatingAndBadRank) {
+  GribMessage msg;
+  msg.variable = "x";
+  msg.field = NDArray::Zeros({4}, DType::kF32);
+  Bytes file;
+  EXPECT_EQ(AppendGribMessage(file, msg).code(), StatusCode::kInvalidArgument);
+  msg.field = NDArray::Zeros({2, 2}, DType::kI32);
+  EXPECT_EQ(AppendGribMessage(file, msg).code(), StatusCode::kInvalidArgument);
+}
+
+// ---- recio ---------------------------------------------------------------
+
+TEST(Recio, RecordStreamRoundTrip) {
+  RecWriter w(ToBytes("schema-v1"));
+  w.Append("alpha");
+  w.Append("beta");
+  w.Append("");
+  EXPECT_EQ(w.record_count(), 3u);
+  const Bytes file = w.Finish();
+
+  auto rd = RecReader::Open(file);
+  ASSERT_TRUE(rd.ok());
+  EXPECT_EQ(BytesToString(rd->metadata()), "schema-v1");
+  const auto all = rd->ReadAll();
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), 3u);
+  EXPECT_EQ(BytesToString((*all)[0]), "alpha");
+  EXPECT_EQ(BytesToString((*all)[2]), "");
+}
+
+TEST(Recio, EmptyStream) {
+  RecWriter w;
+  const Bytes file = w.Finish();
+  auto rd = RecReader::Open(file);
+  ASSERT_TRUE(rd.ok());
+  EXPECT_EQ(rd->CountRecords().value(), 0u);
+}
+
+TEST(Recio, PerRecordCrcLocalizesCorruption) {
+  RecWriter w;
+  w.Append("first-record-payload");
+  w.Append("second-record-payload");
+  Bytes file = w.Finish();
+  // Corrupt the last payload byte (second record).
+  file[file.size() - 1] ^= std::byte{0x01};
+  auto rd = RecReader::Open(file);
+  ASSERT_TRUE(rd.ok());
+  const auto first = rd->Next();
+  ASSERT_TRUE(first.ok());  // first record untouched
+  EXPECT_EQ(BytesToString(**first), "first-record-payload");
+  EXPECT_EQ(rd->Next().status().code(), StatusCode::kDataLoss);
+}
+
+TEST(Recio, TornTailDetected) {
+  RecWriter w;
+  w.Append(std::string(1000, 'x'));
+  Bytes file = w.Finish();
+  file.resize(file.size() - 100);
+  auto rd = RecReader::Open(file);
+  ASSERT_TRUE(rd.ok());
+  EXPECT_EQ(rd->Next().status().code(), StatusCode::kDataLoss);
+}
+
+TEST(Recio, BadMagicRejectedAtOpen) {
+  EXPECT_EQ(RecReader::Open(ToBytes("XXXXjunkjunk")).status().code(),
+            StatusCode::kDataLoss);
+}
+
+// ---- bplite --------------------------------------------------------------
+
+TEST(BpLite, StepOrientedRoundTrip) {
+  BpWriter w;
+  for (int step = 0; step < 3; ++step) {
+    w.BeginStep();
+    w.Put("temperature", NDArray::Full({4, 4}, 300.0 + step, DType::kF64),
+          codec::Codec::kXorF64);
+    w.Put("pressure", NDArray::Full({4}, 1e5 * (step + 1), DType::kF64));
+    w.EndStep();
+  }
+  EXPECT_EQ(w.step_count(), 3u);
+  const Bytes file = w.Finish();
+
+  auto rd = BpReader::Open(file);
+  ASSERT_TRUE(rd.ok()) << rd.status().ToString();
+  EXPECT_EQ(rd->step_count(), 3u);
+  EXPECT_EQ(rd->Variables(1),
+            (std::vector<std::string>{"pressure", "temperature"}));
+  const auto temp = rd->Get(2, "temperature");
+  ASSERT_TRUE(temp.ok());
+  EXPECT_EQ(temp->GetAsDouble(0), 302.0);
+  EXPECT_EQ(rd->Get(0, "pressure")->GetAsDouble(0), 1e5);
+  EXPECT_EQ(rd->Get(0, "nope").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(rd->Get(9, "pressure").status().code(), StatusCode::kNotFound);
+}
+
+TEST(BpLite, WriterStateMachineEnforced) {
+  BpWriter w;
+  EXPECT_THROW(w.Put("x", NDArray::Zeros({1})), std::logic_error);
+  w.BeginStep();
+  EXPECT_THROW(w.BeginStep(), std::logic_error);
+  w.EndStep();
+  EXPECT_THROW(w.EndStep(), std::logic_error);
+  w.BeginStep();
+  EXPECT_THROW(w.Finish(), std::logic_error);  // open step
+  w.EndStep();
+  w.Finish();
+  EXPECT_THROW(w.Finish(), std::logic_error);
+}
+
+TEST(BpLite, TornTailMagicDetected) {
+  BpWriter w;
+  w.BeginStep();
+  w.Put("x", NDArray::Zeros({128}));
+  w.EndStep();
+  Bytes file = w.Finish();
+  file.resize(file.size() - 2);
+  EXPECT_EQ(BpReader::Open(file).status().code(), StatusCode::kDataLoss);
+}
+
+TEST(BpLite, FooterCrcDetectsCorruption) {
+  BpWriter w;
+  w.BeginStep();
+  w.Put("x", NDArray::Zeros({16}));
+  w.EndStep();
+  Bytes file = w.Finish();
+  // Flip a byte inside the footer (just before the 16-byte tail).
+  file[file.size() - 20] ^= std::byte{0x08};
+  EXPECT_EQ(BpReader::Open(file).status().code(), StatusCode::kDataLoss);
+}
+
+// ---- sniff ---------------------------------------------------------------
+
+TEST(Sniff, IdentifiesEveryFormat) {
+  SdfFile sdf;
+  EXPECT_EQ(SniffFormat(sdf.Serialize()), FileFormat::kSdf);
+
+  GribMessage msg;
+  msg.variable = "t";
+  msg.field = MakeField(4, 4, 1);
+  Bytes grib;
+  AppendGribMessage(grib, msg).OrDie();
+  EXPECT_EQ(SniffFormat(grib), FileFormat::kGribLite);
+
+  RecWriter rec;
+  EXPECT_EQ(SniffFormat(rec.Finish()), FileFormat::kRecio);
+
+  BpWriter bp;
+  EXPECT_EQ(SniffFormat(bp.Finish()), FileFormat::kBpLite);
+
+  EXPECT_EQ(SniffFormat(ToBytes("garbage")), FileFormat::kUnknown);
+  EXPECT_EQ(SniffFormat(ToBytes("ab")), FileFormat::kUnknown);
+  EXPECT_EQ(FileFormatName(FileFormat::kSdf), "sdf");
+}
+
+}  // namespace
+}  // namespace drai::container

@@ -1,0 +1,282 @@
+// Tests for the core pipeline framework: bundle, canonical stage ordering,
+// execution metrics, the feedback loop, and provenance capture.
+#include <gtest/gtest.h>
+
+#include "core/bundle.hpp"
+#include "core/pipeline.hpp"
+#include "core/provenance.hpp"
+
+namespace drai::core {
+namespace {
+
+// ---- bundle -----------------------------------------------------------------
+
+TEST(DataBundle, LookupsAndAttrs) {
+  DataBundle bundle;
+  bundle.tensors["x"] = NDArray::Zeros({2, 2});
+  bundle.blobs["raw"] = ToBytes("bytes");
+  bundle.SetAttr("count", container::AttrValue::Int(5));
+  bundle.SetAttr("scale", container::AttrValue::Double(1.5));
+
+  EXPECT_TRUE(bundle.Tensor("x").ok());
+  EXPECT_EQ(bundle.Tensor("y").status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(bundle.Blob("raw").ok());
+  EXPECT_FALSE(bundle.Blob("nope").ok());
+  EXPECT_EQ(bundle.Attr("count")->i, 5);
+  EXPECT_FALSE(bundle.Attr("missing").has_value());
+  EXPECT_DOUBLE_EQ(bundle.AttrOr("count", -1), 5.0);
+  EXPECT_DOUBLE_EQ(bundle.AttrOr("scale", -1), 1.5);
+  EXPECT_DOUBLE_EQ(bundle.AttrOr("missing", -1), -1.0);
+  EXPECT_GT(bundle.ApproxBytes(), 16u);
+}
+
+// ---- ordering -----------------------------------------------------------------
+
+TEST(Pipeline, EnforcesCanonicalStageOrder) {
+  Pipeline p("ordered");
+  p.Add("a", StageKind::kIngest,
+        [](DataBundle&, StageContext&) { return Status::Ok(); });
+  p.Add("b", StageKind::kPreprocess,
+        [](DataBundle&, StageContext&) { return Status::Ok(); });
+  p.Add("b2", StageKind::kPreprocess,  // same kind repeats: fine
+        [](DataBundle&, StageContext&) { return Status::Ok(); });
+  p.Add("c", StageKind::kShard,
+        [](DataBundle&, StageContext&) { return Status::Ok(); });
+  // Going backwards must throw.
+  EXPECT_THROW(p.Add("late-ingest", StageKind::kIngest,
+                     [](DataBundle&, StageContext&) { return Status::Ok(); }),
+               std::invalid_argument);
+  EXPECT_EQ(p.NumStages(), 4u);
+}
+
+TEST(Pipeline, RunsStagesInOrderWithMetrics) {
+  Pipeline p("metrics");
+  std::vector<std::string> order;
+  p.Add("first", StageKind::kIngest, [&](DataBundle& b, StageContext&) {
+    order.push_back("first");
+    b.blobs["data"] = Bytes(1000);
+    return Status::Ok();
+  });
+  p.Add("second", StageKind::kTransform, [&](DataBundle& b, StageContext&) {
+    order.push_back("second");
+    b.blobs["data"] = Bytes(4000);
+    return Status::Ok();
+  });
+  DataBundle bundle;
+  const PipelineReport report = p.Run(bundle);
+  EXPECT_TRUE(report.ok);
+  EXPECT_EQ(order, (std::vector<std::string>{"first", "second"}));
+  ASSERT_EQ(report.stages.size(), 2u);
+  EXPECT_EQ(report.stages[0].name, "first");
+  EXPECT_EQ(report.stages[0].bundle_bytes_before, 0u);
+  EXPECT_EQ(report.stages[0].bundle_bytes_after, 1000u);
+  EXPECT_EQ(report.stages[1].bundle_bytes_after, 4000u);
+  EXPECT_GE(report.total_seconds, 0.0);
+  EXPECT_FALSE(report.TimeBreakdown().empty());
+}
+
+TEST(Pipeline, FailFastStopsAtFirstError) {
+  Pipeline p("failing");
+  bool later_ran = false;
+  p.Add("boom", StageKind::kIngest, [](DataBundle&, StageContext&) {
+    return DataLoss("bad input file");
+  });
+  p.Add("after", StageKind::kPreprocess, [&](DataBundle&, StageContext&) {
+    later_ran = true;
+    return Status::Ok();
+  });
+  DataBundle bundle;
+  const PipelineReport report = p.Run(bundle);
+  EXPECT_FALSE(report.ok);
+  EXPECT_EQ(report.error.code(), StatusCode::kDataLoss);
+  EXPECT_FALSE(later_ran);
+  EXPECT_EQ(report.stages.size(), 1u);
+}
+
+TEST(Pipeline, NoFailFastRunsRemainingStages) {
+  PipelineOptions options;
+  options.fail_fast = false;
+  Pipeline p("continue", options);
+  bool later_ran = false;
+  p.Add("boom", StageKind::kIngest, [](DataBundle&, StageContext&) {
+    return DataLoss("x");
+  });
+  p.Add("after", StageKind::kPreprocess, [&](DataBundle&, StageContext&) {
+    later_ran = true;
+    return Status::Ok();
+  });
+  DataBundle bundle;
+  const PipelineReport report = p.Run(bundle);
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(later_ran);
+  EXPECT_EQ(report.stages.size(), 2u);
+}
+
+TEST(Pipeline, StageRngDeterministicAcrossRuns) {
+  // Two pipelines with the same seed must hand stages identical randomness.
+  auto collect = [](uint64_t seed) {
+    PipelineOptions options;
+    options.seed = seed;
+    Pipeline p("rng", options);
+    uint64_t value = 0;
+    p.Add("draw", StageKind::kIngest, [&](DataBundle&, StageContext& ctx) {
+      value = ctx.rng().NextU64();
+      return Status::Ok();
+    });
+    DataBundle bundle;
+    p.Run(bundle);
+    return value;
+  };
+  EXPECT_EQ(collect(7), collect(7));
+  EXPECT_NE(collect(7), collect(8));
+}
+
+// ---- feedback loop ----------------------------------------------------------
+
+TEST(Pipeline, FeedbackLoopIteratesUntilQualityReached) {
+  // A stage that "cleans" a little each run; evaluate() demands a floor.
+  Pipeline p("feedback");
+  p.Add("clean", StageKind::kTransform, [](DataBundle& b, StageContext&) {
+    b.SetAttr("quality",
+              container::AttrValue::Double(b.AttrOr("quality", 0.0) + 0.25));
+    return Status::Ok();
+  });
+  DataBundle bundle;
+  const auto fb = p.RunWithFeedback(
+      bundle,
+      [](const DataBundle& b) { return b.AttrOr("quality", 0.0) >= 0.9; },
+      [](DataBundle&) {}, /*max_iterations=*/10);
+  EXPECT_TRUE(fb.converged);
+  EXPECT_EQ(fb.iterations, 4u);  // 0.25 per run -> 1.0 at run 4
+  EXPECT_DOUBLE_EQ(bundle.AttrOr("quality", 0.0), 1.0);
+}
+
+TEST(Pipeline, FeedbackLoopGivesUpAtMaxIterations) {
+  Pipeline p("never");
+  p.Add("noop", StageKind::kTransform,
+        [](DataBundle&, StageContext&) { return Status::Ok(); });
+  DataBundle bundle;
+  const auto fb = p.RunWithFeedback(
+      bundle, [](const DataBundle&) { return false; }, [](DataBundle&) {}, 3);
+  EXPECT_FALSE(fb.converged);
+  EXPECT_EQ(fb.iterations, 3u);
+}
+
+// ---- provenance --------------------------------------------------------------
+
+TEST(Pipeline, CapturesProvenancePerStage) {
+  Pipeline p("prov");
+  p.Add("ingest", StageKind::kIngest, [](DataBundle&, StageContext& ctx) {
+    ctx.NoteParam("files", "3");
+    return Status::Ok();
+  });
+  p.Add("shard", StageKind::kShard,
+        [](DataBundle&, StageContext&) { return Status::Ok(); });
+  DataBundle bundle;
+  p.Run(bundle);
+  const ProvenanceGraph& g = p.provenance();
+  ASSERT_EQ(g.activities().size(), 2u);
+  EXPECT_EQ(g.activities()[0].stage_kind, "ingest");
+  EXPECT_EQ(g.activities()[0].params.at("files"), "3");
+  EXPECT_EQ(g.activities()[1].stage_kind, "shard");
+  // The shard stage's output derives from the ingest stage's output.
+  const auto lineage = g.LineageActivities(g.artifacts().size() - 1);
+  ASSERT_TRUE(lineage.ok());
+  EXPECT_EQ(lineage->size(), 2u);
+}
+
+TEST(Pipeline, ProvenanceDisabledLeavesNoRecord) {
+  PipelineOptions options;
+  options.capture_provenance = false;
+  Pipeline p("silent", options);
+  p.Add("s", StageKind::kIngest, [](DataBundle&, StageContext& ctx) {
+    EXPECT_EQ(ctx.provenance(), nullptr);
+    return Status::Ok();
+  });
+  DataBundle bundle;
+  p.Run(bundle);
+  EXPECT_TRUE(p.provenance().activities().empty());
+}
+
+TEST(Provenance, AncestryAcrossActivities) {
+  ProvenanceGraph g;
+  const size_t raw = g.AddArtifact("raw", ToBytes("raw-data"));
+  const size_t clean = g.AddArtifact("clean", ToBytes("clean-data"));
+  const size_t shards = g.AddArtifact("shards", ToBytes("shard-data"));
+  Activity a1;
+  a1.name = "clean";
+  a1.stage_kind = "preprocess";
+  a1.inputs = {raw};
+  a1.outputs = {clean};
+  ASSERT_TRUE(g.AddActivity(a1).ok());
+  Activity a2;
+  a2.name = "shard";
+  a2.stage_kind = "shard";
+  a2.inputs = {clean};
+  a2.outputs = {shards};
+  ASSERT_TRUE(g.AddActivity(a2).ok());
+
+  const auto ancestors = g.Ancestors(shards);
+  ASSERT_TRUE(ancestors.ok());
+  EXPECT_EQ(*ancestors, (std::vector<size_t>{raw, clean}));
+  EXPECT_TRUE(g.Ancestors(raw)->empty());
+  EXPECT_FALSE(g.Ancestors(99).ok());
+}
+
+TEST(Provenance, DoubleProducerRejected) {
+  ProvenanceGraph g;
+  const size_t a = g.AddArtifact("a", ToBytes("x"));
+  Activity act;
+  act.name = "make";
+  act.outputs = {a};
+  ASSERT_TRUE(g.AddActivity(act).ok());
+  EXPECT_EQ(g.AddActivity(act).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(Provenance, RecordHashSensitiveToEverything) {
+  auto build = [](const std::string& param) {
+    ProvenanceGraph g;
+    const size_t a = g.AddArtifact("a", ToBytes("data"));
+    Activity act;
+    act.name = "stage";
+    act.stage_kind = "transform";
+    act.params["p"] = param;
+    act.outputs = {a};
+    g.AddActivity(act).OrDie();
+    return g.RecordHash();
+  };
+  EXPECT_EQ(build("1"), build("1"));
+  EXPECT_NE(build("1"), build("2"));
+}
+
+TEST(Provenance, SerializeRoundTrip) {
+  ProvenanceGraph g;
+  const size_t raw = g.AddArtifact("raw", ToBytes("bytes"));
+  Activity act;
+  act.name = "ingest";
+  act.stage_kind = "ingest";
+  act.params["source"] = "synthetic";
+  act.outputs = {raw};
+  act.seconds = 1.25;
+  g.AddActivity(act).OrDie();
+
+  const auto back = ProvenanceGraph::Parse(g.Serialize());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->RecordHash(), g.RecordHash());
+  EXPECT_EQ(back->artifacts()[0].name, "raw");
+  EXPECT_EQ(back->activities()[0].params.at("source"), "synthetic");
+  EXPECT_DOUBLE_EQ(back->activities()[0].seconds, 1.25);
+  EXPECT_FALSE(back->ToText().empty());
+}
+
+TEST(Provenance, CorruptionDetected) {
+  ProvenanceGraph g;
+  g.AddArtifact("a", ToBytes("zzz"));
+  Bytes bytes = g.Serialize();
+  bytes[bytes.size() / 2] ^= std::byte{0x01};
+  EXPECT_EQ(ProvenanceGraph::Parse(bytes).status().code(),
+            StatusCode::kDataLoss);
+}
+
+}  // namespace
+}  // namespace drai::core

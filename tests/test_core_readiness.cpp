@@ -1,0 +1,156 @@
+// Tests for the readiness framework: Table 2's maturity matrix and the
+// rule-based assessor.
+#include <gtest/gtest.h>
+
+#include "core/readiness.hpp"
+
+namespace drai::core {
+namespace {
+
+/// A state that satisfies everything up to and including `level`.
+DatasetState StateAtLevel(ReadinessLevel level) {
+  DatasetState s;
+  const auto at_least = [&](ReadinessLevel l) {
+    return static_cast<int>(level) >= static_cast<int>(l);
+  };
+  s.acquired = at_least(ReadinessLevel::kRaw);
+  s.validated_standard_format = at_least(ReadinessLevel::kCleaned);
+  s.initial_alignment = at_least(ReadinessLevel::kCleaned);
+  s.metadata_enriched = at_least(ReadinessLevel::kLabeled);
+  s.grids_standardized = at_least(ReadinessLevel::kLabeled);
+  s.basic_normalization = at_least(ReadinessLevel::kLabeled);
+  s.basic_labels = at_least(ReadinessLevel::kLabeled);
+  s.label_fraction = at_least(ReadinessLevel::kLabeled) ? 1.0 : 0.0;
+  s.high_throughput_ingest = at_least(ReadinessLevel::kFeatureEngineered);
+  s.alignment_fully_standardized =
+      at_least(ReadinessLevel::kFeatureEngineered);
+  s.normalization_finalized = at_least(ReadinessLevel::kFeatureEngineered);
+  s.comprehensive_labels = at_least(ReadinessLevel::kFeatureEngineered);
+  s.features_extracted = at_least(ReadinessLevel::kFeatureEngineered);
+  s.ingest_automated = at_least(ReadinessLevel::kAiReady);
+  s.alignment_automated = at_least(ReadinessLevel::kAiReady);
+  s.transform_automated_audited = at_least(ReadinessLevel::kAiReady);
+  s.features_validated = at_least(ReadinessLevel::kAiReady);
+  s.split_and_sharded = at_least(ReadinessLevel::kAiReady);
+  return s;
+}
+
+// ---- matrix cells -------------------------------------------------------
+
+TEST(MaturityMatrix, GreyCellsMatchTable2) {
+  // Table 2's N/A pattern: at level L, stages with index > L-1 are grey.
+  EXPECT_TRUE(MatrixCell(ReadinessLevel::kRaw, StageKind::kIngest).has_value());
+  EXPECT_FALSE(
+      MatrixCell(ReadinessLevel::kRaw, StageKind::kPreprocess).has_value());
+  EXPECT_FALSE(MatrixCell(ReadinessLevel::kRaw, StageKind::kShard).has_value());
+  EXPECT_TRUE(
+      MatrixCell(ReadinessLevel::kCleaned, StageKind::kPreprocess).has_value());
+  EXPECT_FALSE(
+      MatrixCell(ReadinessLevel::kCleaned, StageKind::kTransform).has_value());
+  EXPECT_TRUE(
+      MatrixCell(ReadinessLevel::kLabeled, StageKind::kTransform).has_value());
+  EXPECT_FALSE(
+      MatrixCell(ReadinessLevel::kLabeled, StageKind::kStructure).has_value());
+  EXPECT_TRUE(MatrixCell(ReadinessLevel::kFeatureEngineered,
+                         StageKind::kStructure)
+                  .has_value());
+  EXPECT_FALSE(
+      MatrixCell(ReadinessLevel::kFeatureEngineered, StageKind::kShard)
+          .has_value());
+  // Level 5 populates every column.
+  for (StageKind stage : kAllStageKinds) {
+    EXPECT_TRUE(MatrixCell(ReadinessLevel::kAiReady, stage).has_value());
+  }
+}
+
+TEST(MaturityMatrix, GreyCellsAlwaysSatisfied) {
+  const DatasetState empty;
+  EXPECT_TRUE(CellSatisfied(empty, ReadinessLevel::kRaw, StageKind::kShard));
+  EXPECT_FALSE(CellSatisfied(empty, ReadinessLevel::kRaw, StageKind::kIngest));
+}
+
+// ---- assessor ladder ------------------------------------------------------
+
+class ReadinessLadder : public ::testing::TestWithParam<ReadinessLevel> {};
+
+TEST_P(ReadinessLadder, StateAtLevelAssessesToThatLevel) {
+  const ReadinessLevel level = GetParam();
+  const ReadinessAssessment a = Assess(StateAtLevel(level));
+  EXPECT_EQ(a.overall, level);
+  if (level != ReadinessLevel::kAiReady) {
+    EXPECT_FALSE(a.blocking.empty());
+  } else {
+    EXPECT_TRUE(a.blocking.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, ReadinessLadder,
+                         ::testing::ValuesIn(kAllReadinessLevels));
+
+TEST(Assess, QualityGateDemotesCleaned) {
+  // All the level-2 work ran, but 40% of samples are missing: not cleaned.
+  DatasetState s = StateAtLevel(ReadinessLevel::kCleaned);
+  s.missing_fraction = 0.4;
+  EXPECT_EQ(Assess(s).overall, ReadinessLevel::kRaw);
+  s.missing_fraction = 0.1;
+  EXPECT_EQ(Assess(s).overall, ReadinessLevel::kCleaned);
+}
+
+TEST(Assess, LabelFractionGates) {
+  DatasetState s = StateAtLevel(ReadinessLevel::kFeatureEngineered);
+  s.label_fraction = 0.5;  // comprehensive labeling requires >= 0.95
+  EXPECT_EQ(Assess(s).overall, ReadinessLevel::kLabeled);
+  s.label_fraction = 0.0;  // basic labels require > 0
+  EXPECT_EQ(Assess(s).overall, ReadinessLevel::kCleaned);
+}
+
+TEST(Assess, MissingAnonymizationBlocksLabeledForPhiData) {
+  DatasetState s = StateAtLevel(ReadinessLevel::kLabeled);
+  s.anonymization_done = false;  // PHI present, not de-identified
+  EXPECT_EQ(Assess(s).overall, ReadinessLevel::kCleaned);
+}
+
+TEST(Assess, PerStageLevelsIndependent) {
+  // Shard done early; transform lagging.
+  DatasetState s = StateAtLevel(ReadinessLevel::kLabeled);
+  s.split_and_sharded = true;
+  const ReadinessAssessment a = Assess(s);
+  // shard column: its only cell (L5) is satisfied -> per-stage 5.
+  EXPECT_EQ(a.per_stage[4], ReadinessLevel::kAiReady);
+  // transform column: satisfied through L3 only.
+  EXPECT_EQ(a.per_stage[2], ReadinessLevel::kLabeled);
+  // Overall remains gated by the weakest cells.
+  EXPECT_EQ(a.overall, ReadinessLevel::kLabeled);
+}
+
+TEST(Assess, BlockingListsNameTheGaps) {
+  DatasetState s = StateAtLevel(ReadinessLevel::kFeatureEngineered);
+  const ReadinessAssessment a = Assess(s);
+  ASSERT_FALSE(a.blocking.empty());
+  // Every blocker is a level-5 cell.
+  for (const std::string& b : a.blocking) {
+    EXPECT_NE(b.find("5-fully-AI-ready"), std::string::npos) << b;
+  }
+}
+
+// ---- rendering ----------------------------------------------------------------
+
+TEST(RenderMatrix, ShowsChecksAndGaps) {
+  const std::string rendered =
+      RenderMaturityMatrix(StateAtLevel(ReadinessLevel::kLabeled));
+  EXPECT_NE(rendered.find("[x]"), std::string::npos);
+  EXPECT_NE(rendered.find("[ ]"), std::string::npos);
+  EXPECT_NE(rendered.find("(n/a)"), std::string::npos);
+  EXPECT_NE(rendered.find("3-labeled"), std::string::npos);
+  const std::string plain = RenderMaturityMatrix();
+  EXPECT_NE(plain.find("req"), std::string::npos);
+}
+
+TEST(ReadinessLevelName, Names) {
+  EXPECT_EQ(ReadinessLevelName(ReadinessLevel::kRaw), "1-raw");
+  EXPECT_EQ(ReadinessLevelName(ReadinessLevel::kAiReady), "5-fully-AI-ready");
+  EXPECT_EQ(StageKindName(StageKind::kShard), "shard");
+}
+
+}  // namespace
+}  // namespace drai::core

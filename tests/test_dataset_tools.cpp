@@ -1,0 +1,154 @@
+// Tests for dataset maintenance: VerifyDataset and ReshardDataset.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "shard/dataset_tools.hpp"
+
+namespace drai::shard {
+namespace {
+
+/// Build a small dataset and return its directory.
+std::string BuildDataset(par::StripedStore& store, size_t n,
+                         uint64_t shard_bytes, const std::string& dir) {
+  ShardWriterConfig config;
+  config.dataset_name = "tools-test";
+  config.directory = dir;
+  config.target_shard_bytes = shard_bytes;
+  config.split_seed = 5;
+  ShardWriter writer(store, config);
+  Rng rng(9);
+  for (size_t i = 0; i < n; ++i) {
+    Example ex;
+    ex.key = "k" + std::to_string(i);
+    ex.features["x"] = NDArray::Full({16}, rng.Uniform(0, 1), DType::kF32);
+    ex.SetLabel(static_cast<int64_t>(i % 3));
+    writer.Add(ex).value();
+  }
+  ByteWriter nb;
+  nb.PutString("normalizer-placeholder");
+  writer.SetNormalizerBlob(nb.Take());
+  writer.SetProvenanceHash("cafebabe");
+  writer.Finalize().value();
+  return dir;
+}
+
+// ---- verify ---------------------------------------------------------------
+
+TEST(VerifyDataset, CleanDatasetPasses) {
+  par::StripedStore store;
+  BuildDataset(store, 120, 800, "/ds/verify");
+  const auto report = VerifyDataset(store, "/ds/verify");
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->ok());
+  EXPECT_EQ(report->records_checked, 120u);
+  EXPECT_GT(report->shards_checked, 1u);
+  EXPECT_GT(report->bytes_checked, 0u);
+}
+
+TEST(VerifyDataset, DetectsCorruptShard) {
+  par::StripedStore store;
+  BuildDataset(store, 60, 800, "/ds/corrupt");
+  // Flip a byte in some shard payload.
+  const auto files = store.List("/ds/corrupt/train");
+  ASSERT_FALSE(files.empty());
+  Bytes raw = store.ReadAll(files[0]).value();
+  raw[raw.size() - 3] ^= std::byte{0xFF};
+  store.Write(files[0], 0, raw).OrDie();
+
+  const auto report = VerifyDataset(store, "/ds/corrupt");
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->ok());
+  bool mentions_file = false;
+  for (const auto& p : report->problems) {
+    if (p.find(files[0]) != std::string::npos) mentions_file = true;
+  }
+  EXPECT_TRUE(mentions_file);
+}
+
+TEST(VerifyDataset, DetectsMissingShard) {
+  par::StripedStore store;
+  BuildDataset(store, 60, 800, "/ds/missing");
+  const auto files = store.List("/ds/missing/train");
+  ASSERT_FALSE(files.empty());
+  store.Remove(files[0]).OrDie();
+  const auto report = VerifyDataset(store, "/ds/missing");
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->ok());
+}
+
+TEST(VerifyDataset, DetectsTruncatedShard) {
+  par::StripedStore store;
+  BuildDataset(store, 60, 800, "/ds/trunc");
+  const auto files = store.List("/ds/trunc/train");
+  Bytes raw = store.ReadAll(files[0]).value();
+  raw.resize(raw.size() / 2);
+  store.Remove(files[0]).OrDie();
+  store.Write(files[0], 0, raw).OrDie();
+  const auto report = VerifyDataset(store, "/ds/trunc");
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->ok());
+  EXPECT_GE(report->problems.size(), 2u);  // size mismatch + unreadable
+}
+
+TEST(VerifyDataset, MissingManifestFails) {
+  par::StripedStore store;
+  EXPECT_FALSE(VerifyDataset(store, "/ds/nothing").ok());
+}
+
+// ---- reshard ---------------------------------------------------------------
+
+TEST(ReshardDataset, PreservesContentAndSplits) {
+  par::StripedStore store;
+  BuildDataset(store, 150, 600, "/ds/src");  // many small shards
+  ReshardOptions options;
+  options.target_shard_bytes = 64 << 10;  // few big shards
+  const auto manifest = ReshardDataset(store, "/ds/src", "/ds/dst", options);
+  ASSERT_TRUE(manifest.ok()) << manifest.status().ToString();
+
+  const auto src = ShardReader::Open(store, "/ds/src").value();
+  const auto dst = ShardReader::Open(store, "/ds/dst").value();
+  EXPECT_EQ(dst.manifest().TotalRecords(), src.manifest().TotalRecords());
+  EXPECT_LT(dst.NumShards(Split::kTrain), src.NumShards(Split::kTrain));
+  // Records kept their split and content.
+  for (Split split : kAllSplits) {
+    const auto a = src.ReadAll(split).value();
+    const auto b = dst.ReadAll(split).value();
+    ASSERT_EQ(a.size(), b.size()) << SplitName(split);
+    std::set<std::string> keys_a, keys_b;
+    for (const auto& ex : a) keys_a.insert(ex.key);
+    for (const auto& ex : b) keys_b.insert(ex.key);
+    EXPECT_EQ(keys_a, keys_b);
+  }
+  // Metadata carried over byte-for-byte.
+  EXPECT_EQ(dst.manifest().normalizer_blob, src.manifest().normalizer_blob);
+  EXPECT_FALSE(dst.manifest().normalizer_blob.empty());
+  EXPECT_EQ(dst.manifest().provenance_hash, "cafebabe");
+  // The resharded dataset verifies clean.
+  EXPECT_TRUE(VerifyDataset(store, "/ds/dst")->ok());
+}
+
+TEST(ReshardDataset, ChangesCodec) {
+  par::StripedStore store;
+  BuildDataset(store, 80, 100000, "/ds/plain");
+  ReshardOptions options;
+  options.tensor_codec = codec::Codec::kLz;
+  const auto manifest =
+      ReshardDataset(store, "/ds/plain", "/ds/packed", options);
+  ASSERT_TRUE(manifest.ok());
+  // Constant-valued features compress well.
+  const auto src = ShardReader::Open(store, "/ds/plain").value();
+  EXPECT_LT(manifest->TotalBytes(), src.manifest().TotalBytes());
+  EXPECT_TRUE(VerifyDataset(store, "/ds/packed")->ok());
+}
+
+TEST(ReshardDataset, RejectsSameDirectory) {
+  par::StripedStore store;
+  BuildDataset(store, 10, 800, "/ds/same");
+  EXPECT_EQ(ReshardDataset(store, "/ds/same", "/ds/same", {}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace drai::shard

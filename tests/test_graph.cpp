@@ -1,0 +1,200 @@
+// Tests for drai/graph: structures, periodic neighbor lists, GNN encoding,
+// rebalancing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "graph/encode.hpp"
+#include "graph/structure.hpp"
+
+namespace drai::graph {
+namespace {
+
+/// Simple cubic crystal: one atom at the origin of an a-length cube.
+Structure SimpleCubic(double a, int z = 26) {
+  Structure s;
+  s.id = "sc";
+  s.lattice = {{{a, 0, 0}, {0, a, 0}, {0, 0, a}}};
+  s.frac_coords = {{0, 0, 0}};
+  s.atomic_numbers = {z};
+  return s;
+}
+
+TEST(Structure, ValidateCatchesProblems) {
+  Structure s = SimpleCubic(3.0);
+  EXPECT_TRUE(s.Validate().ok());
+  s.atomic_numbers = {0};
+  EXPECT_FALSE(s.Validate().ok());  // bad Z
+  s = SimpleCubic(3.0);
+  s.frac_coords.clear();
+  s.atomic_numbers.clear();
+  EXPECT_FALSE(s.Validate().ok());  // empty
+  s = SimpleCubic(3.0);
+  s.lattice[2] = {0, 0, 0};
+  EXPECT_FALSE(s.Validate().ok());  // degenerate cell
+}
+
+TEST(Structure, CartesianAndVolume) {
+  Structure s = SimpleCubic(2.0);
+  s.frac_coords = {{0.5, 0.5, 0.25}};
+  const Vec3 c = s.Cartesian(0);
+  EXPECT_DOUBLE_EQ(c[0], 1.0);
+  EXPECT_DOUBLE_EQ(c[2], 0.5);
+  EXPECT_DOUBLE_EQ(s.Volume(), 8.0);
+}
+
+TEST(NeighborList, SimpleCubicCoordinationNumbers) {
+  // Textbook shell counts for simple cubic with lattice constant a:
+  // 6 at a, 12 at a*sqrt(2), 8 at a*sqrt(3).
+  const Structure s = SimpleCubic(3.0);
+  const auto n1 = BuildNeighborList(s, 3.0 + 1e-9);
+  ASSERT_TRUE(n1.ok());
+  EXPECT_EQ(n1->size(), 6u);
+  const auto n2 = BuildNeighborList(s, 3.0 * std::sqrt(2.0) + 1e-9);
+  EXPECT_EQ(n2->size(), 6u + 12u);
+  const auto n3 = BuildNeighborList(s, 3.0 * std::sqrt(3.0) + 1e-9);
+  EXPECT_EQ(n3->size(), 6u + 12u + 8u);
+}
+
+TEST(NeighborList, CutoffLargerThanCellFindsMultipleImages) {
+  // Two cells away along each axis: another 6 neighbors at distance 2a.
+  const Structure s = SimpleCubic(2.0);
+  const auto edges = BuildNeighborList(s, 4.0 + 1e-9);
+  ASSERT_TRUE(edges.ok());
+  size_t at_2a = 0;
+  for (const Neighbor& e : *edges) {
+    if (std::fabs(e.distance - 4.0) < 1e-9) ++at_2a;
+  }
+  EXPECT_EQ(at_2a, 6u);
+}
+
+TEST(NeighborList, EdgesAreSymmetric) {
+  Structure s;
+  s.id = "pair";
+  s.lattice = {{{10, 0, 0}, {0, 10, 0}, {0, 0, 10}}};
+  s.frac_coords = {{0.1, 0.1, 0.1}, {0.3, 0.1, 0.1}};
+  s.atomic_numbers = {6, 8};
+  const auto edges = BuildNeighborList(s, 3.0);
+  ASSERT_TRUE(edges.ok());
+  // 2 Å apart: one edge each direction.
+  ASSERT_EQ(edges->size(), 2u);
+  std::map<std::pair<uint32_t, uint32_t>, double> dist;
+  for (const Neighbor& e : *edges) dist[{e.src, e.dst}] = e.distance;
+  EXPECT_NEAR((dist[{0, 1}]), 2.0, 1e-9);
+  EXPECT_NEAR((dist[{1, 0}]), 2.0, 1e-9);
+}
+
+TEST(NeighborList, TriclinicCellHandled) {
+  Structure s;
+  s.id = "hex";
+  const double a = 3.0;
+  s.lattice = {{{a, 0, 0}, {-0.5 * a, 0.866025403784 * a, 0}, {0, 0, 5.0}}};
+  s.frac_coords = {{0, 0, 0}};
+  s.atomic_numbers = {14};
+  const auto edges = BuildNeighborList(s, a + 1e-9);
+  ASSERT_TRUE(edges.ok());
+  // Hexagonal in-plane: 6 nearest neighbors at distance a.
+  size_t at_a = 0;
+  for (const Neighbor& e : *edges) {
+    if (std::fabs(e.distance - a) < 1e-9) ++at_a;
+  }
+  EXPECT_EQ(at_a, 6u);
+}
+
+TEST(NeighborList, RejectsBadCutoff) {
+  EXPECT_FALSE(BuildNeighborList(SimpleCubic(3.0), 0.0).ok());
+}
+
+TEST(MeanDegree, Computes) {
+  EXPECT_DOUBLE_EQ(MeanDegree(std::vector<Neighbor>(12), 4), 3.0);
+  EXPECT_DOUBLE_EQ(MeanDegree({}, 0), 0.0);
+}
+
+// ---- encoding ------------------------------------------------------------
+
+TEST(EncodeGraph, ShapesAndFeatures) {
+  Structure s = SimpleCubic(3.0, 26);
+  s.energy_per_atom = -1.5;
+  s.space_group_class = 2;
+  GraphEncodeOptions options;
+  options.cutoff = 3.0 + 1e-9;
+  const auto g = EncodeGraph(s, options);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumNodes(), 1u);
+  EXPECT_EQ(g->NumEdges(), 6u);
+  EXPECT_EQ(g->node_features.shape(), (Shape{1, 4}));
+  EXPECT_EQ(g->edge_index.shape(), (Shape{2, 6}));
+  EXPECT_EQ(g->edge_features.shape(), (Shape{6, 2}));
+  EXPECT_NEAR(g->node_features.GetAsDouble(0), 26.0 / 118.0, 1e-6);
+  EXPECT_NEAR(g->edge_features.GetAsDouble(0), 3.0, 1e-6);       // distance
+  EXPECT_NEAR(g->edge_features.GetAsDouble(1), 1.0 / 3.0, 1e-6); // inverse
+  EXPECT_EQ(g->label, -1.5);
+  EXPECT_EQ(g->class_label, 2);
+}
+
+TEST(EncodeGraph, ExampleRoundTrip) {
+  Structure s = SimpleCubic(3.0);
+  s.energy_per_atom = 0.75;
+  s.space_group_class = 1;
+  const auto g = EncodeGraph(s, {});
+  ASSERT_TRUE(g.ok());
+  const shard::Example ex = ToExample(*g);
+  EXPECT_EQ(ex.key, "sc");
+  const auto back = FromExample(ex);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->NumNodes(), g->NumNodes());
+  EXPECT_EQ(back->NumEdges(), g->NumEdges());
+  EXPECT_EQ(back->label, 0.75);
+  EXPECT_EQ(back->class_label, 1);
+}
+
+TEST(EncodeGraph, FromExampleRejectsMissingFeatures) {
+  shard::Example ex;
+  ex.key = "broken";
+  ex.SetLabel(0);
+  EXPECT_EQ(FromExample(ex).status().code(), StatusCode::kDataLoss);
+}
+
+// ---- rebalancing -----------------------------------------------------------
+
+TEST(Rebalance, OversampleEqualizesCounts) {
+  std::vector<int> classes(80, 0);
+  classes.insert(classes.end(), 15, 1);
+  classes.insert(classes.end(), 5, 2);
+  const auto order =
+      RebalanceIndices(classes, RebalanceStrategy::kOversample, 7);
+  std::map<int, size_t> counts;
+  for (size_t idx : order) ++counts[classes[idx]];
+  EXPECT_EQ(counts[0], 80u);
+  EXPECT_EQ(counts[1], 80u);
+  EXPECT_EQ(counts[2], 80u);
+}
+
+TEST(Rebalance, UndersampleEqualizesCounts) {
+  std::vector<int> classes(60, 0);
+  classes.insert(classes.end(), 9, 1);
+  const auto order =
+      RebalanceIndices(classes, RebalanceStrategy::kUndersample, 7);
+  std::map<int, size_t> counts;
+  std::set<size_t> distinct(order.begin(), order.end());
+  for (size_t idx : order) ++counts[classes[idx]];
+  EXPECT_EQ(counts[0], 9u);
+  EXPECT_EQ(counts[1], 9u);
+  EXPECT_EQ(distinct.size(), order.size());  // no duplicates when undersampling
+}
+
+TEST(Rebalance, DeterministicGivenSeed) {
+  std::vector<int> classes = {0, 0, 0, 1, 1, 2};
+  EXPECT_EQ(RebalanceIndices(classes, RebalanceStrategy::kOversample, 5),
+            RebalanceIndices(classes, RebalanceStrategy::kOversample, 5));
+  EXPECT_NE(RebalanceIndices(classes, RebalanceStrategy::kOversample, 5),
+            RebalanceIndices(classes, RebalanceStrategy::kOversample, 6));
+}
+
+TEST(Rebalance, EmptyInput) {
+  EXPECT_TRUE(RebalanceIndices({}, RebalanceStrategy::kOversample, 1).empty());
+}
+
+}  // namespace
+}  // namespace drai::graph

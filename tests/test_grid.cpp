@@ -1,0 +1,222 @@
+// Tests for drai/grid: grid construction, the three regrid methods, the
+// conservative method's mean-preservation invariant, and patching.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "common/rng.hpp"
+#include "grid/latlon.hpp"
+
+namespace drai::grid {
+namespace {
+
+constexpr double kDegToRad = std::numbers::pi / 180.0;
+
+/// A smooth analytic field: easy to regrid accurately.
+NDArray AnalyticField(const LatLonGrid& g) {
+  NDArray f = NDArray::Zeros({g.n_lat(), g.n_lon()}, DType::kF64);
+  for (size_t i = 0; i < g.n_lat(); ++i) {
+    for (size_t j = 0; j < g.n_lon(); ++j) {
+      const double lat = g.lat(i) * kDegToRad;
+      const double lon = g.lon(j) * kDegToRad;
+      f.SetFromDouble(i * g.n_lon() + j,
+                      280.0 + 30.0 * std::cos(lat) * std::sin(2 * lon) +
+                          10.0 * std::sin(3 * lat));
+    }
+  }
+  return f;
+}
+
+TEST(LatLonGrid, UniformGeometry) {
+  const LatLonGrid g = LatLonGrid::Uniform(4, 8);
+  EXPECT_EQ(g.n_lat(), 4u);
+  EXPECT_EQ(g.n_lon(), 8u);
+  EXPECT_DOUBLE_EQ(g.lat(0), -67.5);
+  EXPECT_DOUBLE_EQ(g.lat(3), 67.5);
+  EXPECT_DOUBLE_EQ(g.lon(0), 0.0);
+  EXPECT_DOUBLE_EQ(g.lon(4), 180.0);
+  EXPECT_DOUBLE_EQ(g.lat_edges().front(), -90.0);
+  EXPECT_DOUBLE_EQ(g.lat_edges().back(), 90.0);
+}
+
+TEST(LatLonGrid, GaussianLikeDenserNearEquator) {
+  const LatLonGrid g = LatLonGrid::GaussianLike(16, 32);
+  // Spacing between lats near the equator < near the poles.
+  const double equator_gap = g.lat(8) - g.lat(7);
+  const double pole_gap = g.lat(15) - g.lat(14);
+  EXPECT_LT(equator_gap, pole_gap);
+  // Still ascending and within range.
+  for (size_t i = 1; i < g.n_lat(); ++i) EXPECT_GT(g.lat(i), g.lat(i - 1));
+  EXPECT_GT(g.lat(0), -90.0);
+  EXPECT_LT(g.lat(15), 90.0);
+}
+
+TEST(LatLonGrid, CellAreasSumToSphere) {
+  for (const auto& g :
+       {LatLonGrid::Uniform(8, 16), LatLonGrid::GaussianLike(9, 7)}) {
+    double total = 0;
+    for (size_t i = 0; i < g.n_lat(); ++i) {
+      total += g.CellArea(i) * static_cast<double>(g.n_lon());
+    }
+    // sum over bands of (sin(hi)-sin(lo)) = 2.
+    EXPECT_NEAR(total, 2.0, 1e-12);
+  }
+}
+
+TEST(LatLonGrid, RejectsDegenerate) {
+  EXPECT_THROW(LatLonGrid::Uniform(1, 8), std::invalid_argument);
+  EXPECT_THROW(LatLonGrid::Uniform(8, 1), std::invalid_argument);
+}
+
+struct RegridCase {
+  RegridMethod method;
+  bool src_gaussian;
+};
+
+class RegridAccuracy : public ::testing::TestWithParam<RegridCase> {};
+
+TEST_P(RegridAccuracy, SmoothFieldSurvivesResolutionChange) {
+  const auto& param = GetParam();
+  const LatLonGrid src = param.src_gaussian ? LatLonGrid::GaussianLike(48, 96)
+                                            : LatLonGrid::Uniform(48, 96);
+  const LatLonGrid dst = LatLonGrid::Uniform(32, 64);
+  const NDArray field = AnalyticField(src);
+  const auto out = Regrid(field, src, dst, param.method);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  // Compare against the analytic truth on the destination grid, away from
+  // the poles: a coarse Gaussian-like source has no cell centers poleward
+  // of ~asin(1 - 1/n), so polar destination rows are (correctly) constant
+  // extrapolations, not interpolation-accuracy measurements.
+  const NDArray truth = AnalyticField(dst);
+  double worst = 0;
+  for (size_t i = 0; i < dst.n_lat(); ++i) {
+    if (std::fabs(dst.lat(i)) > 78.0) continue;
+    for (size_t j = 0; j < dst.n_lon(); ++j) {
+      const size_t idx = i * dst.n_lon() + j;
+      worst = std::max(
+          worst, std::fabs(out->GetAsDouble(idx) - truth.GetAsDouble(idx)));
+    }
+  }
+  // Field range is ~80; interpolation on a 48x96 source should land within
+  // a few percent (nearest is the crudest).
+  const double budget = param.method == RegridMethod::kNearest ? 8.0 : 3.0;
+  EXPECT_LT(worst, budget);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MethodsAndGrids, RegridAccuracy,
+    ::testing::Values(RegridCase{RegridMethod::kNearest, false},
+                      RegridCase{RegridMethod::kBilinear, false},
+                      RegridCase{RegridMethod::kConservative, false},
+                      RegridCase{RegridMethod::kNearest, true},
+                      RegridCase{RegridMethod::kBilinear, true},
+                      RegridCase{RegridMethod::kConservative, true}));
+
+TEST(Regrid, IdentityOnSameGridBilinear) {
+  const LatLonGrid g = LatLonGrid::Uniform(12, 24);
+  const NDArray field = AnalyticField(g);
+  const auto out = Regrid(field, g, g, RegridMethod::kBilinear);
+  ASSERT_TRUE(out.ok());
+  for (size_t i = 0; i < field.numel(); ++i) {
+    EXPECT_NEAR(out->GetAsDouble(i), field.GetAsDouble(i), 1e-9);
+  }
+}
+
+TEST(Regrid, ConservativePreservesAreaMean) {
+  // The defining invariant of first-order conservative regridding.
+  Rng rng(77);
+  const LatLonGrid src = LatLonGrid::GaussianLike(24, 48);
+  const LatLonGrid dst = LatLonGrid::Uniform(17, 31);  // awkward ratios
+  NDArray field = NDArray::Zeros({src.n_lat(), src.n_lon()}, DType::kF64);
+  for (size_t i = 0; i < field.numel(); ++i) {
+    field.SetFromDouble(i, rng.Uniform(0, 100));
+  }
+  const auto out = Regrid(field, src, dst, RegridMethod::kConservative);
+  ASSERT_TRUE(out.ok());
+  const double mean_src = AreaWeightedMean(field, src).value();
+  const double mean_dst = AreaWeightedMean(*out, dst).value();
+  EXPECT_NEAR(mean_dst, mean_src, 1e-6 * std::fabs(mean_src) + 1e-9);
+}
+
+TEST(Regrid, ConservativeHandlesMissingCells) {
+  const LatLonGrid src = LatLonGrid::Uniform(8, 16);
+  const LatLonGrid dst = LatLonGrid::Uniform(4, 8);
+  NDArray field = NDArray::Full({8, 16}, 5.0, DType::kF64);
+  field.SetFromDouble(0, std::numeric_limits<double>::quiet_NaN());
+  const auto out = Regrid(field, src, dst, RegridMethod::kConservative);
+  ASSERT_TRUE(out.ok());
+  // The missing cell is skipped (zero weight) so every output stays 5.
+  for (size_t i = 0; i < out->numel(); ++i) {
+    EXPECT_NEAR(out->GetAsDouble(i), 5.0, 1e-12);
+  }
+}
+
+TEST(Regrid, LongitudePeriodicityAtWrap) {
+  // A field varying only in lon must interpolate smoothly across 360->0.
+  const LatLonGrid src = LatLonGrid::Uniform(4, 8);
+  const LatLonGrid dst = LatLonGrid::Uniform(4, 16);
+  NDArray field = NDArray::Zeros({4, 8}, DType::kF64);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 8; ++j) {
+      field.SetFromDouble(i * 8 + j, std::cos(src.lon(j) * kDegToRad));
+    }
+  }
+  const auto out = Regrid(field, src, dst, RegridMethod::kBilinear);
+  ASSERT_TRUE(out.ok());
+  // dst lon 337.5 sits between src lons 315 and 0 — interpolation across
+  // the wrap, not extrapolation from one side.
+  const double v = out->GetAsDouble(15);  // row 0, last dst lon
+  const double expect =
+      0.5 * (std::cos(315.0 * kDegToRad) + std::cos(0.0));
+  EXPECT_NEAR(v, expect, 1e-9);
+}
+
+TEST(Regrid, RejectsBadInput) {
+  const LatLonGrid g = LatLonGrid::Uniform(4, 8);
+  EXPECT_FALSE(Regrid(NDArray::Zeros({3, 8}), g, g,
+                      RegridMethod::kBilinear)
+                   .ok());
+  EXPECT_FALSE(Regrid(NDArray::Zeros({4, 8}, DType::kI32), g, g,
+                      RegridMethod::kBilinear)
+                   .ok());
+}
+
+// ---- patches ------------------------------------------------------------------
+
+TEST(ExtractPatches, TilesMultiChannelField) {
+  NDArray field = NDArray::Zeros({2, 4, 6}, DType::kF32);
+  for (size_t i = 0; i < field.numel(); ++i) {
+    field.SetFromDouble(i, static_cast<double>(i));
+  }
+  const auto patches = ExtractPatches(field, 2, 3);
+  ASSERT_TRUE(patches.ok());
+  EXPECT_EQ(patches->shape(), (Shape{4, 2, 2, 3}));
+  // Patch 0 = rows 0-1, cols 0-2 of channel 0: begins at source index 0.
+  EXPECT_EQ(patches->GetAsDouble(0), 0.0);
+  // Patch 3 (by=1, bx=1), channel 1, y=1, x=2 -> source c=1,row=3,col=5.
+  EXPECT_EQ(
+      patches->GetAsDouble(((3 * 2 + 1) * 2 + 1) * 3 + 2),
+      static_cast<double>(1 * 24 + 3 * 6 + 5));
+}
+
+TEST(ExtractPatches, Rank2Promotes) {
+  const auto patches = ExtractPatches(NDArray::Zeros({8, 8}), 4, 4);
+  ASSERT_TRUE(patches.ok());
+  EXPECT_EQ(patches->shape(), (Shape{4, 1, 4, 4}));
+}
+
+TEST(ExtractPatches, DropsPartialEdges) {
+  const auto patches = ExtractPatches(NDArray::Zeros({10, 10}), 4, 4);
+  ASSERT_TRUE(patches.ok());
+  EXPECT_EQ(patches->shape()[0], 4u);  // 2x2, edges dropped
+}
+
+TEST(ExtractPatches, RejectsOversizePatch) {
+  EXPECT_FALSE(ExtractPatches(NDArray::Zeros({4, 4}), 8, 8).ok());
+  EXPECT_FALSE(ExtractPatches(NDArray::Zeros({4, 4}), 0, 2).ok());
+}
+
+}  // namespace
+}  // namespace drai::grid

@@ -1,0 +1,120 @@
+// Tests for center-star multiple sequence alignment, consensus, and
+// profile generation.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sequence/msa.hpp"
+
+namespace drai::sequence {
+namespace {
+
+/// Every row of an MSA, with gaps removed, must equal its input sequence —
+/// alignment may only insert gaps.
+void ExpectPreservesSequences(const MsaResult& msa,
+                              std::span<const std::string> inputs) {
+  ASSERT_EQ(msa.aligned.size(), inputs.size());
+  const size_t cols = msa.aligned.front().size();
+  for (size_t r = 0; r < inputs.size(); ++r) {
+    EXPECT_EQ(msa.aligned[r].size(), cols) << "ragged row " << r;
+    std::string degapped;
+    for (char c : msa.aligned[r]) {
+      if (c != '-') degapped += c;
+    }
+    EXPECT_EQ(degapped, inputs[r]) << "row " << r;
+  }
+}
+
+TEST(Msa, IdenticalSequencesAlignPerfectly) {
+  const std::vector<std::string> seqs = {"ACGTACGT", "ACGTACGT", "ACGTACGT"};
+  const auto msa = CenterStarMsa(seqs);
+  ASSERT_TRUE(msa.ok());
+  ExpectPreservesSequences(*msa, seqs);
+  EXPECT_DOUBLE_EQ(msa->mean_identity, 1.0);
+  for (double c : msa->conservation) EXPECT_DOUBLE_EQ(c, 1.0);
+  EXPECT_EQ(MsaConsensus(*msa), "ACGTACGT");
+}
+
+TEST(Msa, SingleInsertionPlacesOneGapColumn) {
+  const std::vector<std::string> seqs = {"ACGT", "ACGGT", "ACGT"};
+  const auto msa = CenterStarMsa(seqs);
+  ASSERT_TRUE(msa.ok());
+  ExpectPreservesSequences(*msa, seqs);
+  EXPECT_EQ(msa->aligned.front().size(), 5u);
+  // The two 4-mers carry exactly one gap each.
+  EXPECT_EQ(std::count(msa->aligned[0].begin(), msa->aligned[0].end(), '-'), 1);
+  EXPECT_EQ(std::count(msa->aligned[2].begin(), msa->aligned[2].end(), '-'), 1);
+}
+
+TEST(Msa, DivergentSequencesStillValid) {
+  const std::vector<std::string> seqs = {"AAAATTTT", "GGGGCCCC", "AAGGTTCC",
+                                         "ACGTACGT"};
+  const auto msa = CenterStarMsa(seqs);
+  ASSERT_TRUE(msa.ok());
+  ExpectPreservesSequences(*msa, seqs);
+  EXPECT_LT(msa->mean_identity, 0.8);
+}
+
+TEST(Msa, MutatedFamilyProperty) {
+  // A family derived from one ancestor by point mutations and indels:
+  // alignment must preserve sequences and be well-conserved on average.
+  Rng rng(77);
+  const std::string ancestor = "ACGTACGTTGCAACGTTGCAACGT";
+  std::vector<std::string> family = {ancestor};
+  for (int m = 0; m < 5; ++m) {
+    std::string s = ancestor;
+    // 2 point mutations
+    for (int k = 0; k < 2; ++k) {
+      s[rng.UniformU64(s.size())] = "ACGT"[rng.UniformU64(4)];
+    }
+    // one deletion
+    s.erase(rng.UniformU64(s.size()), 1);
+    family.push_back(std::move(s));
+  }
+  const auto msa = CenterStarMsa(family);
+  ASSERT_TRUE(msa.ok());
+  ExpectPreservesSequences(*msa, family);
+  EXPECT_GT(msa->mean_identity, 0.6);
+  // Consensus recovers most of the ancestor.
+  const std::string consensus = MsaConsensus(*msa);
+  const auto aligned_to_ancestor = GlobalAlign(consensus, ancestor);
+  EXPECT_GT(aligned_to_ancestor.identity, 0.8);
+}
+
+TEST(Msa, ProfileRowsAreDistributions) {
+  const std::vector<std::string> seqs = {"ACGT", "ACGT", "AGGT"};
+  const auto msa = CenterStarMsa(seqs);
+  ASSERT_TRUE(msa.ok());
+  const auto profile = MsaProfile(*msa, Alphabet::kDna);
+  ASSERT_TRUE(profile.ok());
+  EXPECT_EQ(profile->shape()[1], 4u);
+  for (size_t c = 0; c < profile->shape()[0]; ++c) {
+    double sum = 0;
+    for (size_t b = 0; b < 4; ++b) {
+      const double p = profile->GetAsDouble(c * 4 + b);
+      EXPECT_GE(p, 0.0);
+      sum += p;
+    }
+    EXPECT_LE(sum, 1.0 + 1e-6);
+  }
+  // Column 1: two C, one G.
+  EXPECT_NEAR(profile->GetAsDouble(1 * 4 + 1), 2.0 / 3.0, 1e-6);
+  EXPECT_NEAR(profile->GetAsDouble(1 * 4 + 2), 1.0 / 3.0, 1e-6);
+}
+
+TEST(Msa, RejectsDegenerateInput) {
+  EXPECT_FALSE(CenterStarMsa(std::vector<std::string>{"ACGT"}).ok());
+  EXPECT_FALSE(CenterStarMsa(std::vector<std::string>{"ACGT", ""}).ok());
+}
+
+TEST(Msa, TwoSequencesMatchPairwise) {
+  const std::vector<std::string> seqs = {"ACGTT", "ACGT"};
+  const auto msa = CenterStarMsa(seqs);
+  ASSERT_TRUE(msa.ok());
+  ExpectPreservesSequences(*msa, seqs);
+  const auto pair = GlobalAlign(seqs[0], seqs[1]);
+  // Same alignment length as the optimal pairwise alignment.
+  EXPECT_EQ(msa->aligned[0].size(), pair.aligned_a.size());
+}
+
+}  // namespace
+}  // namespace drai::sequence

@@ -1,0 +1,247 @@
+// Tests for drai/ndarray: dtype (incl. IEEE half), NDArray views, kernels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.hpp"
+#include "ndarray/dtype.hpp"
+#include "ndarray/kernels.hpp"
+#include "ndarray/ndarray.hpp"
+
+namespace drai {
+namespace {
+
+// ---- dtype / half ---------------------------------------------------------
+
+TEST(DType, SizesAndNames) {
+  EXPECT_EQ(DTypeSize(DType::kF16), 2u);
+  EXPECT_EQ(DTypeSize(DType::kF64), 8u);
+  EXPECT_EQ(DTypeName(DType::kI32), "i32");
+  EXPECT_EQ(ParseDType("f32").value(), DType::kF32);
+  EXPECT_FALSE(ParseDType("float128").ok());
+}
+
+TEST(Half, ExactSmallValues) {
+  // Values exactly representable in binary16 round-trip exactly.
+  for (const float v : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, 1024.0f, -0.25f,
+                        65504.0f /* max half */}) {
+    EXPECT_EQ(HalfToFloat(FloatToHalf(v)), v) << v;
+  }
+}
+
+TEST(Half, SpecialValues) {
+  EXPECT_TRUE(std::isinf(HalfToFloat(FloatToHalf(1e30f))));   // overflow
+  EXPECT_TRUE(std::isinf(HalfToFloat(
+      FloatToHalf(std::numeric_limits<float>::infinity()))));
+  EXPECT_TRUE(std::isnan(HalfToFloat(
+      FloatToHalf(std::numeric_limits<float>::quiet_NaN()))));
+  EXPECT_EQ(HalfToFloat(FloatToHalf(1e-30f)), 0.0f);  // underflow to 0
+  // Signed zero preserved.
+  EXPECT_TRUE(std::signbit(HalfToFloat(FloatToHalf(-0.0f))));
+}
+
+TEST(Half, SubnormalRange) {
+  // Smallest positive subnormal half is 2^-24 ≈ 5.96e-8.
+  const float tiny = std::ldexp(1.0f, -24);
+  EXPECT_EQ(HalfToFloat(FloatToHalf(tiny)), tiny);
+  const float sub = std::ldexp(3.0f, -24);  // 3 * 2^-24, subnormal
+  EXPECT_EQ(HalfToFloat(FloatToHalf(sub)), sub);
+}
+
+TEST(Half, RelativeErrorBounded) {
+  // binary16 has 11 significand bits: rel error <= 2^-11 for normal range.
+  Rng rng(31);
+  for (int i = 0; i < 5000; ++i) {
+    const float v = static_cast<float>(rng.Uniform(-60000, 60000));
+    if (std::fabs(v) < 1e-3) continue;
+    const float rt = HalfToFloat(FloatToHalf(v));
+    EXPECT_LE(std::fabs(rt - v) / std::fabs(v), 1.0 / 2048.0 + 1e-7) << v;
+  }
+}
+
+TEST(Half, MonotoneUnderRounding) {
+  // Round-to-nearest preserves weak ordering.
+  float prev = -65504.0f;
+  for (float v = -65504.0f; v <= 65504.0f; v += 997.0f) {
+    const float a = HalfToFloat(FloatToHalf(prev));
+    const float b = HalfToFloat(FloatToHalf(v));
+    EXPECT_LE(a, b);
+    prev = v;
+  }
+}
+
+// ---- NDArray construction & access -----------------------------------------
+
+TEST(NDArray, ZerosAndFill) {
+  NDArray a = NDArray::Zeros({2, 3}, DType::kF32);
+  EXPECT_EQ(a.numel(), 6u);
+  EXPECT_EQ(a.nbytes(), 24u);
+  EXPECT_TRUE(a.IsContiguous());
+  a.Fill(2.5);
+  for (size_t i = 0; i < 6; ++i) EXPECT_EQ(a.GetAsDouble(i), 2.5);
+}
+
+TEST(NDArray, FromVectorAndAt) {
+  NDArray a = NDArray::FromVector<int32_t>({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ((a.at<int32_t>({0, 0})), 1);
+  EXPECT_EQ((a.at<int32_t>({1, 1})), 4);
+  a.at<int32_t>({0, 1}) = 20;
+  EXPECT_EQ(a.GetAsDouble(1), 20.0);
+}
+
+TEST(NDArray, AtChecksBoundsAndType) {
+  NDArray a = NDArray::Zeros({2, 2}, DType::kF32);
+  EXPECT_THROW((a.at<float>({2, 0})), std::out_of_range);
+  EXPECT_THROW((a.at<double>({0, 0})), std::invalid_argument);
+  EXPECT_THROW((a.at<float>({0})), std::out_of_range);
+}
+
+TEST(NDArray, FromVectorNumelMismatchThrows) {
+  EXPECT_THROW(NDArray::FromVector<float>({3}, {1.0f}), std::invalid_argument);
+}
+
+// ---- views ---------------------------------------------------------------
+
+TEST(NDArray, SliceSharesStorage) {
+  NDArray a = NDArray::FromVector<double>({4, 2},
+                                          {0, 1, 2, 3, 4, 5, 6, 7});
+  NDArray s = a.Slice(0, 1, 3);
+  EXPECT_EQ(s.shape(), (Shape{2, 2}));
+  EXPECT_EQ(s.GetAsDouble(0), 2.0);
+  s.SetFromDouble(0, 99.0);
+  EXPECT_EQ(a.GetAsDouble(2), 99.0);  // same storage
+}
+
+TEST(NDArray, TransposeView) {
+  NDArray a = NDArray::FromVector<double>({2, 3}, {0, 1, 2, 3, 4, 5});
+  NDArray t = a.Transpose();
+  EXPECT_EQ(t.shape(), (Shape{3, 2}));
+  EXPECT_FALSE(t.IsContiguous());
+  EXPECT_EQ((t.at<double>({2, 1})), 5.0);
+  EXPECT_EQ((t.at<double>({0, 1})), 3.0);
+  // GetAsDouble honors strides on views.
+  EXPECT_EQ(t.GetAsDouble(1), 3.0);  // t[0,1]
+}
+
+TEST(NDArray, PermuteAndContiguous) {
+  NDArray a = NDArray::Zeros({2, 3, 4}, DType::kF32);
+  for (size_t i = 0; i < a.numel(); ++i) {
+    a.SetFromDouble(i, static_cast<double>(i));
+  }
+  const size_t perm[] = {2, 0, 1};
+  NDArray p = a.Permute(perm);
+  EXPECT_EQ(p.shape(), (Shape{4, 2, 3}));
+  NDArray c = p.AsContiguous();
+  EXPECT_TRUE(c.IsContiguous());
+  // p[3, 1, 2] == a[1, 2, 3] == 1*12 + 2*4 + 3 = 23.
+  EXPECT_EQ((c.at<float>({3, 1, 2})), 23.0f);
+}
+
+TEST(NDArray, PermuteRejectsBadPermutation) {
+  NDArray a = NDArray::Zeros({2, 2});
+  const size_t bad1[] = {0, 0};
+  const size_t bad2[] = {0, 5};
+  EXPECT_THROW(a.Permute(bad1), std::invalid_argument);
+  EXPECT_THROW(a.Permute(bad2), std::invalid_argument);
+}
+
+TEST(NDArray, ReshapeRequiresContiguity) {
+  NDArray a = NDArray::Zeros({2, 3});
+  EXPECT_EQ(a.Reshape({3, 2}).shape(), (Shape{3, 2}));
+  EXPECT_EQ(a.Reshape({6}).shape(), (Shape{6}));
+  EXPECT_THROW(a.Reshape({5}), std::invalid_argument);
+  EXPECT_THROW(a.Transpose().Reshape({6}), std::logic_error);
+}
+
+TEST(NDArray, CopyFromView) {
+  NDArray a = NDArray::FromVector<double>({2, 2}, {1, 2, 3, 4});
+  NDArray b = NDArray::Zeros({2, 2}, DType::kF64);
+  b.CopyFrom(a.Transpose());
+  EXPECT_EQ(b.GetAsDouble(1), 3.0);
+  EXPECT_EQ(b.GetAsDouble(2), 2.0);
+}
+
+// ---- cast -------------------------------------------------------------------
+
+TEST(NDArray, CastF64ToF32ToF16) {
+  NDArray a = NDArray::FromVector<double>({3}, {1.0, -2.5, 1000.25});
+  NDArray f32 = a.Cast(DType::kF32);
+  EXPECT_EQ(f32.dtype(), DType::kF32);
+  EXPECT_EQ(f32.GetAsDouble(1), -2.5);
+  NDArray f16 = a.Cast(DType::kF16);
+  EXPECT_EQ(f16.dtype(), DType::kF16);
+  EXPECT_EQ(f16.GetAsDouble(0), 1.0);
+  EXPECT_NEAR(f16.GetAsDouble(2), 1000.25, 0.5);  // half rounding
+}
+
+TEST(NDArray, CastToIntTruncates) {
+  NDArray a = NDArray::FromVector<double>({2}, {3.7, -2.3});
+  NDArray i = a.Cast(DType::kI32);
+  EXPECT_EQ(i.GetAsDouble(0), 3.0);
+  EXPECT_EQ(i.GetAsDouble(1), -2.0);
+}
+
+// ---- kernels ------------------------------------------------------------------
+
+TEST(Kernels, AddSubMul) {
+  NDArray a = NDArray::FromVector<float>({3}, {1, 2, 3});
+  NDArray b = NDArray::FromVector<float>({3}, {10, 20, 30});
+  EXPECT_EQ(Add(a, b).GetAsDouble(2), 33.0);
+  EXPECT_EQ(Sub(b, a).GetAsDouble(0), 9.0);
+  EXPECT_EQ(Mul(a, b).GetAsDouble(1), 40.0);
+}
+
+TEST(Kernels, BinaryShapeMismatchThrows) {
+  NDArray a = NDArray::Zeros({2});
+  NDArray b = NDArray::Zeros({3});
+  EXPECT_THROW(Add(a, b), std::invalid_argument);
+}
+
+TEST(Kernels, ScaleShiftInPlaceOnView) {
+  NDArray a = NDArray::FromVector<double>({2, 2}, {1, 2, 3, 4});
+  NDArray row = a.Slice(0, 1, 2);
+  ScaleShiftInPlace(row, 10.0, 1.0);
+  EXPECT_EQ(a.GetAsDouble(2), 31.0);
+  EXPECT_EQ(a.GetAsDouble(0), 1.0);  // untouched
+}
+
+TEST(Kernels, Reductions) {
+  NDArray a = NDArray::FromVector<double>({4}, {1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(Sum(a), 10.0);
+  EXPECT_DOUBLE_EQ(Mean(a), 2.5);
+  EXPECT_DOUBLE_EQ(Min(a), 1.0);
+  EXPECT_DOUBLE_EQ(Max(a), 4.0);
+  EXPECT_DOUBLE_EQ(Variance(a), 1.25);
+}
+
+TEST(Kernels, KahanSumStaysAccurate) {
+  // 1e8 + many tiny values: naive float-order summation drifts; Kahan holds.
+  NDArray a = NDArray::Full({100001}, 0.0001, DType::kF64);
+  a.SetFromDouble(0, 1e8);
+  EXPECT_NEAR(Sum(a), 1e8 + 10.0, 1e-6);
+}
+
+TEST(Kernels, CountNaN) {
+  NDArray a = NDArray::FromVector<double>(
+      {3}, {1.0, std::numeric_limits<double>::quiet_NaN(), 3.0});
+  EXPECT_EQ(CountNaN(a), 1u);
+  NDArray i = NDArray::Zeros({3}, DType::kI32);
+  EXPECT_EQ(CountNaN(i), 0u);
+}
+
+TEST(Kernels, DiffMetrics) {
+  NDArray a = NDArray::FromVector<double>({2}, {1.0, 2.0});
+  NDArray b = NDArray::FromVector<double>({2}, {1.5, 2.0});
+  EXPECT_DOUBLE_EQ(MaxAbsDiff(a, b), 0.5);
+  EXPECT_NEAR(RmsDiff(a, b), 0.5 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(Kernels, EmptyReductionsThrow) {
+  NDArray a = NDArray::Zeros({0});
+  EXPECT_THROW(Mean(a), std::invalid_argument);
+  EXPECT_THROW(Min(a), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace drai

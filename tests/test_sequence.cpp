@@ -1,0 +1,174 @@
+// Tests for drai/sequence: one-hot, tiling, k-mer tokenization, alignment.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sequence/sequence.hpp"
+
+namespace drai::sequence {
+namespace {
+
+TEST(Alphabet, SizesAndSymbols) {
+  EXPECT_EQ(AlphabetSize(Alphabet::kDna), 4u);
+  EXPECT_EQ(AlphabetSize(Alphabet::kProtein), 20u);
+  EXPECT_EQ(SymbolIndex(Alphabet::kDna, 'A'), 0);
+  EXPECT_EQ(SymbolIndex(Alphabet::kDna, 't'), 3);  // case-insensitive
+  EXPECT_EQ(SymbolIndex(Alphabet::kDna, 'N'), -1);
+  EXPECT_EQ(SymbolIndex(Alphabet::kRna, 'U'), 3);
+  EXPECT_EQ(SymbolIndex(Alphabet::kProtein, 'W'), 18);
+}
+
+TEST(UnknownFraction, CountsNs) {
+  EXPECT_DOUBLE_EQ(UnknownFraction(Alphabet::kDna, "ACGT").value(), 0.0);
+  EXPECT_DOUBLE_EQ(UnknownFraction(Alphabet::kDna, "ACNN").value(), 0.5);
+  EXPECT_FALSE(UnknownFraction(Alphabet::kDna, "ACGZ").ok());  // bad symbol
+  EXPECT_FALSE(UnknownFraction(Alphabet::kDna, "").ok());
+}
+
+TEST(OneHot, EnformerConvention) {
+  const auto enc = OneHot(Alphabet::kDna, "ACGTN");
+  ASSERT_TRUE(enc.ok());
+  EXPECT_EQ(enc->shape(), (Shape{5, 4}));
+  // Each known base: exactly one 1 in its column.
+  EXPECT_EQ(enc->GetAsDouble(0 * 4 + 0), 1.0);  // A
+  EXPECT_EQ(enc->GetAsDouble(1 * 4 + 1), 1.0);  // C
+  EXPECT_EQ(enc->GetAsDouble(2 * 4 + 2), 1.0);  // G
+  EXPECT_EQ(enc->GetAsDouble(3 * 4 + 3), 1.0);  // T
+  // N row is all zeros.
+  for (size_t b = 0; b < 4; ++b) {
+    EXPECT_EQ(enc->GetAsDouble(4 * 4 + b), 0.0);
+  }
+  // Row sums are 1 for known, 0 for N.
+  for (size_t p = 0; p < 4; ++p) {
+    double sum = 0;
+    for (size_t b = 0; b < 4; ++b) sum += enc->GetAsDouble(p * 4 + b);
+    EXPECT_EQ(sum, 1.0);
+  }
+}
+
+TEST(Tile, ExactAndPadded) {
+  const auto exact = Tile("AAAACCCCGGGG", 4, 4);
+  EXPECT_EQ(exact, (std::vector<std::string>{"AAAA", "CCCC", "GGGG"}));
+
+  const auto padded = Tile("AAAACC", 4, 4, /*pad_last=*/true);
+  ASSERT_EQ(padded.size(), 2u);
+  EXPECT_EQ(padded[1], "CCNN");
+
+  const auto unpadded = Tile("AAAACC", 4, 4, /*pad_last=*/false);
+  EXPECT_EQ(unpadded.size(), 1u);
+}
+
+TEST(Tile, OverlappingStride) {
+  const auto tiles = Tile("ABCDEF", 4, 2, /*pad_last=*/false);
+  EXPECT_EQ(tiles, (std::vector<std::string>{"ABCD", "CDEF"}));
+}
+
+TEST(Tile, RejectsZeroArgs) {
+  EXPECT_THROW(Tile("ACGT", 0, 1), std::invalid_argument);
+  EXPECT_THROW(Tile("ACGT", 2, 0), std::invalid_argument);
+}
+
+class KmerParam : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(KmerParam, TokenizeDetokenizeRoundTrip) {
+  const size_t k = GetParam();
+  KmerTokenizer tok(Alphabet::kDna, k);
+  const std::string seq = "ACGTACGTGGCCAATT";
+  const auto tokens = tok.Tokenize(seq);
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens->size(), seq.size() - k + 1);
+  for (size_t i = 0; i < tokens->size(); ++i) {
+    ASSERT_NE((*tokens)[i], tok.oov_id());
+    const auto kmer = tok.Detokenize((*tokens)[i]);
+    ASSERT_TRUE(kmer.ok());
+    EXPECT_EQ(*kmer, seq.substr(i, k));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KmerParam, ::testing::Values(1, 2, 3, 5, 8));
+
+TEST(Kmer, VocabSizeAndOov) {
+  KmerTokenizer tok(Alphabet::kDna, 3);
+  EXPECT_EQ(tok.vocab_size(), 64 + 1);
+  const auto tokens = tok.Tokenize("ACNGT");
+  ASSERT_TRUE(tokens.ok());
+  // Windows covering the N are OOV.
+  EXPECT_EQ((*tokens)[0], tok.oov_id());  // ACN
+  EXPECT_EQ((*tokens)[1], tok.oov_id());  // CNG
+  EXPECT_EQ((*tokens)[2], tok.oov_id());  // NGT
+  EXPECT_FALSE(tok.Detokenize(tok.oov_id()).ok());
+}
+
+TEST(Kmer, ShortSequenceRejected) {
+  KmerTokenizer tok(Alphabet::kDna, 5);
+  EXPECT_FALSE(tok.Tokenize("ACG").ok());
+}
+
+TEST(Kmer, BadKThrows) {
+  EXPECT_THROW(KmerTokenizer(Alphabet::kDna, 0), std::invalid_argument);
+  EXPECT_THROW(KmerTokenizer(Alphabet::kDna, 13), std::invalid_argument);
+}
+
+// ---- alignment -------------------------------------------------------------
+
+TEST(GlobalAlign, IdenticalSequences) {
+  const auto r = GlobalAlign("ACGTACGT", "ACGTACGT");
+  EXPECT_EQ(r.aligned_a, "ACGTACGT");
+  EXPECT_EQ(r.aligned_b, "ACGTACGT");
+  EXPECT_DOUBLE_EQ(r.identity, 1.0);
+  EXPECT_EQ(r.score, 16);  // 8 matches * 2
+}
+
+TEST(GlobalAlign, SingleInsertion) {
+  const auto r = GlobalAlign("ACGT", "ACGGT");
+  EXPECT_EQ(r.aligned_a.size(), r.aligned_b.size());
+  EXPECT_EQ(r.aligned_a.size(), 5u);
+  // One gap in a, no gaps in b.
+  EXPECT_EQ(std::count(r.aligned_a.begin(), r.aligned_a.end(), '-'), 1);
+  EXPECT_EQ(std::count(r.aligned_b.begin(), r.aligned_b.end(), '-'), 0);
+  EXPECT_EQ(r.score, 4 * 2 - 2);  // 4 matches, 1 gap
+}
+
+TEST(GlobalAlign, EmptyVsNonEmpty) {
+  const auto r = GlobalAlign("", "ACG");
+  EXPECT_EQ(r.aligned_a, "---");
+  EXPECT_EQ(r.aligned_b, "ACG");
+  EXPECT_EQ(r.score, -6);
+}
+
+TEST(GlobalAlign, MismatchVsGapTradeoff) {
+  // With these scores one mismatch (-1) beats two gaps (-4).
+  const auto r = GlobalAlign("ACGT", "AGGT");
+  EXPECT_EQ(r.aligned_a, "ACGT");
+  EXPECT_EQ(r.aligned_b, "AGGT");
+  EXPECT_EQ(r.score, 3 * 2 - 1);
+  EXPECT_DOUBLE_EQ(r.identity, 0.75);
+}
+
+TEST(GlobalAlign, IdentityReflectsSimilarity) {
+  const auto close = GlobalAlign("ACGTACGTACGT", "ACGTACCTACGT");
+  const auto far = GlobalAlign("ACGTACGTACGT", "TTTTGGGGCCCC");
+  EXPECT_GT(close.identity, far.identity);
+}
+
+// ---- misc ------------------------------------------------------------------
+
+TEST(GcContent, Computes) {
+  EXPECT_DOUBLE_EQ(GcContent("GGCC"), 1.0);
+  EXPECT_DOUBLE_EQ(GcContent("AATT"), 0.0);
+  EXPECT_DOUBLE_EQ(GcContent("ACGT"), 0.5);
+  EXPECT_DOUBLE_EQ(GcContent("NNNN"), 0.0);  // no countable bases
+}
+
+TEST(ReverseComplement, KnownAndInvolution) {
+  EXPECT_EQ(ReverseComplement("ACGT").value(), "ACGT");  // palindrome
+  EXPECT_EQ(ReverseComplement("AACG").value(), "CGTT");
+  EXPECT_EQ(ReverseComplement("AN").value(), "NT");
+  // Involution property.
+  const std::string seq = "ATTGCCGNATAG";
+  EXPECT_EQ(ReverseComplement(ReverseComplement(seq).value()).value(), seq);
+  EXPECT_FALSE(ReverseComplement("ACGU").ok());  // RNA symbol in DNA
+}
+
+}  // namespace
+}  // namespace drai::sequence

@@ -1,0 +1,344 @@
+// Tests for drai/stats: Welford accumulators, quantile estimators,
+// normalizers, and imbalance metrics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/rng.hpp"
+#include "stats/imbalance.hpp"
+#include "stats/normalizer.hpp"
+#include "stats/quantile.hpp"
+#include "stats/running.hpp"
+
+namespace drai::stats {
+namespace {
+
+double NaiveMean(const std::vector<double>& v) {
+  double s = 0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double NaiveVariance(const std::vector<double>& v) {
+  const double m = NaiveMean(v);
+  double s = 0;
+  for (double x : v) s += (x - m) * (x - m);
+  return s / static_cast<double>(v.size());
+}
+
+// ---- RunningStats -----------------------------------------------------------
+
+TEST(RunningStats, MatchesNaiveTwoPass) {
+  Rng rng(1);
+  std::vector<double> data;
+  RunningStats rs;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.Normal(10, 3);
+    data.push_back(x);
+    rs.Add(x);
+  }
+  EXPECT_NEAR(rs.mean(), NaiveMean(data), 1e-9);
+  EXPECT_NEAR(rs.variance(), NaiveVariance(data), 1e-6);
+  EXPECT_EQ(rs.count(), 5000u);
+  EXPECT_EQ(rs.min(), *std::min_element(data.begin(), data.end()));
+  EXPECT_EQ(rs.max(), *std::max_element(data.begin(), data.end()));
+}
+
+TEST(RunningStats, NaNsExcludedButCounted) {
+  RunningStats rs;
+  rs.Add(1.0);
+  rs.Add(std::numeric_limits<double>::quiet_NaN());
+  rs.Add(3.0);
+  EXPECT_EQ(rs.count(), 2u);
+  EXPECT_EQ(rs.nan_count(), 1u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 2.0);
+}
+
+class WelfordMergeProperty : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(WelfordMergeProperty, MergeEqualsSerial) {
+  // Split a stream at an arbitrary point, accumulate separately, merge —
+  // must match single-stream accumulation (the MPI reduction property).
+  Rng rng(GetParam());
+  std::vector<double> data;
+  for (int i = 0; i < 2000; ++i) data.push_back(rng.Uniform(-5, 50));
+  const size_t cut = GetParam() % data.size();
+
+  RunningStats serial, a, b;
+  for (double x : data) serial.Add(x);
+  for (size_t i = 0; i < cut; ++i) a.Add(data[i]);
+  for (size_t i = cut; i < data.size(); ++i) b.Add(data[i]);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), serial.count());
+  EXPECT_NEAR(a.mean(), serial.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), serial.variance(), 1e-8);
+  EXPECT_EQ(a.min(), serial.min());
+  EXPECT_EQ(a.max(), serial.max());
+}
+
+INSTANTIATE_TEST_SUITE_P(Cuts, WelfordMergeProperty,
+                         ::testing::Values(0, 1, 2, 17, 500, 1000, 1999));
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.Add(5.0);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 5.0);
+}
+
+TEST(RunningStats, SerializeRoundTrip) {
+  RunningStats rs;
+  for (int i = 0; i < 100; ++i) rs.Add(i * 0.5);
+  ByteWriter w;
+  rs.Serialize(w);
+  const Bytes buf = w.Take();
+  ByteReader r(buf);
+  const auto back = RunningStats::Deserialize(r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->count(), rs.count());
+  EXPECT_DOUBLE_EQ(back->mean(), rs.mean());
+  EXPECT_DOUBLE_EQ(back->variance(), rs.variance());
+}
+
+// ---- quantiles ----------------------------------------------------------------
+
+class P2Property : public ::testing::TestWithParam<double> {};
+
+TEST_P(P2Property, TracksExactQuantileOnNormalData) {
+  const double q = GetParam();
+  Rng rng(42);
+  P2Quantile est(q);
+  std::vector<double> data;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.Normal(0, 1);
+    est.Add(x);
+    data.push_back(x);
+  }
+  const double exact = ExactQuantile(data, q);
+  EXPECT_NEAR(est.Value(), exact, 0.05) << "q=" << q;
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, P2Property,
+                         ::testing::Values(0.1, 0.25, 0.5, 0.75, 0.9, 0.99));
+
+TEST(P2Quantile, ExactForTinySamples) {
+  P2Quantile med(0.5);
+  med.Add(3);
+  med.Add(1);
+  med.Add(2);
+  EXPECT_DOUBLE_EQ(med.Value(), 2.0);
+}
+
+TEST(P2Quantile, RejectsBadQ) {
+  EXPECT_THROW(P2Quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(P2Quantile(1.0), std::invalid_argument);
+}
+
+TEST(ExactQuantile, Interpolates) {
+  EXPECT_DOUBLE_EQ(ExactQuantile({1, 2, 3, 4}, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(ExactQuantile({1, 2, 3, 4}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(ExactQuantile({1, 2, 3, 4}, 1.0), 4.0);
+}
+
+TEST(Histogram, CountsAndQuantile) {
+  Histogram h(0, 10, 10);
+  for (int i = 0; i < 100; ++i) h.Add(i % 10 + 0.5);
+  EXPECT_EQ(h.total(), 100u);
+  EXPECT_EQ(h.counts()[3], 10u);
+  EXPECT_NEAR(h.Quantile(0.5), 5.0, 1.0);
+  h.Add(-5);
+  h.Add(100);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(Histogram, BinCenter) {
+  Histogram h(0, 1, 4);
+  EXPECT_DOUBLE_EQ(h.BinCenter(0), 0.125);
+  EXPECT_THROW((void)h.BinCenter(4), std::out_of_range);
+}
+
+// ---- normalizer -------------------------------------------------------------
+
+class NormKindParam : public ::testing::TestWithParam<NormKind> {};
+
+TEST_P(NormKindParam, InvertsApply) {
+  Rng rng(9);
+  Normalizer norm(GetParam(), 2);
+  std::vector<double> data0, data1;
+  for (int i = 0; i < 3000; ++i) {
+    const double a = std::fabs(rng.Normal(100, 20)) + 1;
+    const double b = rng.Uniform(-3, 7);
+    norm.Observe(0, a);
+    norm.Observe(1, b);
+    data0.push_back(a);
+    data1.push_back(b);
+  }
+  norm.Fit();
+  for (int i = 0; i < 50; ++i) {
+    const double x = data0[static_cast<size_t>(i * 17)];
+    EXPECT_NEAR(norm.Invert(0, norm.Apply(0, x)), x,
+                1e-6 * std::max(1.0, std::fabs(x)));
+  }
+}
+
+TEST_P(NormKindParam, NormalizedDataIsCentered) {
+  Rng rng(10);
+  Normalizer norm(GetParam(), 1);
+  std::vector<double> data;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = std::fabs(rng.Normal(50, 10)) + 1;
+    norm.Observe(0, x);
+    data.push_back(x);
+  }
+  norm.Fit();
+  double sum = 0, mn = 1e300, mx = -1e300;
+  for (double x : data) {
+    const double y = norm.Apply(0, x);
+    sum += y;
+    mn = std::min(mn, y);
+    mx = std::max(mx, y);
+  }
+  const double mean = sum / static_cast<double>(data.size());
+  switch (GetParam()) {
+    case NormKind::kZScore:
+    case NormKind::kLog1pZ:
+      EXPECT_NEAR(mean, 0.0, 0.05);
+      break;
+    case NormKind::kMinMax:
+      EXPECT_GE(mn, -1e-12);
+      EXPECT_LE(mx, 1.0 + 1e-12);
+      break;
+    case NormKind::kRobust:
+      EXPECT_NEAR(mean, 0.0, 0.3);  // robust centering is approximate
+      break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, NormKindParam,
+                         ::testing::Values(NormKind::kZScore, NormKind::kMinMax,
+                                           NormKind::kRobust,
+                                           NormKind::kLog1pZ));
+
+TEST(Normalizer, ZScoreExactStatistics) {
+  Normalizer norm(NormKind::kZScore, 1);
+  for (double x : {2.0, 4.0, 6.0}) norm.Observe(0, x);
+  norm.Fit();
+  EXPECT_DOUBLE_EQ(norm.Center(0), 4.0);
+  EXPECT_NEAR(norm.Scale(0), std::sqrt(8.0 / 3.0), 1e-12);
+  EXPECT_NEAR(norm.Apply(0, 4.0), 0.0, 1e-12);
+}
+
+TEST(Normalizer, ConstantFeatureDoesNotDivideByZero) {
+  Normalizer norm(NormKind::kZScore, 1);
+  for (int i = 0; i < 10; ++i) norm.Observe(0, 7.0);
+  norm.Fit();
+  EXPECT_DOUBLE_EQ(norm.Apply(0, 7.0), 0.0);
+  EXPECT_TRUE(std::isfinite(norm.Apply(0, 8.0)));
+}
+
+TEST(Normalizer, MergePartialFitsEqualsSerial) {
+  Rng rng(11);
+  std::vector<double> data;
+  for (int i = 0; i < 4000; ++i) data.push_back(rng.Uniform(0, 9));
+
+  Normalizer serial(NormKind::kZScore, 1);
+  for (double x : data) serial.Observe(0, x);
+  serial.Fit();
+
+  Normalizer a(NormKind::kZScore, 1), b(NormKind::kZScore, 1);
+  for (size_t i = 0; i < data.size() / 2; ++i) a.Observe(0, data[i]);
+  for (size_t i = data.size() / 2; i < data.size(); ++i) b.Observe(0, data[i]);
+  a.Merge(b);
+  a.Fit();
+  EXPECT_NEAR(a.Center(0), serial.Center(0), 1e-10);
+  EXPECT_NEAR(a.Scale(0), serial.Scale(0), 1e-10);
+}
+
+TEST(Normalizer, RobustMergeRejected) {
+  Normalizer a(NormKind::kRobust, 1), b(NormKind::kRobust, 1);
+  EXPECT_THROW(a.Merge(b), std::logic_error);
+}
+
+TEST(Normalizer, ApplyMatrixNormalizesColumns) {
+  NDArray m = NDArray::FromVector<double>({3, 2}, {0, 10, 1, 20, 2, 30});
+  Normalizer norm(NormKind::kMinMax, 2);
+  norm.ObserveMatrix(m);
+  norm.Fit();
+  norm.ApplyMatrix(m);
+  EXPECT_DOUBLE_EQ(m.GetAsDouble(0), 0.0);   // col0 min
+  EXPECT_DOUBLE_EQ(m.GetAsDouble(4), 1.0);   // col0 max
+  EXPECT_DOUBLE_EQ(m.GetAsDouble(3), 0.5);   // col1 middle
+}
+
+TEST(Normalizer, SerializeRoundTrip) {
+  Normalizer norm(NormKind::kZScore, 3);
+  Rng rng(12);
+  for (int i = 0; i < 100; ++i) {
+    for (size_t f = 0; f < 3; ++f) norm.Observe(f, rng.Normal(f * 10.0, 2));
+  }
+  norm.Fit();
+  ByteWriter w;
+  norm.Serialize(w);
+  const Bytes buf = w.Take();
+  ByteReader r(buf);
+  const auto back = Normalizer::Deserialize(r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->n_features(), 3u);
+  for (size_t f = 0; f < 3; ++f) {
+    EXPECT_DOUBLE_EQ(back->Center(f), norm.Center(f));
+    EXPECT_DOUBLE_EQ(back->Scale(f), norm.Scale(f));
+  }
+}
+
+TEST(Normalizer, LifecycleErrors) {
+  Normalizer norm(NormKind::kZScore, 1);
+  EXPECT_THROW((void)norm.Apply(0, 1.0), std::logic_error);  // apply before fit
+  norm.Observe(0, 1.0);
+  norm.Fit();
+  EXPECT_THROW(norm.Observe(0, 2.0), std::logic_error);  // observe after fit
+  EXPECT_THROW((void)norm.Apply(1, 1.0), std::out_of_range);
+}
+
+// ---- imbalance -----------------------------------------------------------------
+
+TEST(Imbalance, BalancedLabels) {
+  const std::vector<int64_t> labels = {0, 1, 2, 0, 1, 2};
+  const auto counts = CountClasses(labels);
+  EXPECT_NEAR(BalanceScore(counts), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(ImbalanceRatio(counts), 1.0);
+  EXPECT_NEAR(EffectiveClassCount(counts), 3.0, 1e-9);
+  EXPECT_NEAR(GiniImpurity(counts), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Imbalance, SkewedLabels) {
+  std::vector<int64_t> labels(90, 0);
+  labels.insert(labels.end(), 10, 1);
+  const auto counts = CountClasses(labels);
+  EXPECT_DOUBLE_EQ(ImbalanceRatio(counts), 9.0);
+  EXPECT_LT(BalanceScore(counts), 0.5);
+  EXPECT_LT(EffectiveClassCount(counts), 2.0);
+}
+
+TEST(Imbalance, SingleClassAndEmpty) {
+  EXPECT_DOUBLE_EQ(BalanceScore(CountClasses(std::vector<int64_t>{5, 5})), 0.0);
+  EXPECT_DOUBLE_EQ(ImbalanceRatio({}), 0.0);
+  EXPECT_DOUBLE_EQ(LabelEntropy({}), 0.0);
+}
+
+TEST(Imbalance, InverseFrequencyWeightsMeanOne) {
+  std::vector<int64_t> labels(75, 0);
+  labels.insert(labels.end(), 25, 1);
+  const auto weights = InverseFrequencyWeights(CountClasses(labels));
+  ASSERT_EQ(weights.size(), 2u);
+  EXPECT_GT(weights.at(1), weights.at(0));  // minority upweighted
+  EXPECT_NEAR((weights.at(0) + weights.at(1)) / 2.0, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace drai::stats

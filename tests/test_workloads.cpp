@@ -1,0 +1,238 @@
+// Tests for the synthetic domain workloads: each generator must exhibit the
+// readiness challenges its domain is known for (Table 1), reproducibly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "container/grib_lite.hpp"
+#include "stats/imbalance.hpp"
+#include "workloads/bio.hpp"
+#include "workloads/climate.hpp"
+#include "workloads/fusion.hpp"
+#include "workloads/materials.hpp"
+
+namespace drai::workloads {
+namespace {
+
+// ---- climate ---------------------------------------------------------------
+
+TEST(ClimateWorkload, GribDecodesToConfiguredFields) {
+  ClimateConfig config;
+  config.n_times = 3;
+  config.n_lat = 16;
+  config.n_lon = 32;
+  const Bytes grib = GenerateClimateGrib(config);
+  const auto messages = container::DecodeGribFile(grib);
+  ASSERT_TRUE(messages.ok());
+  EXPECT_EQ(messages->size(), config.n_times * config.variables.size());
+  std::set<std::string> vars;
+  for (const auto& m : *messages) {
+    vars.insert(m.variable);
+    EXPECT_EQ(m.n_lat, 16u);
+    EXPECT_EQ(m.n_lon, 32u);
+  }
+  EXPECT_EQ(vars.size(), config.variables.size());
+}
+
+TEST(ClimateWorkload, FieldsArePhysicallyShaped) {
+  ClimateConfig config;
+  config.n_times = 1;
+  config.n_lat = 32;
+  config.n_lon = 64;
+  const auto fields = GenerateClimateFields(config);
+  const grid::LatLonGrid g = ClimateSourceGrid(config);
+  // t2m: warmer at the equator than at the poles.
+  for (const auto& f : fields) {
+    if (f.variable != "t2m") continue;
+    const double polar = f.field.GetAsDouble(0);                   // ~-87°
+    const double equator = f.field.GetAsDouble((16) * 64);         // mid row
+    EXPECT_GT(equator, polar + 30.0);
+  }
+  (void)g;
+}
+
+TEST(ClimateWorkload, MissingProbInjectsNaN) {
+  ClimateConfig config;
+  config.n_times = 2;
+  config.missing_prob = 0.1;
+  const auto fields = GenerateClimateFields(config);
+  size_t nan = 0, total = 0;
+  for (const auto& f : fields) {
+    for (size_t i = 0; i < f.field.numel(); ++i) {
+      nan += std::isnan(f.field.GetAsDouble(i));
+      ++total;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(nan) / static_cast<double>(total), 0.1,
+              0.02);
+}
+
+TEST(ClimateWorkload, DeterministicGivenSeed) {
+  ClimateConfig config;
+  config.n_times = 1;
+  EXPECT_EQ(GenerateClimateGrib(config), GenerateClimateGrib(config));
+  config.seed += 1;
+  const Bytes other = GenerateClimateGrib(config);
+  config.seed -= 1;
+  EXPECT_NE(GenerateClimateGrib(config), other);
+}
+
+// ---- fusion -----------------------------------------------------------------
+
+TEST(FusionWorkload, ShotsHaveIrregularHeterogeneousClocks) {
+  FusionConfig config;
+  config.n_shots = 4;
+  const auto shots = GenerateFusionShots(config);
+  ASSERT_EQ(shots.size(), 4u);
+  for (const auto& shot : shots) {
+    ASSERT_EQ(shot.channels.size(), config.n_channels);
+    for (const auto& ch : shot.channels) {
+      ASSERT_TRUE(ch.Validate().ok());
+      ASSERT_GT(ch.size(), 100u);
+      // Irregular: consecutive intervals differ.
+      const double d0 = ch.t[1] - ch.t[0];
+      const double d1 = ch.t[2] - ch.t[1];
+      EXPECT_NE(d0, d1);
+    }
+    // Channels have different lengths (different rates).
+    EXPECT_NE(shot.channels[0].size(), shot.channels[1].size());
+  }
+}
+
+TEST(FusionWorkload, DisruptionRateAndPrecursor) {
+  FusionConfig config;
+  config.n_shots = 60;
+  config.disruption_prob = 0.5;
+  const auto shots = GenerateFusionShots(config);
+  size_t disrupted = 0;
+  for (const auto& shot : shots) {
+    if (shot.label == 1) {
+      ++disrupted;
+      EXPECT_GT(shot.disruption_time, 0);
+      // The plasma current collapses after the disruption: last finite ip
+      // sample is far below the flattop level.
+      const auto& ip = shot.channels[0];
+      double last = 0, top = 0;
+      for (size_t i = 0; i < ip.size(); ++i) {
+        if (!std::isfinite(ip.v[i])) continue;
+        top = std::max(top, ip.v[i]);
+        last = ip.v[i];
+      }
+      EXPECT_LT(std::fabs(last), top * 0.6);
+    } else {
+      EXPECT_LT(shot.disruption_time, 0);
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(disrupted) / 60.0, 0.5, 0.2);
+}
+
+TEST(FusionWorkload, DropoutsAndWithheldLabels) {
+  FusionConfig config;
+  config.n_shots = 12;
+  config.dropout_prob = 0.05;
+  config.unlabeled_fraction = 0.4;
+  const auto shots = GenerateFusionShots(config);
+  double missing = 0;
+  size_t channels = 0;
+  size_t unlabeled = 0;
+  for (const auto& shot : shots) {
+    for (const auto& ch : shot.channels) {
+      missing += ch.MissingFraction();
+      ++channels;
+    }
+    if (shot.label < 0) ++unlabeled;
+  }
+  EXPECT_NEAR(missing / static_cast<double>(channels), 0.05, 0.03);
+  EXPECT_GT(unlabeled, 1u);
+  EXPECT_LT(unlabeled, 11u);
+}
+
+// ---- bio -------------------------------------------------------------------
+
+TEST(BioWorkload, MotifDrivesLabel) {
+  BioConfig config;
+  config.n_subjects = 80;
+  config.unlabeled_fraction = 0.0;
+  const BioWorkload w = GenerateBioWorkload(config);
+  ASSERT_EQ(w.subjects.size(), 80u);
+  for (const auto& subj : w.subjects) {
+    const bool has_motif =
+        subj.sequence.find(config.motif) != std::string::npos;
+    if (subj.expression_label == 1) {
+      EXPECT_TRUE(has_motif) << subj.subject_id;
+    }
+    // Label 0 sequences may rarely contain the motif by chance; allow it.
+    EXPECT_EQ(subj.sequence.size(), config.sequence_length);
+  }
+}
+
+TEST(BioWorkload, ClinicalTableCarriesPhi) {
+  const BioWorkload w = GenerateBioWorkload({});
+  ASSERT_TRUE(w.clinical.Validate().ok());
+  EXPECT_EQ(w.clinical.NumRows(), w.subjects.size());
+  const int ssn = w.clinical.ColumnIndex("ssn");
+  const int dob = w.clinical.ColumnIndex("dob");
+  ASSERT_GE(ssn, 0);
+  ASSERT_GE(dob, 0);
+  for (const auto& row : w.clinical.rows) {
+    EXPECT_TRUE(privacy::LooksLikeSsn(row[size_t(ssn)])) << row[size_t(ssn)];
+    EXPECT_TRUE(privacy::LooksLikeIsoDate(row[size_t(dob)]));
+  }
+}
+
+TEST(BioWorkload, UnlabeledFractionRespected) {
+  BioConfig config;
+  config.n_subjects = 300;
+  config.unlabeled_fraction = 0.25;
+  const BioWorkload w = GenerateBioWorkload(config);
+  size_t unlabeled = 0;
+  for (const auto& subj : w.subjects) {
+    if (subj.expression_label < 0) ++unlabeled;
+  }
+  EXPECT_NEAR(static_cast<double>(unlabeled) / 300.0, 0.25, 0.07);
+}
+
+// ---- materials --------------------------------------------------------------
+
+TEST(MaterialsWorkload, StructuresValidAndImbalanced) {
+  MaterialsConfig config;
+  config.n_structures = 120;
+  const auto structures = GenerateMaterials(config);
+  ASSERT_EQ(structures.size(), 120u);
+  std::vector<int64_t> classes;
+  for (const auto& s : structures) {
+    ASSERT_TRUE(s.Validate().ok()) << s.id;
+    EXPECT_GE(s.NumAtoms(), config.min_atoms);
+    EXPECT_LE(s.NumAtoms(), config.max_atoms);
+    classes.push_back(s.space_group_class);
+  }
+  // The configured class skew shows up as real imbalance (§3.4 challenge).
+  const double ratio = stats::ImbalanceRatio(stats::CountClasses(classes));
+  EXPECT_GT(ratio, 3.0);
+}
+
+TEST(MaterialsWorkload, EnergyLabelsMatchReferenceModel) {
+  MaterialsConfig config;
+  config.n_structures = 10;
+  const auto structures = GenerateMaterials(config);
+  for (const auto& s : structures) {
+    EXPECT_DOUBLE_EQ(s.energy_per_atom, ReferenceEnergyPerAtom(s));
+    EXPECT_TRUE(std::isfinite(s.energy_per_atom));
+  }
+}
+
+TEST(MaterialsWorkload, DeterministicGivenSeed) {
+  MaterialsConfig config;
+  config.n_structures = 5;
+  const auto a = GenerateMaterials(config);
+  const auto b = GenerateMaterials(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].frac_coords, b[i].frac_coords);
+    EXPECT_EQ(a[i].atomic_numbers, b[i].atomic_numbers);
+  }
+}
+
+}  // namespace
+}  // namespace drai::workloads
