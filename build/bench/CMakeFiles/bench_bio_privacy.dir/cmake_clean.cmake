@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bio_privacy.dir/bench_bio_privacy.cpp.o"
+  "CMakeFiles/bench_bio_privacy.dir/bench_bio_privacy.cpp.o.d"
+  "bench_bio_privacy"
+  "bench_bio_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bio_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_climate_regrid.dir/bench_climate_regrid.cpp.o"
+  "CMakeFiles/bench_climate_regrid.dir/bench_climate_regrid.cpp.o.d"
+  "bench_climate_regrid"
+  "bench_climate_regrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_climate_regrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

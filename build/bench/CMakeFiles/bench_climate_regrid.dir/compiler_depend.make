@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_climate_regrid.
+# This may be replaced when dependencies are built.

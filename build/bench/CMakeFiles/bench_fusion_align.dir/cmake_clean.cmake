@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fusion_align.dir/bench_fusion_align.cpp.o"
+  "CMakeFiles/bench_fusion_align.dir/bench_fusion_align.cpp.o.d"
+  "bench_fusion_align"
+  "bench_fusion_align.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fusion_align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_materials_graph.dir/bench_materials_graph.cpp.o"
+  "CMakeFiles/bench_materials_graph.dir/bench_materials_graph.cpp.o.d"
+  "bench_materials_graph"
+  "bench_materials_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_materials_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

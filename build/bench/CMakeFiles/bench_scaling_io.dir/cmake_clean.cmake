@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scaling_io.dir/bench_scaling_io.cpp.o"
+  "CMakeFiles/bench_scaling_io.dir/bench_scaling_io.cpp.o.d"
+  "bench_scaling_io"
+  "bench_scaling_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scaling_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_shard_size.dir/bench_shard_size.cpp.o"
+  "CMakeFiles/bench_shard_size.dir/bench_shard_size.cpp.o.d"
+  "bench_shard_size"
+  "bench_shard_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shard_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_domains.dir/bench_table1_domains.cpp.o"
+  "CMakeFiles/bench_table1_domains.dir/bench_table1_domains.cpp.o.d"
+  "bench_table1_domains"
+  "bench_table1_domains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_domains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_maturity.dir/bench_table2_maturity.cpp.o"
+  "CMakeFiles/bench_table2_maturity.dir/bench_table2_maturity.cpp.o.d"
+  "bench_table2_maturity"
+  "bench_table2_maturity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_maturity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/climate_forecast_prep.dir/climate_forecast_prep.cpp.o"
+  "CMakeFiles/climate_forecast_prep.dir/climate_forecast_prep.cpp.o.d"
+  "climate_forecast_prep"
+  "climate_forecast_prep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/climate_forecast_prep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

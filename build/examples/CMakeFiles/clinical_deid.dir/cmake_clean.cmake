@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clinical_deid.dir/clinical_deid.cpp.o"
+  "CMakeFiles/clinical_deid.dir/clinical_deid.cpp.o.d"
+  "clinical_deid"
+  "clinical_deid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clinical_deid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for clinical_deid.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusion_disruption.dir/fusion_disruption.cpp.o"
+  "CMakeFiles/fusion_disruption.dir/fusion_disruption.cpp.o.d"
+  "fusion_disruption"
+  "fusion_disruption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusion_disruption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genomic_msa.dir/genomic_msa.cpp.o"
+  "CMakeFiles/genomic_msa.dir/genomic_msa.cpp.o.d"
+  "genomic_msa"
+  "genomic_msa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genomic_msa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/materials_graphs.dir/materials_graphs.cpp.o"
+  "CMakeFiles/materials_graphs.dir/materials_graphs.cpp.o.d"
+  "materials_graphs"
+  "materials_graphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/materials_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/readiness_report.dir/readiness_report.cpp.o"
+  "CMakeFiles/readiness_report.dir/readiness_report.cpp.o.d"
+  "readiness_report"
+  "readiness_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/readiness_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("parallel")
+subdirs("ndarray")
+subdirs("stats")
+subdirs("codec")
+subdirs("container")
+subdirs("shard")
+subdirs("grid")
+subdirs("timeseries")
+subdirs("sequence")
+subdirs("privacy")
+subdirs("graph")
+subdirs("augment")
+subdirs("ml")
+subdirs("core")
+subdirs("workloads")
+subdirs("domains")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drai_augment.dir/augment.cpp.o"
+  "CMakeFiles/drai_augment.dir/augment.cpp.o.d"
+  "libdrai_augment.a"
+  "libdrai_augment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drai_augment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

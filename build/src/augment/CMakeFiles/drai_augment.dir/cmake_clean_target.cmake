@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdrai_augment.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codec/codec.cpp" "src/codec/CMakeFiles/drai_codec.dir/codec.cpp.o" "gcc" "src/codec/CMakeFiles/drai_codec.dir/codec.cpp.o.d"
+  "/root/repo/src/codec/lz.cpp" "src/codec/CMakeFiles/drai_codec.dir/lz.cpp.o" "gcc" "src/codec/CMakeFiles/drai_codec.dir/lz.cpp.o.d"
+  "/root/repo/src/codec/quantize.cpp" "src/codec/CMakeFiles/drai_codec.dir/quantize.cpp.o" "gcc" "src/codec/CMakeFiles/drai_codec.dir/quantize.cpp.o.d"
+  "/root/repo/src/codec/xorfloat.cpp" "src/codec/CMakeFiles/drai_codec.dir/xorfloat.cpp.o" "gcc" "src/codec/CMakeFiles/drai_codec.dir/xorfloat.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/drai_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ndarray/CMakeFiles/drai_ndarray.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drai_codec.dir/codec.cpp.o"
+  "CMakeFiles/drai_codec.dir/codec.cpp.o.d"
+  "CMakeFiles/drai_codec.dir/lz.cpp.o"
+  "CMakeFiles/drai_codec.dir/lz.cpp.o.d"
+  "CMakeFiles/drai_codec.dir/quantize.cpp.o"
+  "CMakeFiles/drai_codec.dir/quantize.cpp.o.d"
+  "CMakeFiles/drai_codec.dir/xorfloat.cpp.o"
+  "CMakeFiles/drai_codec.dir/xorfloat.cpp.o.d"
+  "libdrai_codec.a"
+  "libdrai_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drai_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

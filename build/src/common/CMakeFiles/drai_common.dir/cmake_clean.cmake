@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drai_common.dir/bytes.cpp.o"
+  "CMakeFiles/drai_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/drai_common.dir/hash.cpp.o"
+  "CMakeFiles/drai_common.dir/hash.cpp.o.d"
+  "CMakeFiles/drai_common.dir/log.cpp.o"
+  "CMakeFiles/drai_common.dir/log.cpp.o.d"
+  "CMakeFiles/drai_common.dir/rng.cpp.o"
+  "CMakeFiles/drai_common.dir/rng.cpp.o.d"
+  "CMakeFiles/drai_common.dir/status.cpp.o"
+  "CMakeFiles/drai_common.dir/status.cpp.o.d"
+  "CMakeFiles/drai_common.dir/strings.cpp.o"
+  "CMakeFiles/drai_common.dir/strings.cpp.o.d"
+  "libdrai_common.a"
+  "libdrai_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drai_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

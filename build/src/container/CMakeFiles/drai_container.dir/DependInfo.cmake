@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/container/bplite.cpp" "src/container/CMakeFiles/drai_container.dir/bplite.cpp.o" "gcc" "src/container/CMakeFiles/drai_container.dir/bplite.cpp.o.d"
+  "/root/repo/src/container/grib_lite.cpp" "src/container/CMakeFiles/drai_container.dir/grib_lite.cpp.o" "gcc" "src/container/CMakeFiles/drai_container.dir/grib_lite.cpp.o.d"
+  "/root/repo/src/container/netcdf_lite.cpp" "src/container/CMakeFiles/drai_container.dir/netcdf_lite.cpp.o" "gcc" "src/container/CMakeFiles/drai_container.dir/netcdf_lite.cpp.o.d"
+  "/root/repo/src/container/recio.cpp" "src/container/CMakeFiles/drai_container.dir/recio.cpp.o" "gcc" "src/container/CMakeFiles/drai_container.dir/recio.cpp.o.d"
+  "/root/repo/src/container/sdf.cpp" "src/container/CMakeFiles/drai_container.dir/sdf.cpp.o" "gcc" "src/container/CMakeFiles/drai_container.dir/sdf.cpp.o.d"
+  "/root/repo/src/container/sniff.cpp" "src/container/CMakeFiles/drai_container.dir/sniff.cpp.o" "gcc" "src/container/CMakeFiles/drai_container.dir/sniff.cpp.o.d"
+  "/root/repo/src/container/tensor_io.cpp" "src/container/CMakeFiles/drai_container.dir/tensor_io.cpp.o" "gcc" "src/container/CMakeFiles/drai_container.dir/tensor_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/drai_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ndarray/CMakeFiles/drai_ndarray.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/drai_codec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

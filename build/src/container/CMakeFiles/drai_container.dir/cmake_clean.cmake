@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drai_container.dir/bplite.cpp.o"
+  "CMakeFiles/drai_container.dir/bplite.cpp.o.d"
+  "CMakeFiles/drai_container.dir/grib_lite.cpp.o"
+  "CMakeFiles/drai_container.dir/grib_lite.cpp.o.d"
+  "CMakeFiles/drai_container.dir/netcdf_lite.cpp.o"
+  "CMakeFiles/drai_container.dir/netcdf_lite.cpp.o.d"
+  "CMakeFiles/drai_container.dir/recio.cpp.o"
+  "CMakeFiles/drai_container.dir/recio.cpp.o.d"
+  "CMakeFiles/drai_container.dir/sdf.cpp.o"
+  "CMakeFiles/drai_container.dir/sdf.cpp.o.d"
+  "CMakeFiles/drai_container.dir/sniff.cpp.o"
+  "CMakeFiles/drai_container.dir/sniff.cpp.o.d"
+  "CMakeFiles/drai_container.dir/tensor_io.cpp.o"
+  "CMakeFiles/drai_container.dir/tensor_io.cpp.o.d"
+  "libdrai_container.a"
+  "libdrai_container.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drai_container.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bundle.cpp" "src/core/CMakeFiles/drai_core.dir/bundle.cpp.o" "gcc" "src/core/CMakeFiles/drai_core.dir/bundle.cpp.o.d"
+  "/root/repo/src/core/datasheet.cpp" "src/core/CMakeFiles/drai_core.dir/datasheet.cpp.o" "gcc" "src/core/CMakeFiles/drai_core.dir/datasheet.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/drai_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/drai_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/provenance.cpp" "src/core/CMakeFiles/drai_core.dir/provenance.cpp.o" "gcc" "src/core/CMakeFiles/drai_core.dir/provenance.cpp.o.d"
+  "/root/repo/src/core/quality.cpp" "src/core/CMakeFiles/drai_core.dir/quality.cpp.o" "gcc" "src/core/CMakeFiles/drai_core.dir/quality.cpp.o.d"
+  "/root/repo/src/core/readiness.cpp" "src/core/CMakeFiles/drai_core.dir/readiness.cpp.o" "gcc" "src/core/CMakeFiles/drai_core.dir/readiness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/drai_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ndarray/CMakeFiles/drai_ndarray.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/drai_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/container/CMakeFiles/drai_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/privacy/CMakeFiles/drai_privacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeseries/CMakeFiles/drai_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/shard/CMakeFiles/drai_shard.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/drai_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/drai_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drai_core.dir/bundle.cpp.o"
+  "CMakeFiles/drai_core.dir/bundle.cpp.o.d"
+  "CMakeFiles/drai_core.dir/datasheet.cpp.o"
+  "CMakeFiles/drai_core.dir/datasheet.cpp.o.d"
+  "CMakeFiles/drai_core.dir/pipeline.cpp.o"
+  "CMakeFiles/drai_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/drai_core.dir/provenance.cpp.o"
+  "CMakeFiles/drai_core.dir/provenance.cpp.o.d"
+  "CMakeFiles/drai_core.dir/quality.cpp.o"
+  "CMakeFiles/drai_core.dir/quality.cpp.o.d"
+  "CMakeFiles/drai_core.dir/readiness.cpp.o"
+  "CMakeFiles/drai_core.dir/readiness.cpp.o.d"
+  "libdrai_core.a"
+  "libdrai_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drai_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

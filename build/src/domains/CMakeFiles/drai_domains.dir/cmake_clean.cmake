@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drai_domains.dir/bio.cpp.o"
+  "CMakeFiles/drai_domains.dir/bio.cpp.o.d"
+  "CMakeFiles/drai_domains.dir/climate.cpp.o"
+  "CMakeFiles/drai_domains.dir/climate.cpp.o.d"
+  "CMakeFiles/drai_domains.dir/fusion.cpp.o"
+  "CMakeFiles/drai_domains.dir/fusion.cpp.o.d"
+  "CMakeFiles/drai_domains.dir/materials.cpp.o"
+  "CMakeFiles/drai_domains.dir/materials.cpp.o.d"
+  "libdrai_domains.a"
+  "libdrai_domains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drai_domains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/encode.cpp" "src/graph/CMakeFiles/drai_graph.dir/encode.cpp.o" "gcc" "src/graph/CMakeFiles/drai_graph.dir/encode.cpp.o.d"
+  "/root/repo/src/graph/structure.cpp" "src/graph/CMakeFiles/drai_graph.dir/structure.cpp.o" "gcc" "src/graph/CMakeFiles/drai_graph.dir/structure.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/drai_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ndarray/CMakeFiles/drai_ndarray.dir/DependInfo.cmake"
+  "/root/repo/build/src/shard/CMakeFiles/drai_shard.dir/DependInfo.cmake"
+  "/root/repo/build/src/container/CMakeFiles/drai_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/drai_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/drai_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/drai_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drai_graph.dir/encode.cpp.o"
+  "CMakeFiles/drai_graph.dir/encode.cpp.o.d"
+  "CMakeFiles/drai_graph.dir/structure.cpp.o"
+  "CMakeFiles/drai_graph.dir/structure.cpp.o.d"
+  "libdrai_graph.a"
+  "libdrai_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drai_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drai_grid.dir/latlon.cpp.o"
+  "CMakeFiles/drai_grid.dir/latlon.cpp.o.d"
+  "libdrai_grid.a"
+  "libdrai_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drai_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drai_ml.dir/metrics.cpp.o"
+  "CMakeFiles/drai_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/drai_ml.dir/models.cpp.o"
+  "CMakeFiles/drai_ml.dir/models.cpp.o.d"
+  "CMakeFiles/drai_ml.dir/trainer.cpp.o"
+  "CMakeFiles/drai_ml.dir/trainer.cpp.o.d"
+  "libdrai_ml.a"
+  "libdrai_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drai_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ndarray/dtype.cpp" "src/ndarray/CMakeFiles/drai_ndarray.dir/dtype.cpp.o" "gcc" "src/ndarray/CMakeFiles/drai_ndarray.dir/dtype.cpp.o.d"
+  "/root/repo/src/ndarray/kernels.cpp" "src/ndarray/CMakeFiles/drai_ndarray.dir/kernels.cpp.o" "gcc" "src/ndarray/CMakeFiles/drai_ndarray.dir/kernels.cpp.o.d"
+  "/root/repo/src/ndarray/ndarray.cpp" "src/ndarray/CMakeFiles/drai_ndarray.dir/ndarray.cpp.o" "gcc" "src/ndarray/CMakeFiles/drai_ndarray.dir/ndarray.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/drai_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

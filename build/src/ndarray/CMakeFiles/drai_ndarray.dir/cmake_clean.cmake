@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drai_ndarray.dir/dtype.cpp.o"
+  "CMakeFiles/drai_ndarray.dir/dtype.cpp.o.d"
+  "CMakeFiles/drai_ndarray.dir/kernels.cpp.o"
+  "CMakeFiles/drai_ndarray.dir/kernels.cpp.o.d"
+  "CMakeFiles/drai_ndarray.dir/ndarray.cpp.o"
+  "CMakeFiles/drai_ndarray.dir/ndarray.cpp.o.d"
+  "libdrai_ndarray.a"
+  "libdrai_ndarray.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drai_ndarray.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

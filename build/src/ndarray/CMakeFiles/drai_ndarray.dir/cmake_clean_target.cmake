@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdrai_ndarray.a"
+)

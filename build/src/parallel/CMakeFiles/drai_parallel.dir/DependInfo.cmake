@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parallel/communicator.cpp" "src/parallel/CMakeFiles/drai_parallel.dir/communicator.cpp.o" "gcc" "src/parallel/CMakeFiles/drai_parallel.dir/communicator.cpp.o.d"
+  "/root/repo/src/parallel/distributed_stats.cpp" "src/parallel/CMakeFiles/drai_parallel.dir/distributed_stats.cpp.o" "gcc" "src/parallel/CMakeFiles/drai_parallel.dir/distributed_stats.cpp.o.d"
+  "/root/repo/src/parallel/striped_store.cpp" "src/parallel/CMakeFiles/drai_parallel.dir/striped_store.cpp.o" "gcc" "src/parallel/CMakeFiles/drai_parallel.dir/striped_store.cpp.o.d"
+  "/root/repo/src/parallel/thread_pool.cpp" "src/parallel/CMakeFiles/drai_parallel.dir/thread_pool.cpp.o" "gcc" "src/parallel/CMakeFiles/drai_parallel.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/drai_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/drai_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/ndarray/CMakeFiles/drai_ndarray.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

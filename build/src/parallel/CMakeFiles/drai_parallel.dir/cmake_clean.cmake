@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drai_parallel.dir/communicator.cpp.o"
+  "CMakeFiles/drai_parallel.dir/communicator.cpp.o.d"
+  "CMakeFiles/drai_parallel.dir/distributed_stats.cpp.o"
+  "CMakeFiles/drai_parallel.dir/distributed_stats.cpp.o.d"
+  "CMakeFiles/drai_parallel.dir/striped_store.cpp.o"
+  "CMakeFiles/drai_parallel.dir/striped_store.cpp.o.d"
+  "CMakeFiles/drai_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/drai_parallel.dir/thread_pool.cpp.o.d"
+  "libdrai_parallel.a"
+  "libdrai_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drai_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

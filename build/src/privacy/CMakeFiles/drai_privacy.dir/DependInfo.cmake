@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/privacy/anonymize.cpp" "src/privacy/CMakeFiles/drai_privacy.dir/anonymize.cpp.o" "gcc" "src/privacy/CMakeFiles/drai_privacy.dir/anonymize.cpp.o.d"
+  "/root/repo/src/privacy/audit.cpp" "src/privacy/CMakeFiles/drai_privacy.dir/audit.cpp.o" "gcc" "src/privacy/CMakeFiles/drai_privacy.dir/audit.cpp.o.d"
+  "/root/repo/src/privacy/tabular.cpp" "src/privacy/CMakeFiles/drai_privacy.dir/tabular.cpp.o" "gcc" "src/privacy/CMakeFiles/drai_privacy.dir/tabular.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/drai_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drai_privacy.dir/anonymize.cpp.o"
+  "CMakeFiles/drai_privacy.dir/anonymize.cpp.o.d"
+  "CMakeFiles/drai_privacy.dir/audit.cpp.o"
+  "CMakeFiles/drai_privacy.dir/audit.cpp.o.d"
+  "CMakeFiles/drai_privacy.dir/tabular.cpp.o"
+  "CMakeFiles/drai_privacy.dir/tabular.cpp.o.d"
+  "libdrai_privacy.a"
+  "libdrai_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drai_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drai_sequence.dir/msa.cpp.o"
+  "CMakeFiles/drai_sequence.dir/msa.cpp.o.d"
+  "CMakeFiles/drai_sequence.dir/sequence.cpp.o"
+  "CMakeFiles/drai_sequence.dir/sequence.cpp.o.d"
+  "libdrai_sequence.a"
+  "libdrai_sequence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drai_sequence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

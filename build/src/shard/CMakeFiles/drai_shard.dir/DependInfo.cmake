@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/shard/dataset_tools.cpp" "src/shard/CMakeFiles/drai_shard.dir/dataset_tools.cpp.o" "gcc" "src/shard/CMakeFiles/drai_shard.dir/dataset_tools.cpp.o.d"
+  "/root/repo/src/shard/example.cpp" "src/shard/CMakeFiles/drai_shard.dir/example.cpp.o" "gcc" "src/shard/CMakeFiles/drai_shard.dir/example.cpp.o.d"
+  "/root/repo/src/shard/manifest.cpp" "src/shard/CMakeFiles/drai_shard.dir/manifest.cpp.o" "gcc" "src/shard/CMakeFiles/drai_shard.dir/manifest.cpp.o.d"
+  "/root/repo/src/shard/shard_reader.cpp" "src/shard/CMakeFiles/drai_shard.dir/shard_reader.cpp.o" "gcc" "src/shard/CMakeFiles/drai_shard.dir/shard_reader.cpp.o.d"
+  "/root/repo/src/shard/shard_writer.cpp" "src/shard/CMakeFiles/drai_shard.dir/shard_writer.cpp.o" "gcc" "src/shard/CMakeFiles/drai_shard.dir/shard_writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/drai_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ndarray/CMakeFiles/drai_ndarray.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/drai_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/container/CMakeFiles/drai_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/drai_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/drai_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drai_shard.dir/dataset_tools.cpp.o"
+  "CMakeFiles/drai_shard.dir/dataset_tools.cpp.o.d"
+  "CMakeFiles/drai_shard.dir/example.cpp.o"
+  "CMakeFiles/drai_shard.dir/example.cpp.o.d"
+  "CMakeFiles/drai_shard.dir/manifest.cpp.o"
+  "CMakeFiles/drai_shard.dir/manifest.cpp.o.d"
+  "CMakeFiles/drai_shard.dir/shard_reader.cpp.o"
+  "CMakeFiles/drai_shard.dir/shard_reader.cpp.o.d"
+  "CMakeFiles/drai_shard.dir/shard_writer.cpp.o"
+  "CMakeFiles/drai_shard.dir/shard_writer.cpp.o.d"
+  "libdrai_shard.a"
+  "libdrai_shard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drai_shard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

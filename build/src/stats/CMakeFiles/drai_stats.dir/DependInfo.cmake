@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/imbalance.cpp" "src/stats/CMakeFiles/drai_stats.dir/imbalance.cpp.o" "gcc" "src/stats/CMakeFiles/drai_stats.dir/imbalance.cpp.o.d"
+  "/root/repo/src/stats/normalizer.cpp" "src/stats/CMakeFiles/drai_stats.dir/normalizer.cpp.o" "gcc" "src/stats/CMakeFiles/drai_stats.dir/normalizer.cpp.o.d"
+  "/root/repo/src/stats/quantile.cpp" "src/stats/CMakeFiles/drai_stats.dir/quantile.cpp.o" "gcc" "src/stats/CMakeFiles/drai_stats.dir/quantile.cpp.o.d"
+  "/root/repo/src/stats/running.cpp" "src/stats/CMakeFiles/drai_stats.dir/running.cpp.o" "gcc" "src/stats/CMakeFiles/drai_stats.dir/running.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/drai_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ndarray/CMakeFiles/drai_ndarray.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

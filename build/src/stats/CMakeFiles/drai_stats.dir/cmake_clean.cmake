@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drai_stats.dir/imbalance.cpp.o"
+  "CMakeFiles/drai_stats.dir/imbalance.cpp.o.d"
+  "CMakeFiles/drai_stats.dir/normalizer.cpp.o"
+  "CMakeFiles/drai_stats.dir/normalizer.cpp.o.d"
+  "CMakeFiles/drai_stats.dir/quantile.cpp.o"
+  "CMakeFiles/drai_stats.dir/quantile.cpp.o.d"
+  "CMakeFiles/drai_stats.dir/running.cpp.o"
+  "CMakeFiles/drai_stats.dir/running.cpp.o.d"
+  "libdrai_stats.a"
+  "libdrai_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drai_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

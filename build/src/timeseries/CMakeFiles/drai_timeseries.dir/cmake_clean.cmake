@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drai_timeseries.dir/lag.cpp.o"
+  "CMakeFiles/drai_timeseries.dir/lag.cpp.o.d"
+  "CMakeFiles/drai_timeseries.dir/signal.cpp.o"
+  "CMakeFiles/drai_timeseries.dir/signal.cpp.o.d"
+  "libdrai_timeseries.a"
+  "libdrai_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drai_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drai_workloads.dir/bio.cpp.o"
+  "CMakeFiles/drai_workloads.dir/bio.cpp.o.d"
+  "CMakeFiles/drai_workloads.dir/climate.cpp.o"
+  "CMakeFiles/drai_workloads.dir/climate.cpp.o.d"
+  "CMakeFiles/drai_workloads.dir/fusion.cpp.o"
+  "CMakeFiles/drai_workloads.dir/fusion.cpp.o.d"
+  "CMakeFiles/drai_workloads.dir/materials.cpp.o"
+  "CMakeFiles/drai_workloads.dir/materials.cpp.o.d"
+  "libdrai_workloads.a"
+  "libdrai_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drai_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

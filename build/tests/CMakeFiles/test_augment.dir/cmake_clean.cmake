@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_augment.dir/test_augment.cpp.o"
+  "CMakeFiles/test_augment.dir/test_augment.cpp.o.d"
+  "test_augment"
+  "test_augment.pdb"
+  "test_augment[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_augment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

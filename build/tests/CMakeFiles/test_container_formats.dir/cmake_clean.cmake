@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_container_formats.dir/test_container_formats.cpp.o"
+  "CMakeFiles/test_container_formats.dir/test_container_formats.cpp.o.d"
+  "test_container_formats"
+  "test_container_formats.pdb"
+  "test_container_formats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_container_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_container_sdf.dir/test_container_sdf.cpp.o"
+  "CMakeFiles/test_container_sdf.dir/test_container_sdf.cpp.o.d"
+  "test_container_sdf"
+  "test_container_sdf.pdb"
+  "test_container_sdf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_container_sdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

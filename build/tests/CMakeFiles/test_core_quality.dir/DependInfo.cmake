@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_core_quality.cpp" "tests/CMakeFiles/test_core_quality.dir/test_core_quality.cpp.o" "gcc" "tests/CMakeFiles/test_core_quality.dir/test_core_quality.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/domains/CMakeFiles/drai_domains.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/drai_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/drai_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/drai_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/augment/CMakeFiles/drai_augment.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/drai_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/privacy/CMakeFiles/drai_privacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sequence/CMakeFiles/drai_sequence.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeseries/CMakeFiles/drai_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/drai_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/shard/CMakeFiles/drai_shard.dir/DependInfo.cmake"
+  "/root/repo/build/src/container/CMakeFiles/drai_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/drai_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/drai_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/ndarray/CMakeFiles/drai_ndarray.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/drai_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/drai_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_quality.dir/test_core_quality.cpp.o"
+  "CMakeFiles/test_core_quality.dir/test_core_quality.cpp.o.d"
+  "test_core_quality"
+  "test_core_quality.pdb"
+  "test_core_quality[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_readiness.dir/test_core_readiness.cpp.o"
+  "CMakeFiles/test_core_readiness.dir/test_core_readiness.cpp.o.d"
+  "test_core_readiness"
+  "test_core_readiness.pdb"
+  "test_core_readiness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_readiness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dataset_tools.dir/test_dataset_tools.cpp.o"
+  "CMakeFiles/test_dataset_tools.dir/test_dataset_tools.cpp.o.d"
+  "test_dataset_tools"
+  "test_dataset_tools.pdb"
+  "test_dataset_tools[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dataset_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_domains.dir/test_domains.cpp.o"
+  "CMakeFiles/test_domains.dir/test_domains.cpp.o.d"
+  "test_domains"
+  "test_domains.pdb"
+  "test_domains[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_domains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

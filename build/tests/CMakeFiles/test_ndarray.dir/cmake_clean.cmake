@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ndarray.dir/test_ndarray.cpp.o"
+  "CMakeFiles/test_ndarray.dir/test_ndarray.cpp.o.d"
+  "test_ndarray"
+  "test_ndarray.pdb"
+  "test_ndarray[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ndarray.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

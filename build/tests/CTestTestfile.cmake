@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel[1]_include.cmake")
+include("/root/repo/build/tests/test_ndarray[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_codec[1]_include.cmake")
+include("/root/repo/build/tests/test_container_sdf[1]_include.cmake")
+include("/root/repo/build/tests/test_container_formats[1]_include.cmake")
+include("/root/repo/build/tests/test_shard[1]_include.cmake")
+include("/root/repo/build/tests/test_grid[1]_include.cmake")
+include("/root/repo/build/tests/test_timeseries[1]_include.cmake")
+include("/root/repo/build/tests/test_sequence[1]_include.cmake")
+include("/root/repo/build/tests/test_privacy[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_augment[1]_include.cmake")
+include("/root/repo/build/tests/test_ml[1]_include.cmake")
+include("/root/repo/build/tests/test_core_pipeline[1]_include.cmake")
+include("/root/repo/build/tests/test_core_readiness[1]_include.cmake")
+include("/root/repo/build/tests/test_core_quality[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_domains[1]_include.cmake")
+include("/root/repo/build/tests/test_msa[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_determinism[1]_include.cmake")
+include("/root/repo/build/tests/test_dataset_tools[1]_include.cmake")
+include("/root/repo/build/tests/test_misc[1]_include.cmake")
