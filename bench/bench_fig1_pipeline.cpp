@@ -3,9 +3,10 @@
 // A generic synthetic dataset (tabular features with missing values, an
 // unlabeled fraction, and class imbalance) is pushed through every step of
 // the paper's figure — clean, normalize, augment, (pseudo-)label,
-// feature-engineer, split, shard — and each step reports record counts,
-// wall time, and the dataset's assessed readiness level afterwards,
-// including Figure 1's feedback iteration.
+// feature-engineer, split, shard — as one core::Pipeline whose report
+// supplies the per-step wall times, and the dataset's assessed readiness
+// level is recorded after each stage, including Figure 1's feedback
+// iteration.
 #include <cmath>
 #include <limits>
 
@@ -13,7 +14,6 @@
 #include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "common/strings.hpp"
-#include "common/timer.hpp"
 #include "core/pipeline.hpp"
 #include "core/quality.hpp"
 #include "core/readiness.hpp"
@@ -30,184 +30,244 @@ constexpr size_t kRows = 4000;
 constexpr size_t kFeatures = 8;
 
 struct Step {
-  std::string name;
-  size_t records;
-  double seconds;
+  std::string records;
   std::string readiness;
   std::string note;
 };
 
 int Main() {
   bench::Banner("Figure 1 — general steps from raw to AI-ready");
-  Rng rng(314);
 
-  // Raw acquisition: two latent classes, 3% missing cells, 30% unlabeled.
-  NDArray features = NDArray::Zeros({kRows, kFeatures}, DType::kF64);
+  // Pipeline-shared state (the figure's working set).
   std::vector<int64_t> labels(kRows, -1);
-  for (size_t i = 0; i < kRows; ++i) {
-    const int64_t cls = rng.Bernoulli(0.85) ? 0 : 1;  // imbalanced
-    for (size_t j = 0; j < kFeatures; ++j) {
-      double v = rng.Normal(cls == 0 ? 0.0 : 2.5, 1.0) * (1.0 + double(j));
-      if (rng.Bernoulli(0.03)) v = std::numeric_limits<double>::quiet_NaN();
-      features.SetFromDouble(i * kFeatures + j, v);
-    }
-    if (rng.Bernoulli(0.7)) labels[i] = cls;
-  }
+  NDArray synth;               // SMOTE output, rows appended at shard time
+  NDArray engineered;          // features + 2 derived columns
+  augment::PseudoLabelResult pl;
+  size_t n_synth = 0;
+  par::StripedStore store;
+  shard::DatasetManifest manifest;
 
+  // Readiness is re-assessed after every stage — the table's third column.
   core::DatasetState state;
-  state.acquired = true;
   std::vector<Step> steps;
-  auto record = [&](const std::string& name, size_t records, double seconds,
-                    const std::string& note) {
-    steps.push_back({name, records, seconds,
+  auto record = [&](size_t records, const std::string& note) {
+    steps.push_back({std::to_string(records),
                      std::string(core::ReadinessLevelName(
                          core::Assess(state).overall)),
                      note});
   };
-  record("acquire (raw)", kRows, 0.0, "3% missing, 30% unlabeled, 85/15 skew");
+
+  core::Pipeline pipeline("fig1-generic");
+
+  // Acquire: two latent classes, 3% missing cells, 30% unlabeled.
+  pipeline.Add(
+      "acquire (raw)", core::StageKind::kIngest,
+      [&](core::DataBundle& bundle, core::StageContext&) -> Status {
+        Rng rng(314);
+        NDArray features = NDArray::Zeros({kRows, kFeatures}, DType::kF64);
+        for (size_t i = 0; i < kRows; ++i) {
+          const int64_t cls = rng.Bernoulli(0.85) ? 0 : 1;  // imbalanced
+          for (size_t j = 0; j < kFeatures; ++j) {
+            double v =
+                rng.Normal(cls == 0 ? 0.0 : 2.5, 1.0) * (1.0 + double(j));
+            if (rng.Bernoulli(0.03)) {
+              v = std::numeric_limits<double>::quiet_NaN();
+            }
+            features.SetFromDouble(i * kFeatures + j, v);
+          }
+          if (rng.Bernoulli(0.7)) labels[i] = cls;
+        }
+        bundle.tensors["features"] = std::move(features);
+        state.acquired = true;
+        record(kRows, "3% missing, 30% unlabeled, 85/15 skew");
+        return Status::Ok();
+      });
 
   // Clean: fill missing cells with the column median.
-  WallTimer timer;
-  size_t filled = 0;
-  for (size_t j = 0; j < kFeatures; ++j) {
-    std::vector<double> col;
-    for (size_t i = 0; i < kRows; ++i) {
-      const double v = features.GetAsDouble(i * kFeatures + j);
-      if (!std::isnan(v)) col.push_back(v);
-    }
-    const double median = stats::ExactQuantile(col, 0.5);
-    for (size_t i = 0; i < kRows; ++i) {
-      if (std::isnan(features.GetAsDouble(i * kFeatures + j))) {
-        features.SetFromDouble(i * kFeatures + j, median);
-        ++filled;
-      }
-    }
-  }
-  state.validated_standard_format = true;
-  state.initial_alignment = true;
-  state.missing_fraction = 0.0;
-  record("clean", kRows, timer.Seconds(),
-         std::to_string(filled) + " cells median-filled");
+  pipeline.Add(
+      "clean", core::StageKind::kPreprocess,
+      [&](core::DataBundle& bundle, core::StageContext&) -> Status {
+        NDArray& features = bundle.tensors.at("features");
+        size_t filled = 0;
+        for (size_t j = 0; j < kFeatures; ++j) {
+          std::vector<double> col;
+          for (size_t i = 0; i < kRows; ++i) {
+            const double v = features.GetAsDouble(i * kFeatures + j);
+            if (!std::isnan(v)) col.push_back(v);
+          }
+          const double median = stats::ExactQuantile(col, 0.5);
+          for (size_t i = 0; i < kRows; ++i) {
+            if (std::isnan(features.GetAsDouble(i * kFeatures + j))) {
+              features.SetFromDouble(i * kFeatures + j, median);
+              ++filled;
+            }
+          }
+        }
+        state.validated_standard_format = true;
+        state.initial_alignment = true;
+        state.missing_fraction = 0.0;
+        record(kRows, std::to_string(filled) + " cells median-filled");
+        return Status::Ok();
+      });
 
   // Normalize (z-score per feature, streaming fit).
-  timer.Reset();
-  stats::Normalizer norm(stats::NormKind::kZScore, kFeatures);
-  norm.ObserveMatrix(features);
-  norm.Fit();
-  norm.ApplyMatrix(features);
-  state.metadata_enriched = true;
-  state.grids_standardized = true;
-  state.basic_normalization = true;
-  record("normalize", kRows, timer.Seconds(), "z-score per feature");
+  pipeline.Add(
+      "normalize", core::StageKind::kTransform,
+      [&](core::DataBundle& bundle, core::StageContext&) -> Status {
+        NDArray& features = bundle.tensors.at("features");
+        stats::Normalizer norm(stats::NormKind::kZScore, kFeatures);
+        norm.ObserveMatrix(features);
+        norm.Fit();
+        norm.ApplyMatrix(features);
+        state.metadata_enriched = true;
+        state.grids_standardized = true;
+        state.basic_normalization = true;
+        record(kRows, "z-score per feature");
+        return Status::Ok();
+      });
 
   // Augment: SMOTE the minority class up.
-  timer.Reset();
-  std::vector<size_t> minority;
-  for (size_t i = 0; i < kRows; ++i) {
-    if (labels[i] == 1) minority.push_back(i);
-  }
-  const size_t n_synth = minority.size();  // double the minority
-  Rng aug_rng = rng.Split();
-  NDArray synth =
-      augment::SmoteSynthesize(features, minority, n_synth, 5, aug_rng)
-          .value();
-  record("augment", kRows + n_synth, timer.Seconds(),
-         "SMOTE +" + std::to_string(n_synth) + " minority samples");
+  pipeline.Add(
+      "augment", core::StageKind::kTransform,
+      [&](core::DataBundle& bundle, core::StageContext& ctx) -> Status {
+        const NDArray& features = bundle.tensors.at("features");
+        std::vector<size_t> minority;
+        for (size_t i = 0; i < kRows; ++i) {
+          if (labels[i] == 1) minority.push_back(i);
+        }
+        n_synth = minority.size();  // double the minority
+        Rng aug_rng = ctx.rng();
+        DRAI_ASSIGN_OR_RETURN(
+            synth,
+            augment::SmoteSynthesize(features, minority, n_synth, 5, aug_rng));
+        record(kRows + n_synth,
+               "SMOTE +" + std::to_string(n_synth) + " minority samples");
+        return Status::Ok();
+      });
 
   // Label: pseudo-label the unlabeled 30% via kNN self-training.
-  timer.Reset();
-  augment::TrainFn train = [](const NDArray& x, std::span<const int64_t> y) {
-    auto knn = std::make_shared<ml::KnnClassifier>(5);
-    knn->Fit(x, y).status().OrDie();
-    return augment::Classifier(
-        [knn](std::span<const double> row) { return knn->Predict(row); });
-  };
-  augment::PseudoLabelOptions plo;
-  plo.confidence_threshold = 0.8;
-  plo.max_rounds = 3;
-  const auto pl = augment::PseudoLabel(features, labels, train, plo).value();
-  size_t labeled = 0;
-  for (int64_t l : pl.labels) {
-    if (l >= 0) ++labeled;
-  }
-  state.basic_labels = true;
-  state.label_fraction = double(labeled) / kRows;
-  state.comprehensive_labels = state.label_fraction >= 0.95;
-  record("label (pseudo)", kRows, timer.Seconds(),
-         std::to_string(pl.total_adopted) + " adopted in " +
-             std::to_string(pl.rounds_run) + " rounds -> " +
-             bench::Fmt("%.0f%%", 100 * state.label_fraction) + " labeled");
+  pipeline.Add(
+      "label (pseudo)", core::StageKind::kTransform,
+      [&](core::DataBundle& bundle, core::StageContext&) -> Status {
+        const NDArray& features = bundle.tensors.at("features");
+        augment::TrainFn train = [](const NDArray& x,
+                                    std::span<const int64_t> y) {
+          auto knn = std::make_shared<ml::KnnClassifier>(5);
+          knn->Fit(x, y).status().OrDie();
+          return augment::Classifier(
+              [knn](std::span<const double> row) { return knn->Predict(row); });
+        };
+        augment::PseudoLabelOptions plo;
+        plo.confidence_threshold = 0.8;
+        plo.max_rounds = 3;
+        DRAI_ASSIGN_OR_RETURN(pl,
+                              augment::PseudoLabel(features, labels, train, plo));
+        size_t labeled = 0;
+        for (int64_t l : pl.labels) {
+          if (l >= 0) ++labeled;
+        }
+        state.basic_labels = true;
+        state.label_fraction = double(labeled) / kRows;
+        state.comprehensive_labels = state.label_fraction >= 0.95;
+        record(kRows, std::to_string(pl.total_adopted) + " adopted in " +
+                          std::to_string(pl.rounds_run) + " rounds -> " +
+                          bench::Fmt("%.0f%%", 100 * state.label_fraction) +
+                          " labeled");
+        return Status::Ok();
+      });
 
   // Feature engineering: append two derived features (row mean/extent).
-  timer.Reset();
-  NDArray engineered = NDArray::Zeros({kRows + n_synth, kFeatures + 2},
-                                      DType::kF64);
-  auto emit = [&](size_t out_row, const NDArray& src, size_t src_row) {
-    double sum = 0, mn = 1e300, mx = -1e300;
-    for (size_t j = 0; j < kFeatures; ++j) {
-      const double v = src.GetAsDouble(src_row * kFeatures + j);
-      engineered.SetFromDouble(out_row * (kFeatures + 2) + j, v);
-      sum += v;
-      mn = std::min(mn, v);
-      mx = std::max(mx, v);
-    }
-    engineered.SetFromDouble(out_row * (kFeatures + 2) + kFeatures,
-                             sum / kFeatures);
-    engineered.SetFromDouble(out_row * (kFeatures + 2) + kFeatures + 1,
-                             mx - mn);
-  };
-  for (size_t i = 0; i < kRows; ++i) emit(i, features, i);
-  for (size_t s = 0; s < n_synth; ++s) emit(kRows + s, synth, s);
-  state.high_throughput_ingest = true;
-  state.alignment_fully_standardized = true;
-  state.normalization_finalized = true;
-  state.features_extracted = true;
-  record("feature-engineer", kRows + n_synth, timer.Seconds(),
-         "+2 derived features");
+  pipeline.Add(
+      "feature-engineer", core::StageKind::kStructure,
+      [&](core::DataBundle& bundle, core::StageContext&) -> Status {
+        const NDArray& features = bundle.tensors.at("features");
+        engineered = NDArray::Zeros({kRows + n_synth, kFeatures + 2},
+                                    DType::kF64);
+        auto emit = [&](size_t out_row, const NDArray& src, size_t src_row) {
+          double sum = 0, mn = 1e300, mx = -1e300;
+          for (size_t j = 0; j < kFeatures; ++j) {
+            const double v = src.GetAsDouble(src_row * kFeatures + j);
+            engineered.SetFromDouble(out_row * (kFeatures + 2) + j, v);
+            sum += v;
+            mn = std::min(mn, v);
+            mx = std::max(mx, v);
+          }
+          engineered.SetFromDouble(out_row * (kFeatures + 2) + kFeatures,
+                                   sum / kFeatures);
+          engineered.SetFromDouble(out_row * (kFeatures + 2) + kFeatures + 1,
+                                   mx - mn);
+        };
+        for (size_t i = 0; i < kRows; ++i) emit(i, features, i);
+        for (size_t s = 0; s < n_synth; ++s) emit(kRows + s, synth, s);
+        state.high_throughput_ingest = true;
+        state.alignment_fully_standardized = true;
+        state.normalization_finalized = true;
+        state.features_extracted = true;
+        record(kRows + n_synth, "+2 derived features");
+        return Status::Ok();
+      });
 
   // Split + shard.
-  timer.Reset();
-  par::StripedStore store;
-  shard::ShardWriterConfig wc;
-  wc.dataset_name = "fig1-generic";
-  wc.directory = "/datasets/fig1";
-  shard::ShardWriter writer(store, wc);
-  const size_t total = kRows + n_synth;
-  for (size_t i = 0; i < total; ++i) {
-    shard::Example ex;
-    ex.key = "row-" + std::to_string(i);
-    NDArray x = NDArray::Zeros({kFeatures + 2}, DType::kF32);
-    for (size_t j = 0; j < kFeatures + 2; ++j) {
-      x.SetFromDouble(j, engineered.GetAsDouble(i * (kFeatures + 2) + j));
-    }
-    ex.features["x"] = std::move(x);
-    ex.SetLabel(i < kRows ? (pl.labels[i] >= 0 ? pl.labels[i] : 0) : 1);
-    writer.Add(ex).value();
+  pipeline.Add(
+      "split + shard", core::StageKind::kShard,
+      [&](core::DataBundle&, core::StageContext&) -> Status {
+        shard::ShardWriterConfig wc;
+        wc.dataset_name = "fig1-generic";
+        wc.directory = "/datasets/fig1";
+        shard::ShardWriter writer(store, wc);
+        const size_t total = kRows + n_synth;
+        for (size_t i = 0; i < total; ++i) {
+          shard::Example ex;
+          ex.key = "row-" + std::to_string(i);
+          NDArray x = NDArray::Zeros({kFeatures + 2}, DType::kF32);
+          for (size_t j = 0; j < kFeatures + 2; ++j) {
+            x.SetFromDouble(j,
+                            engineered.GetAsDouble(i * (kFeatures + 2) + j));
+          }
+          ex.features["x"] = std::move(x);
+          ex.SetLabel(i < kRows ? (pl.labels[i] >= 0 ? pl.labels[i] : 0) : 1);
+          DRAI_ASSIGN_OR_RETURN(shard::Split s, writer.Add(ex));
+          (void)s;
+        }
+        DRAI_ASSIGN_OR_RETURN(manifest, writer.Finalize());
+        state.ingest_automated = true;
+        state.alignment_automated = true;
+        state.transform_automated_audited = true;
+        state.features_validated = true;
+        state.split_and_sharded = true;
+        record(
+            manifest.TotalRecords(),
+            std::to_string(manifest.shards.at(shard::Split::kTrain).size()) +
+                "/" +
+                std::to_string(
+                    manifest.shards.count(shard::Split::kVal)
+                        ? manifest.shards.at(shard::Split::kVal).size()
+                        : 0) +
+                "/" +
+                std::to_string(
+                    manifest.shards.count(shard::Split::kTest)
+                        ? manifest.shards.at(shard::Split::kTest).size()
+                        : 0) +
+                " shards, " + HumanBytes(manifest.TotalBytes()));
+        return Status::Ok();
+      });
+
+  core::DataBundle bundle;
+  const core::PipelineReport report = pipeline.Run(bundle);
+  if (!report.ok) {
+    std::fprintf(stderr, "fig1 pipeline failed: %s\n",
+                 report.error.ToString().c_str());
+    return 1;
   }
-  const auto manifest = writer.Finalize().value();
-  state.ingest_automated = true;
-  state.alignment_automated = true;
-  state.transform_automated_audited = true;
-  state.features_validated = true;
-  state.split_and_sharded = true;
-  record("split + shard", manifest.TotalRecords(), timer.Seconds(),
-         std::to_string(manifest.shards.at(shard::Split::kTrain).size()) +
-             "/" +
-             std::to_string(manifest.shards.count(shard::Split::kVal)
-                                ? manifest.shards.at(shard::Split::kVal).size()
-                                : 0) +
-             "/" +
-             std::to_string(manifest.shards.count(shard::Split::kTest)
-                                ? manifest.shards.at(shard::Split::kTest).size()
-                                : 0) +
-             " shards, " + HumanBytes(manifest.TotalBytes()));
 
   bench::Table table({"step", "records", "wall", "readiness after", "notes"});
-  for (const Step& s : steps) {
-    table.AddRow({s.name, std::to_string(s.records), HumanDuration(s.seconds),
-                  s.readiness, s.note});
+  for (size_t i = 0; i < steps.size(); ++i) {
+    table.AddRow({report.stages[i].name, steps[i].records,
+                  HumanDuration(report.stages[i].seconds), steps[i].readiness,
+                  steps[i].note});
   }
   table.Print();
+  std::printf("curation time: %s\n", report.TimeBreakdown().c_str());
 
   // Figure 1's feedback arrow: train on the shards; if val R2 is poor the
   // pipeline would iterate (here we report one iteration's verdict).

@@ -1,0 +1,110 @@
+// P1 — the partition-parallel executor on the climate archetype.
+//
+// Runs the same (large) climate workload at 1, 2, 4, and 8 worker threads
+// and checks the §4 scaling story the executor is built around: wall time
+// drops with workers while the dataset stays *byte-identical* — every
+// shard file and the provenance record hash must match the serial run
+// exactly. Any divergence is a hard failure.
+#include <thread>
+
+#include "bench_util.hpp"
+#include "common/hash.hpp"
+#include "common/strings.hpp"
+#include "domains/climate.hpp"
+
+namespace drai {
+namespace {
+
+/// One fingerprint over every file of the dataset (paths + bytes, sorted).
+std::string DatasetHash(const par::StripedStore& store,
+                        const std::string& prefix) {
+  Sha256 hasher;
+  for (const std::string& path : store.List(prefix)) {
+    hasher.Update(path);
+    hasher.Update(store.ReadAll(path).value());
+  }
+  return DigestToHex(hasher.Finish());
+}
+
+int Main() {
+  bench::Banner(
+      "parallel executor — climate archetype, same bytes at every "
+      "worker count");
+
+  domains::ClimateArchetypeConfig config;
+  config.workload.n_times = 48;
+  config.workload.n_lat = 64;
+  config.workload.n_lon = 128;
+  config.workload.variables = {"t2m", "z500", "u10"};
+  config.workload.missing_prob = 0.005;
+  config.target_lat = 48;
+  config.target_lon = 96;
+  config.patch = 8;
+
+  std::printf("workload: %zu steps x %zu vars, %zux%zu -> %zux%zu "
+              "(%u hardware threads)\n\n",
+              config.workload.n_times, config.workload.variables.size(),
+              config.workload.n_lat, config.workload.n_lon, config.target_lat,
+              config.target_lon, std::thread::hardware_concurrency());
+
+  bench::Table table({"threads", "wall", "speedup", "dataset sha256",
+                      "provenance"});
+  double serial_seconds = 0;
+  double best_speedup = 0;
+  std::string baseline_data, baseline_prov;
+  bool identical = true;
+
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    par::StripedStore store;
+    config.threads = threads;
+    const auto result = domains::RunClimateArchetype(store, config);
+    if (!result.ok()) {
+      std::fprintf(stderr, "archetype failed at %zu threads: %s\n", threads,
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    const std::string data_hash = DatasetHash(store, config.dataset_dir);
+    const std::string& prov_hash = result->provenance_hash;
+    const double seconds = result->report.total_seconds;
+    if (threads == 1) {
+      serial_seconds = seconds;
+      baseline_data = data_hash;
+      baseline_prov = prov_hash;
+      std::printf("serial breakdown: %s\n",
+                  result->report.TimeBreakdown().c_str());
+      for (const auto& st : result->report.stages) {
+        std::printf("  %-14s %10s  %s x%zu\n", st.name.c_str(),
+                    HumanDuration(st.seconds).c_str(),
+                    std::string(core::ExecutionHintName(st.hint)).c_str(),
+                    st.partitions);
+      }
+      std::printf("\n");
+    }
+    identical = identical && data_hash == baseline_data &&
+                prov_hash == baseline_prov;
+    const double speedup = serial_seconds / seconds;
+    best_speedup = std::max(best_speedup, speedup);
+    table.AddRow({std::to_string(threads), HumanDuration(seconds),
+                  bench::Fmt("%.2fx", speedup), data_hash.substr(0, 16),
+                  prov_hash.substr(0, 16)});
+  }
+  table.Print();
+
+  if (!identical) {
+    std::printf("FAIL: dataset or provenance diverged across worker counts\n");
+    return 1;
+  }
+  std::printf("dataset + provenance byte-identical at every worker count\n");
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf("best speedup: %.2fx %s\n", best_speedup,
+              best_speedup >= 2.0
+                  ? "(>= 2x target met)"
+                  : cores <= 1 ? "(single-core machine: speedup unavailable)"
+                               : "(below 2x target on this machine)");
+  return 0;
+}
+
+}  // namespace
+}  // namespace drai
+
+int main() { return drai::Main(); }

@@ -28,6 +28,9 @@ int main() {
   config.target_lon = 64;
   config.regrid = grid::RegridMethod::kBilinear;
   config.patch = 8;
+  // Partition-parallel stages (regrid/normalize/patch) run one time step
+  // per partition on 4 workers; output bytes are identical at any count.
+  config.threads = 4;
 
   std::printf("running climate archetype: %zu steps x %zu vars on %zux%zu "
               "gaussian grid -> %zux%zu uniform, %zux%zu patches\n",
@@ -44,9 +47,11 @@ int main() {
 
   std::printf("\nstages:\n");
   for (const auto& stage : result->report.stages) {
-    std::printf("  %-12s (%-10s) %10s\n", stage.name.c_str(),
+    std::printf("  %-12s (%-10s) %10s  %s x%zu\n", stage.name.c_str(),
                 std::string(core::StageKindName(stage.kind)).c_str(),
-                HumanDuration(stage.seconds).c_str());
+                HumanDuration(stage.seconds).c_str(),
+                std::string(core::ExecutionHintName(stage.hint)).c_str(),
+                stage.partitions);
   }
   std::printf("readiness: %s\n",
               std::string(core::ReadinessLevelName(result->readiness.overall))

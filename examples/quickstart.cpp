@@ -31,8 +31,13 @@ int main() {
   auto manifest = std::make_shared<shard::DatasetManifest>();
 
   // The canonical five stages: ingest -> preprocess -> transform ->
-  // structure -> shard. Stage order is enforced by the framework.
-  core::Pipeline pipeline("quickstart");
+  // structure -> shard. Stage order is enforced by the framework. Stages
+  // default to ExecutionHint::kSerial; data-parallel stages would pass a
+  // hint + ParallelSpec (see the climate example) and options.threads
+  // picks the worker count.
+  core::PipelineOptions options;
+  options.threads = 1;  // this toy dataset is too small to parallelize
+  core::Pipeline pipeline("quickstart", options);
 
   pipeline.Add("make-raw", core::StageKind::kIngest,
                [](core::DataBundle& bundle, core::StageContext& ctx) {

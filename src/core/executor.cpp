@@ -1,0 +1,383 @@
+#include "core/executor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <exception>
+#include <future>
+
+#include "common/strings.hpp"
+#include "common/timer.hpp"
+#include "core/partitioner.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace drai::core {
+
+double PipelineReport::SecondsIn(StageKind kind) const {
+  double total = 0;
+  for (const StageMetrics& s : stages) {
+    if (s.kind == kind) total += s.seconds;
+  }
+  return total;
+}
+
+std::string PipelineReport::TimeBreakdown() const {
+  std::string out;
+  for (StageKind k : kAllStageKinds) {
+    const double s = SecondsIn(k);
+    if (s <= 0) continue;
+    if (!out.empty()) out += " | ";
+    const double pct = total_seconds > 0 ? 100.0 * s / total_seconds : 0.0;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%s %.1f%%",
+                  std::string(StageKindName(k)).c_str(), pct);
+    out += buf;
+  }
+  return out;
+}
+
+namespace {
+
+/// Arithmetically derive the RNG stream for one (run, stage, slot) cell.
+/// Slot 0 is the serial stage / Before hook; slot p+1 is partition p; slot
+/// n_parts+1 is the After hook. A pure function of the coordinates, so the
+/// stream never depends on worker count or scheduling order.
+Rng DeriveRng(uint64_t seed, uint64_t run, size_t stage, size_t slot) {
+  uint64_t x = seed;
+  const uint64_t salts[] = {run, static_cast<uint64_t>(stage),
+                            static_cast<uint64_t>(slot)};
+  for (uint64_t salt : salts) {
+    SplitMix64 sm(x ^ (salt * 0x9E3779B97F4A7C15ull + 0xBF58476D1CE4E5B9ull));
+    x = sm.Next();
+  }
+  return Rng(x);
+}
+
+Status GuardedRun(Stage& stage, DataBundle& bundle, StageContext& ctx) {
+  try {
+    return stage.Run(bundle, ctx);
+  } catch (const std::exception& e) {
+    return Internal("stage '" + stage.name() + "' threw: " + e.what());
+  } catch (...) {
+    return Internal("stage '" + stage.name() + "' threw a non-std exception");
+  }
+}
+
+/// Render params plus additive counters into one provenance param map.
+std::map<std::string, std::string> MergedParams(
+    const std::map<std::string, std::string>& params,
+    const std::map<std::string, uint64_t>& counts) {
+  std::map<std::string, std::string> out = params;
+  for (const auto& [k, v] : counts) out[k] = std::to_string(v);
+  return out;
+}
+
+/// One partition's outcome for one stage of a fused group.
+struct PartResult {
+  Status status;
+  double seconds = 0;
+  uint64_t bytes_after = 0;
+  bool ran = false;
+  std::map<std::string, std::string> params;
+  std::map<std::string, uint64_t> counts;
+};
+
+}  // namespace
+
+ParallelExecutor::ParallelExecutor(ExecutorOptions options)
+    : options_(options) {
+  if (options_.threads > 1) {
+    pool_ = std::make_unique<par::ThreadPool>(options_.threads);
+  }
+}
+
+ParallelExecutor::~ParallelExecutor() = default;
+ParallelExecutor::ParallelExecutor(ParallelExecutor&&) noexcept = default;
+ParallelExecutor& ParallelExecutor::operator=(ParallelExecutor&&) noexcept =
+    default;
+
+size_t ParallelExecutor::thread_count() const {
+  if (options_.threads == 1) return 1;
+  if (pool_) return pool_->thread_count();
+  return par::GlobalPool().thread_count();
+}
+
+PipelineReport ParallelExecutor::Run(const PipelinePlan& plan,
+                                     DataBundle& bundle,
+                                     const ExecutorRunScope& scope) {
+  PipelineReport report;
+  WallTimer total;
+  if (Status valid = plan.Validate(); !valid.ok()) {
+    report.ok = false;
+    report.error = valid;
+    report.total_seconds = total.Seconds();
+    return report;
+  }
+  const auto& stages = plan.stages();
+  size_t i = 0;
+  while (i < stages.size()) {
+    // Fuse maximal runs of kPartitionParallel stages with identical specs
+    // and no hooks at interior boundaries: split once, run the chain per
+    // partition, merge once. Fusion is skipped under fail_fast=false so
+    // "attempt the remaining stages" keeps exact per-stage semantics.
+    size_t j = i + 1;
+    if (options_.fail_fast &&
+        stages[i].hint == ExecutionHint::kPartitionParallel) {
+      while (j < stages.size() &&
+             stages[j].hint == ExecutionHint::kPartitionParallel &&
+             stages[j].parallel == stages[i].parallel &&
+             !stages[j - 1].stage->HasAfterHook() &&
+             !stages[j].stage->HasBeforeHook()) {
+        ++j;
+      }
+    }
+    const size_t already = report.stages.size();
+    RunGroup(plan, i, j, bundle, scope, report);
+    bool failed = false;
+    for (size_t s = already; s < report.stages.size(); ++s) {
+      if (!report.stages[s].status.ok()) {
+        failed = true;
+        if (report.ok) {
+          // First failing status wins, even when fail_fast keeps going.
+          report.ok = false;
+          report.error = report.stages[s].status;
+        }
+      }
+    }
+    if (failed && options_.fail_fast) break;
+    i = j;
+  }
+  report.total_seconds = total.Seconds();
+  return report;
+}
+
+void ParallelExecutor::RunGroup(const PipelinePlan& plan, size_t first,
+                                size_t last, DataBundle& bundle,
+                                const ExecutorRunScope& scope,
+                                PipelineReport& report) {
+  const auto& stages = plan.stages();
+  const PlannedStage& head = stages[first];
+
+  // ---- Serial stage: hooks + Run inline on the calling thread. ----------
+  if (head.hint == ExecutionHint::kSerial) {
+    StageMetrics m;
+    m.name = head.stage->name();
+    m.kind = head.stage->kind();
+    m.hint = ExecutionHint::kSerial;
+    m.bundle_bytes_before = bundle.ApproxBytes();
+    StageContext ctx(Rng(0), scope.provenance);
+    // Reset (not just construct) so the no-leak-across-stages contract is
+    // exercised on every path.
+    ctx.Reset(DeriveRng(options_.seed, scope.run_index, first, 0));
+    WallTimer timer;
+    m.status = head.stage->HasBeforeHook()
+                   ? head.stage->BeforePartition(bundle, ctx)
+                   : Status::Ok();
+    if (m.status.ok()) m.status = GuardedRun(*head.stage, bundle, ctx);
+    if (m.status.ok() && head.stage->HasAfterHook()) {
+      m.status = head.stage->AfterMerge(bundle, ctx);
+    }
+    m.seconds = timer.Seconds();
+    m.bundle_bytes_after = bundle.ApproxBytes();
+    RecordStage(scope, m, MergedParams(ctx.params(), ctx.counts()));
+    report.stages.push_back(std::move(m));
+    return;
+  }
+
+  // ---- Parallel group [first, last): before -> split -> map -> merge ->
+  // after. -----------------------------------------------------------------
+  const size_t n_stages = last - first;
+  const ParallelSpec& spec = head.parallel;
+  std::vector<StageMetrics> metrics(n_stages);
+  for (size_t s = 0; s < n_stages; ++s) {
+    metrics[s].name = stages[first + s].stage->name();
+    metrics[s].kind = stages[first + s].stage->kind();
+    metrics[s].hint = stages[first + s].hint;
+  }
+  metrics[0].bundle_bytes_before = bundle.ApproxBytes();
+
+  StageContext hook_ctx(Rng(0), scope.provenance);
+  std::vector<std::map<std::string, std::string>> stage_params(n_stages);
+  std::vector<std::map<std::string, uint64_t>> stage_counts(n_stages);
+  auto harvest = [&](size_t s) {
+    for (const auto& [k, v] : hook_ctx.params()) stage_params[s][k] = v;
+    for (const auto& [k, v] : hook_ctx.counts()) stage_counts[s][k] += v;
+  };
+
+  WallTimer head_timer;
+  Status before_status;
+  if (head.stage->HasBeforeHook()) {
+    hook_ctx.Reset(DeriveRng(options_.seed, scope.run_index, first, 0));
+    before_status = head.stage->BeforePartition(bundle, hook_ctx);
+    harvest(0);
+  }
+  if (!before_status.ok()) {
+    metrics[0].status = before_status;
+    metrics[0].seconds = head_timer.Seconds();
+    metrics[0].bundle_bytes_after = bundle.ApproxBytes();
+    RecordStage(scope, metrics[0],
+                MergedParams(stage_params[0], stage_counts[0]));
+    report.stages.push_back(std::move(metrics[0]));
+    return;
+  }
+
+  auto split = BundlePartitioner::Split(bundle, spec);
+  if (!split.ok()) {
+    metrics[0].status = split.status();
+    metrics[0].seconds = head_timer.Seconds();
+    metrics[0].bundle_bytes_after = bundle.ApproxBytes();
+    RecordStage(scope, metrics[0],
+                MergedParams(stage_params[0], stage_counts[0]));
+    report.stages.push_back(std::move(metrics[0]));
+    return;
+  }
+  std::vector<BundlePartition> parts = std::move(split).value();
+  const size_t n_parts = parts.size();
+  const uint64_t leftover_bytes = bundle.ApproxBytes();
+  std::vector<uint64_t> part_bytes0(n_parts);
+  for (size_t p = 0; p < n_parts; ++p) {
+    part_bytes0[p] = parts[p].bundle.ApproxBytes();
+  }
+  const double before_split_seconds = head_timer.Seconds();
+
+  std::vector<std::vector<PartResult>> results(
+      n_stages, std::vector<PartResult>(n_parts));
+  std::atomic<bool> abort{false};
+  const bool fail_fast = options_.fail_fast;
+
+  auto run_partition = [&](size_t p) {
+    for (size_t s = 0; s < n_stages; ++s) {
+      if (fail_fast && abort.load(std::memory_order_relaxed)) return;
+      PartResult& r = results[s][p];
+      StageContext ctx(
+          DeriveRng(options_.seed, scope.run_index, first + s, p + 1),
+          scope.provenance);
+      ctx.SetPartition(parts[p].slot);
+      WallTimer t;
+      r.status = GuardedRun(*stages[first + s].stage, parts[p].bundle, ctx);
+      r.seconds = t.Seconds();
+      r.bytes_after = parts[p].bundle.ApproxBytes();
+      r.ran = true;
+      r.params = ctx.params();
+      r.counts = ctx.counts();
+      if (!r.status.ok()) {
+        if (fail_fast) abort.store(true, std::memory_order_relaxed);
+        return;  // this partition stops; its slice merges back untouched
+      }
+    }
+  };
+
+  const bool inline_run =
+      n_parts <= 1 || options_.threads == 1 || par::InPoolWorker();
+  if (inline_run) {
+    for (size_t p = 0; p < n_parts; ++p) run_partition(p);
+  } else {
+    par::ThreadPool& pool = pool_ ? *pool_ : par::GlobalPool();
+    std::vector<std::future<void>> futures;
+    futures.reserve(n_parts);
+    for (size_t p = 0; p < n_parts; ++p) {
+      futures.push_back(pool.Submit([&run_partition, p] { run_partition(p); }));
+    }
+    for (auto& f : futures) f.get();  // run_partition never throws
+  }
+
+  WallTimer tail_timer;
+  BundlePartitioner::Merge(bundle, parts);
+
+  bool group_ok = true;
+  for (size_t s = 0; s < n_stages && group_ok; ++s) {
+    for (size_t p = 0; p < n_parts; ++p) {
+      if (!results[s][p].ran || !results[s][p].status.ok()) {
+        group_ok = false;
+        break;
+      }
+    }
+  }
+  const PlannedStage& tail = stages[last - 1];
+  Status after_status;
+  if (group_ok && tail.stage->HasAfterHook()) {
+    hook_ctx.Reset(
+        DeriveRng(options_.seed, scope.run_index, last - 1, n_parts + 1));
+    after_status = tail.stage->AfterMerge(bundle, hook_ctx);
+    harvest(n_stages - 1);
+  }
+  const double tail_seconds = tail_timer.Seconds();
+
+  // ---- Aggregate per-stage metrics in deterministic partition order. ----
+  std::vector<uint64_t> cur_bytes = part_bytes0;
+  uint64_t prev_bytes_after = metrics[0].bundle_bytes_before;
+  for (size_t s = 0; s < n_stages; ++s) {
+    StageMetrics& m = metrics[s];
+    m.partitions = n_parts;
+    m.partition_seconds.resize(n_parts, 0.0);
+    m.bundle_bytes_before = s == 0 ? metrics[0].bundle_bytes_before
+                                   : prev_bytes_after;
+    double critical_path = 0;
+    bool any_ran = false;
+    for (size_t p = 0; p < n_parts; ++p) {
+      const PartResult& r = results[s][p];
+      m.partition_seconds[p] = r.seconds;
+      critical_path = std::max(critical_path, r.seconds);
+      if (r.ran) {
+        any_ran = true;
+        cur_bytes[p] = r.bytes_after;
+        if (m.status.ok() && !r.status.ok()) m.status = r.status;
+        for (const auto& [k, v] : r.params) stage_params[s][k] = v;
+        for (const auto& [k, v] : r.counts) stage_counts[s][k] += v;
+      }
+    }
+    m.seconds = critical_path;
+    if (s == 0) m.seconds += before_split_seconds;
+    if (s == n_stages - 1) {
+      m.seconds += tail_seconds;
+      if (m.status.ok() && !after_status.ok()) m.status = after_status;
+    }
+    uint64_t bytes_after = leftover_bytes;
+    for (uint64_t b : cur_bytes) bytes_after += b;
+    m.bundle_bytes_after =
+        s == n_stages - 1 ? bundle.ApproxBytes() : bytes_after;
+    prev_bytes_after = m.bundle_bytes_after;
+
+    // Drop trailing stages no partition attempted (fail-fast abort hit
+    // before they started) — mirrors the serial truncation semantics.
+    if (s > 0 && !any_ran) break;
+
+    stage_params[s]["hint"] = std::string(ExecutionHintName(m.hint));
+    stage_params[s]["partitions"] = std::to_string(n_parts);
+    RecordStage(scope, m, MergedParams(stage_params[s], stage_counts[s]));
+    report.stages.push_back(std::move(m));
+    if (!report.stages.back().status.ok() && fail_fast) break;
+  }
+}
+
+void ParallelExecutor::RecordStage(
+    const ExecutorRunScope& scope, StageMetrics& metrics,
+    const std::map<std::string, std::string>& params) {
+  if (!options_.capture_provenance || scope.provenance == nullptr) return;
+  Activity act;
+  act.name = metrics.name;
+  act.stage_kind = std::string(StageKindName(metrics.kind));
+  act.params = params;
+  act.seconds = metrics.seconds;
+  // Each stage activity consumes the previous bundle state and produces
+  // the new one, chaining a linear lineage.
+  const std::string state_name = scope.pipeline_name + "/run" +
+                                 std::to_string(scope.run_index) + "/" +
+                                 metrics.name;
+  const size_t out_idx = scope.provenance->AddArtifactHashed(
+      state_name,
+      // Hash the bundle size + stage name as a cheap state fingerprint;
+      // full content hashing is available via AddArtifact for stages that
+      // need byte-exact lineage.
+      DigestToHex(Sha256::Hash(
+          state_name + ":" + std::to_string(metrics.bundle_bytes_after))),
+      metrics.bundle_bytes_after);
+  if (scope.last_state != nullptr && scope.last_state->has_value()) {
+    act.inputs.push_back(**scope.last_state);
+  }
+  act.outputs.push_back(out_idx);
+  scope.provenance->AddActivity(std::move(act)).OrDie();
+  if (scope.last_state != nullptr) *scope.last_state = out_idx;
+}
+
+}  // namespace drai::core

@@ -1,0 +1,114 @@
+// drai/core/executor.hpp
+//
+// ParallelExecutor — schedules a PipelinePlan over a DataBundle.
+//
+// Serial stages run exactly as the old monolithic Pipeline did. Parallel
+// stages run as a map-reduce: the stage's serial BeforePartition hook, a
+// BundlePartitioner::Split, the stage's Run once per partition (dispatched
+// to a par::ThreadPool), a deterministic Merge, then the serial AfterMerge
+// hook. Consecutive kPartitionParallel stages with identical ParallelSpecs
+// and no hooks at the interior boundaries are *fused*: split once, run the
+// stage chain per partition, merge once.
+//
+// Determinism: partition counts are data-dependent only, per-partition RNG
+// streams are derived arithmetically from (seed, run, stage, partition),
+// params/counts merge in ascending partition order, and the first-error
+// rule picks the lowest (hook, partition-index) position — so reports,
+// bundles, and provenance are identical for any worker count.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/plan.hpp"
+
+namespace drai::par {
+class ThreadPool;
+}  // namespace drai::par
+
+namespace drai::core {
+
+/// Per-stage execution record.
+struct StageMetrics {
+  std::string name;
+  StageKind kind = StageKind::kIngest;
+  double seconds = 0;
+  uint64_t bundle_bytes_before = 0;
+  uint64_t bundle_bytes_after = 0;
+  Status status;
+  /// Scheduling facts (identity values for serial stages).
+  ExecutionHint hint = ExecutionHint::kSerial;
+  size_t partitions = 1;
+  /// Per-partition Run seconds; empty for serial stages.
+  std::vector<double> partition_seconds;
+};
+
+struct PipelineReport {
+  std::vector<StageMetrics> stages;
+  double total_seconds = 0;
+  bool ok = true;
+  /// First failing status when !ok.
+  Status error;
+
+  [[nodiscard]] double SecondsIn(StageKind kind) const;
+  /// "ingest 12% | preprocess 55% | ..." — the §3.2 curation-time story.
+  [[nodiscard]] std::string TimeBreakdown() const;
+};
+
+struct ExecutorOptions {
+  /// Worker threads for partition-parallel stages. 0 = share the process
+  /// pool (par::GlobalPool); 1 = run partitions inline on the calling
+  /// thread; N > 1 = a dedicated pool of N workers.
+  size_t threads = 0;
+  uint64_t seed = 0xD6A1;
+  bool capture_provenance = true;
+  /// Stop at the first failing stage (true) or attempt the rest (false).
+  bool fail_fast = true;
+};
+
+/// Per-run bookkeeping owned by the caller (the Pipeline facade): where to
+/// record provenance and how to chain bundle-state lineage across runs.
+struct ExecutorRunScope {
+  std::string pipeline_name = "pipeline";
+  uint64_t run_index = 1;
+  /// Null disables provenance capture for this run.
+  ProvenanceGraph* provenance = nullptr;
+  /// Latest bundle-state artifact, updated as stages complete. May be null.
+  std::optional<size_t>* last_state = nullptr;
+};
+
+class ParallelExecutor {
+ public:
+  explicit ParallelExecutor(ExecutorOptions options = {});
+  ~ParallelExecutor();
+
+  ParallelExecutor(const ParallelExecutor&) = delete;
+  ParallelExecutor& operator=(const ParallelExecutor&) = delete;
+  ParallelExecutor(ParallelExecutor&&) noexcept;
+  ParallelExecutor& operator=(ParallelExecutor&&) noexcept;
+
+  /// Run every stage of the plan in order over the bundle.
+  PipelineReport Run(const PipelinePlan& plan, DataBundle& bundle,
+                     const ExecutorRunScope& scope);
+
+  [[nodiscard]] const ExecutorOptions& options() const { return options_; }
+  /// Concurrency actually available to partition dispatch.
+  [[nodiscard]] size_t thread_count() const;
+
+ private:
+  struct GroupOutcome;
+  /// Run the fused stage group [first, last) of the plan. Appends one
+  /// StageMetrics per stage to the report.
+  void RunGroup(const PipelinePlan& plan, size_t first, size_t last,
+                DataBundle& bundle, const ExecutorRunScope& scope,
+                PipelineReport& report);
+  void RecordStage(const ExecutorRunScope& scope, StageMetrics& metrics,
+                   const std::map<std::string, std::string>& params);
+
+  ExecutorOptions options_;
+  std::unique_ptr<par::ThreadPool> pool_;  ///< only when threads > 1
+};
+
+}  // namespace drai::core

@@ -1,0 +1,249 @@
+#include "core/partitioner.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace drai::core {
+
+namespace {
+
+/// Group key for kTensorGroups: the prefix before the last '/' when
+/// group_by_prefix is set, otherwise the full key.
+std::string TensorGroupOf(const std::string& key, bool group_by_prefix) {
+  if (!group_by_prefix) return key;
+  const size_t slash = key.rfind('/');
+  return slash == std::string::npos ? key : key.substr(0, slash);
+}
+
+/// Sorted unique group keys of the bundle's tensors.
+std::vector<std::string> TensorGroups(const DataBundle& bundle,
+                                      const ParallelSpec& spec) {
+  std::vector<std::string> groups;
+  for (const auto& [key, _] : bundle.tensors) {
+    std::string g = TensorGroupOf(key, spec.group_by_prefix);
+    if (groups.empty() || groups.back() != g) groups.push_back(std::move(g));
+  }
+  // std::map iterates in sorted key order and prefix-grouping preserves
+  // that order, so `groups` is already sorted and unique.
+  return groups;
+}
+
+Result<size_t> RangeCount(const DataBundle& bundle, const ParallelSpec& spec) {
+  if (spec.range_count > 0) return spec.range_count;
+  const size_t n = static_cast<size_t>(bundle.AttrOr(spec.range_attr, 0));
+  if (n == 0) {
+    return InvalidArgument("kRange partitioning: range_count unset and attr '" +
+                           spec.range_attr + "' missing or zero");
+  }
+  return n;
+}
+
+/// Move the map entries whose key is in [keys[lo], keys[hi]) from `src`
+/// into `dst`.
+template <typename Map>
+void MoveKeys(Map& src, Map& dst, const std::vector<std::string>& keys,
+              size_t lo, size_t hi) {
+  for (size_t i = lo; i < hi; ++i) {
+    auto node = src.extract(keys[i]);
+    if (!node.empty()) dst.insert(std::move(node));
+  }
+}
+
+template <typename Map>
+void MergeMap(Map& dst, Map& src) {
+  for (auto it = src.begin(); it != src.end();) {
+    auto node = src.extract(it++);
+    dst.insert_or_assign(std::move(node.key()), std::move(node.mapped()));
+  }
+}
+
+}  // namespace
+
+Result<PartitionAxis> BundlePartitioner::ResolveAxis(const DataBundle& bundle,
+                                                     const ParallelSpec& spec) {
+  if (spec.axis != PartitionAxis::kAuto) return spec.axis;
+  if (!bundle.examples.empty()) return PartitionAxis::kExamples;
+  if (!bundle.signal_sets.empty()) return PartitionAxis::kSignalSets;
+  if (!bundle.tensors.empty()) return PartitionAxis::kTensorGroups;
+  if (bundle.tables.size() == 1) return PartitionAxis::kTableRows;
+  if (!bundle.blobs.empty()) return PartitionAxis::kBlobs;
+  return FailedPrecondition(
+      "kAuto partitioning: bundle has no partitionable collection");
+}
+
+size_t BundlePartitioner::DefaultGrain(PartitionAxis axis) {
+  switch (axis) {
+    case PartitionAxis::kExamples: return 256;
+    case PartitionAxis::kTableRows: return 64;
+    case PartitionAxis::kSignalSets:
+    case PartitionAxis::kTensorGroups:
+    case PartitionAxis::kBlobs: return 1;
+    case PartitionAxis::kRange: return 4;
+    case PartitionAxis::kAuto: break;
+  }
+  return 1;
+}
+
+Result<size_t> BundlePartitioner::CountUnits(const DataBundle& bundle,
+                                             PartitionAxis axis,
+                                             const ParallelSpec& spec) {
+  switch (axis) {
+    case PartitionAxis::kExamples: return bundle.examples.size();
+    case PartitionAxis::kSignalSets: return bundle.signal_sets.size();
+    case PartitionAxis::kBlobs: return bundle.blobs.size();
+    case PartitionAxis::kTensorGroups: return TensorGroups(bundle, spec).size();
+    case PartitionAxis::kTableRows: {
+      if (bundle.tables.size() != 1) {
+        return InvalidArgument(
+            "kTableRows partitioning needs exactly one table, bundle has " +
+            std::to_string(bundle.tables.size()));
+      }
+      return bundle.tables.begin()->second.rows.size();
+    }
+    case PartitionAxis::kRange: return RangeCount(bundle, spec);
+    case PartitionAxis::kAuto: break;
+  }
+  return InvalidArgument("CountUnits: unresolved partition axis");
+}
+
+Result<std::vector<BundlePartition>> BundlePartitioner::Split(
+    DataBundle& bundle, const ParallelSpec& spec) {
+  DRAI_ASSIGN_OR_RETURN(const PartitionAxis axis, ResolveAxis(bundle, spec));
+  DRAI_ASSIGN_OR_RETURN(const size_t n_units, CountUnits(bundle, axis, spec));
+  const size_t grain = spec.grain > 0 ? spec.grain : DefaultGrain(axis);
+  const size_t n_parts = std::max<size_t>(1, (n_units + grain - 1) / grain);
+
+  std::vector<BundlePartition> parts(n_parts);
+  for (size_t p = 0; p < n_parts; ++p) {
+    parts[p].slot.index = p;
+    parts[p].slot.count = n_parts;
+    parts[p].slot.lo = std::min(n_units, p * grain);
+    parts[p].slot.hi = std::min(n_units, (p + 1) * grain);
+    parts[p].bundle.attrs = bundle.attrs;  // snapshot, cheap metadata
+  }
+
+  switch (axis) {
+    case PartitionAxis::kExamples: {
+      for (size_t p = 0; p < n_parts; ++p) {
+        auto& slot = parts[p].slot;
+        auto begin = bundle.examples.begin() + static_cast<ptrdiff_t>(slot.lo);
+        auto end = bundle.examples.begin() + static_cast<ptrdiff_t>(slot.hi);
+        parts[p].bundle.examples.assign(std::move_iterator(begin),
+                                        std::move_iterator(end));
+      }
+      bundle.examples.clear();
+      break;
+    }
+    case PartitionAxis::kSignalSets: {
+      std::vector<std::string> keys;
+      keys.reserve(bundle.signal_sets.size());
+      for (const auto& [k, _] : bundle.signal_sets) keys.push_back(k);
+      for (size_t p = 0; p < n_parts; ++p) {
+        MoveKeys(bundle.signal_sets, parts[p].bundle.signal_sets, keys,
+                 parts[p].slot.lo, parts[p].slot.hi);
+      }
+      break;
+    }
+    case PartitionAxis::kBlobs: {
+      std::vector<std::string> keys;
+      keys.reserve(bundle.blobs.size());
+      for (const auto& [k, _] : bundle.blobs) keys.push_back(k);
+      for (size_t p = 0; p < n_parts; ++p) {
+        MoveKeys(bundle.blobs, parts[p].bundle.blobs, keys, parts[p].slot.lo,
+                 parts[p].slot.hi);
+      }
+      break;
+    }
+    case PartitionAxis::kTensorGroups: {
+      const std::vector<std::string> groups = TensorGroups(bundle, spec);
+      for (size_t p = 0; p < n_parts; ++p) {
+        const auto& slot = parts[p].slot;
+        if (slot.lo >= slot.hi) continue;
+        // Move every tensor whose group falls in [lo, hi). Groups are
+        // contiguous in sorted key order, so walk the map once per part.
+        auto it = bundle.tensors.begin();
+        while (it != bundle.tensors.end()) {
+          const std::string g = TensorGroupOf(it->first, spec.group_by_prefix);
+          const auto pos = std::lower_bound(groups.begin(), groups.end(), g);
+          const size_t gi = static_cast<size_t>(pos - groups.begin());
+          if (gi >= slot.lo && gi < slot.hi) {
+            auto node = bundle.tensors.extract(it++);
+            parts[p].bundle.tensors.insert(std::move(node));
+          } else {
+            ++it;
+          }
+        }
+      }
+      break;
+    }
+    case PartitionAxis::kTableRows: {
+      auto node = bundle.tables.extract(bundle.tables.begin());
+      const std::string& name = node.key();
+      privacy::Table& table = node.mapped();
+      for (size_t p = 0; p < n_parts; ++p) {
+        const auto& slot = parts[p].slot;
+        privacy::Table piece;
+        piece.columns = table.columns;
+        piece.rows.assign(
+            std::move_iterator(table.rows.begin() +
+                               static_cast<ptrdiff_t>(slot.lo)),
+            std::move_iterator(table.rows.begin() +
+                               static_cast<ptrdiff_t>(slot.hi)));
+        parts[p].bundle.tables.emplace(name, std::move(piece));
+      }
+      break;
+    }
+    case PartitionAxis::kRange:
+      break;  // partitions carry only attrs + slot bounds
+    case PartitionAxis::kAuto:
+      return Internal("Split: axis still kAuto after resolution");
+  }
+  return parts;
+}
+
+void BundlePartitioner::Merge(DataBundle& bundle,
+                              std::vector<BundlePartition>& parts) {
+  std::sort(parts.begin(), parts.end(),
+            [](const BundlePartition& a, const BundlePartition& b) {
+              return a.slot.index < b.slot.index;
+            });
+  // Partitions start from a snapshot of the pre-split attrs; only overlay
+  // entries they actually added or changed, so a later partition's stale
+  // snapshot can't clobber an earlier partition's update.
+  const std::map<std::string, container::AttrValue> original_attrs =
+      bundle.attrs;
+  for (BundlePartition& part : parts) {
+    DataBundle& pb = part.bundle;
+    bundle.examples.insert(bundle.examples.end(),
+                           std::move_iterator(pb.examples.begin()),
+                           std::move_iterator(pb.examples.end()));
+    MergeMap(bundle.tensors, pb.tensors);
+    MergeMap(bundle.signal_sets, pb.signal_sets);
+    MergeMap(bundle.blobs, pb.blobs);
+    // Tables: same-name pieces with identical columns concatenate (the
+    // kTableRows round trip); anything else replaces wholesale.
+    for (auto it = pb.tables.begin(); it != pb.tables.end();) {
+      auto node = pb.tables.extract(it++);
+      auto dst = bundle.tables.find(node.key());
+      if (dst != bundle.tables.end() &&
+          dst->second.columns == node.mapped().columns) {
+        auto& rows = node.mapped().rows;
+        dst->second.rows.insert(dst->second.rows.end(),
+                                std::move_iterator(rows.begin()),
+                                std::move_iterator(rows.end()));
+      } else {
+        bundle.tables.insert_or_assign(std::move(node.key()),
+                                       std::move(node.mapped()));
+      }
+    }
+    for (auto& [key, value] : pb.attrs) {
+      const auto orig = original_attrs.find(key);
+      if (orig != original_attrs.end() && orig->second == value) continue;
+      bundle.attrs.insert_or_assign(key, std::move(value));
+    }
+    pb = DataBundle{};
+  }
+  parts.clear();
+}
+
+}  // namespace drai::core

@@ -1,0 +1,64 @@
+// drai/core/partitioner.hpp
+//
+// BundlePartitioner — splits a DataBundle into N disjoint sub-bundles along
+// one axis (examples, signal sets, table rows, tensor groups, blobs, or an
+// abstract index range) and deterministically merges the results back.
+//
+// Determinism contract: the partition count depends only on the data and
+// the grain — never on the worker count — and Merge reassembles collections
+// in ascending partition order, so a pipeline produces byte-identical
+// output (and equal provenance hashes) whether it runs on 1 or 64 threads.
+//
+// Ownership model: Split *moves* the partitioned axis out of the source
+// bundle (so nothing is copied twice) and gives every partition a copy of
+// `attrs`; all other collections stay behind in the source bundle and are
+// invisible to partitions. Map entries a partition erases simply never
+// come back at Merge; attrs written by partitions overlay the originals in
+// ascending partition order (attr *deletion* inside a parallel stage is
+// not observable — delete attrs from serial stages or hooks instead).
+#pragma once
+
+#include <vector>
+
+#include "core/bundle.hpp"
+#include "core/plan.hpp"
+
+namespace drai::core {
+
+/// One split piece: a sub-bundle plus its slot in the partition sequence.
+struct BundlePartition {
+  DataBundle bundle;
+  PartitionSlot slot;
+};
+
+class BundlePartitioner {
+ public:
+  /// Resolve kAuto to a concrete axis: the first populated collection in
+  /// priority order examples > signal_sets > tensors > tables > blobs.
+  static Result<PartitionAxis> ResolveAxis(const DataBundle& bundle,
+                                           const ParallelSpec& spec);
+
+  /// Units per partition when ParallelSpec.grain == 0. Constants, so the
+  /// partition count is a pure function of the data.
+  static size_t DefaultGrain(PartitionAxis axis);
+
+  /// Number of partitionable units along `axis` (examples, rows, keys or
+  /// key groups, indices).
+  static Result<size_t> CountUnits(const DataBundle& bundle,
+                                   PartitionAxis axis,
+                                   const ParallelSpec& spec);
+
+  /// Split `bundle` along the spec's axis. On success the moved-out axis
+  /// lives in the returned partitions; everything else stays in `bundle`.
+  /// A bundle with zero units yields one empty partition so the stage
+  /// still runs exactly once (serial-equivalent).
+  static Result<std::vector<BundlePartition>> Split(DataBundle& bundle,
+                                                    const ParallelSpec& spec);
+
+  /// Merge partitions back into `bundle` in ascending slot order. Always
+  /// safe to call, including after a partition's stage failed (its
+  /// untouched slice is simply restored).
+  static void Merge(DataBundle& bundle, std::vector<BundlePartition>& parts);
+};
+
+}  // namespace drai::core

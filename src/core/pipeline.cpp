@@ -1,116 +1,56 @@
 #include "core/pipeline.hpp"
 
-#include <cstdio>
-
-#include "common/strings.hpp"
-
 namespace drai::core {
 
-std::string_view StageKindName(StageKind k) {
-  switch (k) {
-    case StageKind::kIngest: return "ingest";
-    case StageKind::kPreprocess: return "preprocess";
-    case StageKind::kTransform: return "transform";
-    case StageKind::kStructure: return "structure";
-    case StageKind::kShard: return "shard";
-  }
-  return "?";
-}
-
-double PipelineReport::SecondsIn(StageKind kind) const {
-  double total = 0;
-  for (const StageMetrics& s : stages) {
-    if (s.kind == kind) total += s.seconds;
-  }
-  return total;
-}
-
-std::string PipelineReport::TimeBreakdown() const {
-  std::string out;
-  for (StageKind k : kAllStageKinds) {
-    const double s = SecondsIn(k);
-    if (s <= 0) continue;
-    if (!out.empty()) out += " | ";
-    const double pct = total_seconds > 0 ? 100.0 * s / total_seconds : 0.0;
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%s %.1f%%",
-                  std::string(StageKindName(k)).c_str(), pct);
-    out += buf;
-  }
+namespace {
+ExecutorOptions ToExecutorOptions(const PipelineOptions& options) {
+  ExecutorOptions out;
+  out.threads = options.threads;
+  out.seed = options.seed;
+  out.capture_provenance = options.capture_provenance;
+  out.fail_fast = options.fail_fast;
   return out;
 }
+}  // namespace
 
 Pipeline::Pipeline(std::string name, PipelineOptions options)
-    : name_(std::move(name)), options_(options) {}
+    : plan_(std::move(name)),
+      options_(options),
+      executor_(ToExecutorOptions(options)) {}
 
-Pipeline& Pipeline::Add(std::unique_ptr<Stage> stage) {
-  if (!stages_.empty() &&
-      static_cast<uint8_t>(stage->kind()) <
-          static_cast<uint8_t>(stages_.back()->kind())) {
-    throw std::invalid_argument(
-        "Pipeline '" + name_ + "': stage '" + stage->name() + "' (" +
-        std::string(StageKindName(stage->kind())) +
-        ") would run after a later-kind stage; the canonical order is "
-        "ingest -> preprocess -> transform -> structure -> shard");
-  }
-  stages_.push_back(std::move(stage));
+Pipeline& Pipeline::Add(std::unique_ptr<Stage> stage, ExecutionHint hint,
+                        ParallelSpec spec) {
+  plan_.Add(std::move(stage), hint, spec);
   return *this;
 }
 
 Pipeline& Pipeline::Add(std::string name, StageKind kind, LambdaStage::Fn fn) {
-  return Add(std::make_unique<LambdaStage>(std::move(name), kind,
-                                           std::move(fn)));
+  plan_.Add(std::move(name), kind, std::move(fn));
+  return *this;
+}
+
+Pipeline& Pipeline::Add(std::string name, StageKind kind, ExecutionHint hint,
+                        LambdaStage::Fn fn, ParallelSpec spec) {
+  plan_.Add(std::move(name), kind, hint, std::move(fn), spec);
+  return *this;
+}
+
+Pipeline& Pipeline::Add(std::string name, StageKind kind, ExecutionHint hint,
+                        LambdaStage::Fn before, LambdaStage::Fn fn,
+                        LambdaStage::Fn after, ParallelSpec spec) {
+  plan_.Add(std::move(name), kind, hint, std::move(before), std::move(fn),
+            std::move(after), spec);
+  return *this;
 }
 
 PipelineReport Pipeline::Run(DataBundle& bundle) {
-  PipelineReport report;
-  WallTimer total;
   ++runs_;
-  Rng run_rng(options_.seed ^ (runs_ * 0x9E3779B97F4A7C15ull));
-  for (const auto& stage : stages_) {
-    StageMetrics m;
-    m.name = stage->name();
-    m.kind = stage->kind();
-    m.bundle_bytes_before = bundle.ApproxBytes();
-    StageContext context(run_rng.Split(),
-                         options_.capture_provenance ? &provenance_ : nullptr);
-    WallTimer timer;
-    m.status = stage->Run(bundle, context);
-    m.seconds = timer.Seconds();
-    m.bundle_bytes_after = bundle.ApproxBytes();
-    if (options_.capture_provenance) {
-      Activity act;
-      act.name = m.name;
-      act.stage_kind = std::string(StageKindName(m.kind));
-      act.params = context.params();
-      act.seconds = m.seconds;
-      // Each stage activity consumes the previous bundle state and
-      // produces the new one, chaining a linear lineage.
-      const std::string state_name =
-          name_ + "/run" + std::to_string(runs_) + "/" + m.name;
-      const size_t out_idx = provenance_.AddArtifactHashed(
-          state_name,
-          // Hash the bundle size + stage name as a cheap state fingerprint;
-          // full content hashing is available via AddArtifact for stages
-          // that need byte-exact lineage.
-          DigestToHex(Sha256::Hash(state_name + ":" +
-                                   std::to_string(m.bundle_bytes_after))),
-          m.bundle_bytes_after);
-      if (last_state_.has_value()) act.inputs.push_back(*last_state_);
-      act.outputs.push_back(out_idx);
-      provenance_.AddActivity(std::move(act)).OrDie();
-      last_state_ = out_idx;
-    }
-    const bool failed = !m.status.ok();
-    report.stages.push_back(std::move(m));
-    if (failed) {
-      report.ok = false;
-      report.error = report.stages.back().status;
-      if (options_.fail_fast) break;
-    }
-  }
-  report.total_seconds = total.Seconds();
-  return report;
+  ExecutorRunScope scope;
+  scope.pipeline_name = plan_.name();
+  scope.run_index = runs_;
+  scope.provenance = options_.capture_provenance ? &provenance_ : nullptr;
+  scope.last_state = &last_state_;
+  return executor_.Run(plan_, bundle, scope);
 }
 
 Pipeline::FeedbackReport Pipeline::RunWithFeedback(

@@ -1,14 +1,19 @@
 // drai/core/pipeline.hpp
 //
-// The paper's abstracted workflow (§3.5):
+// Pipeline — the user-facing facade over the three execution layers:
 //
-//     ingest -> preprocess -> transform -> structure -> shard
+//   PipelinePlan        (core/plan.hpp)         what to run, in which order,
+//                                               with which ExecutionHints
+//   BundlePartitioner   (core/partitioner.hpp)  deterministic bundle
+//                                               split/merge along one axis
+//   ParallelExecutor    (core/executor.hpp)     schedules serial and
+//                                               partition-parallel stages
 //
-// A Pipeline is an ordered list of Stages whose kinds must be
-// non-decreasing along that canonical axis (a transform can never precede
-// an ingest; several stages of the same kind may run in sequence). The
-// executor times each stage, tracks bundle growth, records provenance
-// activities, and supports Figure 1's feedback loop via RunWithFeedback.
+// A Pipeline owns one plan, one executor, and the provenance graph that
+// accumulates across runs. The original monolithic API (Add / Run /
+// RunWithFeedback / provenance) is unchanged; stages may now also be added
+// with an ExecutionHint + ParallelSpec to run partition-parallel, and
+// PipelineOptions.threads picks the worker count (0 = shared global pool).
 #pragma once
 
 #include <functional>
@@ -17,105 +22,20 @@
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "core/bundle.hpp"
+#include "core/executor.hpp"
+#include "core/plan.hpp"
 #include "core/provenance.hpp"
 
 namespace drai::core {
-
-/// The five canonical Data Processing Stages (Table 2's columns).
-enum class StageKind : uint8_t {
-  kIngest = 0,
-  kPreprocess = 1,
-  kTransform = 2,
-  kStructure = 3,
-  kShard = 4,
-};
-
-std::string_view StageKindName(StageKind k);
-inline constexpr StageKind kAllStageKinds[] = {
-    StageKind::kIngest, StageKind::kPreprocess, StageKind::kTransform,
-    StageKind::kStructure, StageKind::kShard};
-
-/// Execution context handed to every stage: deterministic randomness,
-/// provenance recording, and free-form parameters.
-class StageContext {
- public:
-  StageContext(Rng rng, ProvenanceGraph* provenance)
-      : rng_(rng), provenance_(provenance) {}
-
-  Rng& rng() { return rng_; }
-  /// Null when provenance capture is disabled (the ablation bench does
-  /// exactly that).
-  ProvenanceGraph* provenance() { return provenance_; }
-
-  /// Key-value parameters a stage wants remembered in provenance.
-  void NoteParam(const std::string& key, const std::string& value) {
-    params_[key] = value;
-  }
-  [[nodiscard]] const std::map<std::string, std::string>& params() const {
-    return params_;
-  }
-  void ClearParams() { params_.clear(); }
-
- private:
-  Rng rng_;
-  ProvenanceGraph* provenance_;
-  std::map<std::string, std::string> params_;
-};
-
-/// Interface every pipeline stage implements.
-class Stage {
- public:
-  virtual ~Stage() = default;
-  [[nodiscard]] virtual std::string name() const = 0;
-  [[nodiscard]] virtual StageKind kind() const = 0;
-  virtual Status Run(DataBundle& bundle, StageContext& context) = 0;
-};
-
-/// Adapter: build a stage from a lambda.
-class LambdaStage final : public Stage {
- public:
-  using Fn = std::function<Status(DataBundle&, StageContext&)>;
-  LambdaStage(std::string name, StageKind kind, Fn fn)
-      : name_(std::move(name)), kind_(kind), fn_(std::move(fn)) {}
-  [[nodiscard]] std::string name() const override { return name_; }
-  [[nodiscard]] StageKind kind() const override { return kind_; }
-  Status Run(DataBundle& bundle, StageContext& context) override {
-    return fn_(bundle, context);
-  }
-
- private:
-  std::string name_;
-  StageKind kind_;
-  Fn fn_;
-};
-
-/// Per-stage execution record.
-struct StageMetrics {
-  std::string name;
-  StageKind kind = StageKind::kIngest;
-  double seconds = 0;
-  uint64_t bundle_bytes_before = 0;
-  uint64_t bundle_bytes_after = 0;
-  Status status;
-};
-
-struct PipelineReport {
-  std::vector<StageMetrics> stages;
-  double total_seconds = 0;
-  bool ok = true;
-  /// First failing status when !ok.
-  Status error;
-
-  [[nodiscard]] double SecondsIn(StageKind kind) const;
-  /// "ingest 12% | preprocess 55% | ..." — the §3.2 curation-time story.
-  [[nodiscard]] std::string TimeBreakdown() const;
-};
 
 struct PipelineOptions {
   uint64_t seed = 0xD6A1;
   bool capture_provenance = true;
   /// Stop at the first failing stage (true) or attempt the rest (false).
   bool fail_fast = true;
+  /// Worker threads for parallel stages: 0 = shared global pool, 1 =
+  /// serial, N = dedicated pool of N.
+  size_t threads = 0;
 };
 
 class Pipeline {
@@ -124,12 +44,22 @@ class Pipeline {
 
   /// Append a stage. Throws std::invalid_argument if it would violate the
   /// canonical stage ordering.
-  Pipeline& Add(std::unique_ptr<Stage> stage);
-  /// Sugar for LambdaStage.
+  Pipeline& Add(std::unique_ptr<Stage> stage,
+                ExecutionHint hint = ExecutionHint::kSerial,
+                ParallelSpec spec = {});
+  /// Sugar for a serial LambdaStage.
   Pipeline& Add(std::string name, StageKind kind, LambdaStage::Fn fn);
+  /// Sugar for a parallel LambdaStage.
+  Pipeline& Add(std::string name, StageKind kind, ExecutionHint hint,
+                LambdaStage::Fn fn, ParallelSpec spec = {});
+  /// Map-reduce sugar: serial `before`, parallel `fn`, serial `after`.
+  Pipeline& Add(std::string name, StageKind kind, ExecutionHint hint,
+                LambdaStage::Fn before, LambdaStage::Fn fn,
+                LambdaStage::Fn after, ParallelSpec spec = {});
 
-  [[nodiscard]] const std::string& name() const { return name_; }
-  [[nodiscard]] size_t NumStages() const { return stages_.size(); }
+  [[nodiscard]] const std::string& name() const { return plan_.name(); }
+  [[nodiscard]] size_t NumStages() const { return plan_.NumStages(); }
+  [[nodiscard]] const PipelinePlan& plan() const { return plan_; }
 
   /// Run every stage in order over the bundle.
   PipelineReport Run(DataBundle& bundle);
@@ -153,9 +83,9 @@ class Pipeline {
   }
 
  private:
-  std::string name_;
+  PipelinePlan plan_;
   PipelineOptions options_;
-  std::vector<std::unique_ptr<Stage>> stages_;
+  ParallelExecutor executor_;
   ProvenanceGraph provenance_;
   std::optional<size_t> last_state_;  ///< latest bundle-state artifact
   uint64_t runs_ = 0;

@@ -1,0 +1,96 @@
+#include "core/plan.hpp"
+
+#include <stdexcept>
+
+namespace drai::core {
+
+std::string_view StageKindName(StageKind k) {
+  switch (k) {
+    case StageKind::kIngest: return "ingest";
+    case StageKind::kPreprocess: return "preprocess";
+    case StageKind::kTransform: return "transform";
+    case StageKind::kStructure: return "structure";
+    case StageKind::kShard: return "shard";
+  }
+  return "?";
+}
+
+std::string_view ExecutionHintName(ExecutionHint h) {
+  switch (h) {
+    case ExecutionHint::kSerial: return "serial";
+    case ExecutionHint::kRecordParallel: return "record_parallel";
+    case ExecutionHint::kPartitionParallel: return "partition_parallel";
+  }
+  return "?";
+}
+
+std::string_view PartitionAxisName(PartitionAxis a) {
+  switch (a) {
+    case PartitionAxis::kAuto: return "auto";
+    case PartitionAxis::kExamples: return "examples";
+    case PartitionAxis::kSignalSets: return "signal_sets";
+    case PartitionAxis::kTableRows: return "table_rows";
+    case PartitionAxis::kTensorGroups: return "tensor_groups";
+    case PartitionAxis::kBlobs: return "blobs";
+    case PartitionAxis::kRange: return "range";
+  }
+  return "?";
+}
+
+PipelinePlan& PipelinePlan::Add(std::unique_ptr<Stage> stage,
+                                ExecutionHint hint, ParallelSpec spec) {
+  if (!stages_.empty() &&
+      static_cast<uint8_t>(stage->kind()) <
+          static_cast<uint8_t>(stages_.back().stage->kind())) {
+    throw std::invalid_argument(
+        "Pipeline '" + name_ + "': stage '" + stage->name() + "' (" +
+        std::string(StageKindName(stage->kind())) +
+        ") would run after a later-kind stage; the canonical order is "
+        "ingest -> preprocess -> transform -> structure -> shard");
+  }
+  PlannedStage planned;
+  planned.stage = std::move(stage);
+  planned.hint = hint;
+  planned.parallel = spec;
+  stages_.push_back(std::move(planned));
+  return *this;
+}
+
+PipelinePlan& PipelinePlan::Add(std::string name, StageKind kind,
+                                LambdaStage::Fn fn) {
+  return Add(std::make_unique<LambdaStage>(std::move(name), kind,
+                                           std::move(fn)));
+}
+
+PipelinePlan& PipelinePlan::Add(std::string name, StageKind kind,
+                                ExecutionHint hint, LambdaStage::Fn fn,
+                                ParallelSpec spec) {
+  return Add(std::make_unique<LambdaStage>(std::move(name), kind,
+                                           std::move(fn)),
+             hint, spec);
+}
+
+PipelinePlan& PipelinePlan::Add(std::string name, StageKind kind,
+                                ExecutionHint hint, LambdaStage::Fn before,
+                                LambdaStage::Fn fn, LambdaStage::Fn after,
+                                ParallelSpec spec) {
+  return Add(std::make_unique<LambdaStage>(std::move(name), kind,
+                                           std::move(fn), std::move(before),
+                                           std::move(after)),
+             hint, spec);
+}
+
+Status PipelinePlan::Validate() const {
+  for (const PlannedStage& s : stages_) {
+    if (s.hint == ExecutionHint::kSerial) continue;
+    if (s.parallel.axis == PartitionAxis::kRange &&
+        s.parallel.range_count == 0 && s.parallel.range_attr.empty()) {
+      return InvalidArgument("stage '" + s.stage->name() +
+                             "': kRange partitioning needs range_count or "
+                             "range_attr");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace drai::core

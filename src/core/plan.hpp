@@ -1,0 +1,273 @@
+// drai/core/plan.hpp
+//
+// Declarative pipeline layer. The paper's abstracted workflow (§3.5):
+//
+//     ingest -> preprocess -> transform -> structure -> shard
+//
+// A PipelinePlan is an ordered list of Stages whose kinds must be
+// non-decreasing along that canonical axis (a transform can never precede
+// an ingest; several stages of the same kind may run in sequence). Each
+// stage additionally carries an ExecutionHint telling the executor how it
+// may be scheduled:
+//
+//   kSerial             run once over the whole bundle (default)
+//   kRecordParallel     the stage is a pure map over independent records;
+//                       the executor may split the bundle and run the stage
+//                       on each partition concurrently
+//   kPartitionParallel  like kRecordParallel, and additionally consecutive
+//                       stages with identical ParallelSpecs may be *fused*:
+//                       split once, run the stage chain per partition,
+//                       merge once
+//
+// The plan only *describes* the work; src/core/executor.hpp schedules it
+// and src/core/partitioner.hpp does the bundle splitting/merging.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/bundle.hpp"
+#include "core/provenance.hpp"
+
+namespace drai::core {
+
+/// The five canonical Data Processing Stages (Table 2's columns).
+enum class StageKind : uint8_t {
+  kIngest = 0,
+  kPreprocess = 1,
+  kTransform = 2,
+  kStructure = 3,
+  kShard = 4,
+};
+
+std::string_view StageKindName(StageKind k);
+inline constexpr StageKind kAllStageKinds[] = {
+    StageKind::kIngest, StageKind::kPreprocess, StageKind::kTransform,
+    StageKind::kStructure, StageKind::kShard};
+
+/// How a stage may be scheduled by the executor.
+enum class ExecutionHint : uint8_t {
+  kSerial = 0,
+  kRecordParallel = 1,
+  kPartitionParallel = 2,
+};
+
+std::string_view ExecutionHintName(ExecutionHint h);
+
+/// Which bundle collection a parallel stage is partitioned over.
+enum class PartitionAxis : uint8_t {
+  kAuto = 0,      ///< pick the largest populated axis at run time
+  kExamples,      ///< contiguous runs of bundle.examples
+  kSignalSets,    ///< map entries of bundle.signal_sets
+  kTableRows,     ///< row ranges of the single table in bundle.tables
+  kTensorGroups,  ///< map entries (or '/'-prefix groups) of bundle.tensors
+  kBlobs,         ///< map entries of bundle.blobs
+  kRange,         ///< an abstract index range [0, range_count) — partitions
+                  ///< see only attrs plus their PartitionSlot bounds
+};
+
+std::string_view PartitionAxisName(PartitionAxis a);
+
+/// Partitioning parameters for a parallel stage. The number of partitions
+/// is a function of the *data* and the grain only — never of the worker
+/// count — so results and provenance are identical for any thread count.
+struct ParallelSpec {
+  PartitionAxis axis = PartitionAxis::kAuto;
+  /// Units (examples / rows / keys / indices) per partition; 0 = per-axis
+  /// default (see BundlePartitioner::DefaultGrain).
+  size_t grain = 0;
+  /// kRange only: size of the index domain. 0 = read `range_attr` from the
+  /// bundle's attrs instead.
+  size_t range_count = 0;
+  std::string range_attr = "drai/range";
+  /// kTensorGroups only: group keys by the prefix before the last '/'
+  /// ("norm@t0003/t2m" -> group "norm@t0003") so related tensors stay in
+  /// one partition. Off by default: every key is its own unit.
+  bool group_by_prefix = false;
+
+  friend bool operator==(const ParallelSpec& a, const ParallelSpec& b) {
+    return a.axis == b.axis && a.grain == b.grain &&
+           a.range_count == b.range_count && a.range_attr == b.range_attr &&
+           a.group_by_prefix == b.group_by_prefix;
+  }
+};
+
+/// Where a StageContext sits in a partitioned run. For serial stages (and
+/// the Before/After hooks) this is the identity slot {0, 1, 0, 0}.
+struct PartitionSlot {
+  size_t index = 0;  ///< which partition [0, count)
+  size_t count = 1;  ///< total partitions for this stage
+  size_t lo = 0;     ///< first unit index covered (axis-dependent)
+  size_t hi = 0;     ///< one past the last unit index
+};
+
+/// Execution context handed to every stage: deterministic randomness,
+/// provenance recording, and free-form parameters. The executor clears
+/// params/counts between stages so notes never leak across activities.
+class StageContext {
+ public:
+  StageContext(Rng rng, ProvenanceGraph* provenance)
+      : rng_(rng), provenance_(provenance) {}
+
+  Rng& rng() { return rng_; }
+  /// Null when provenance capture is disabled (the ablation bench does
+  /// exactly that).
+  ProvenanceGraph* provenance() { return provenance_; }
+
+  /// Key-value parameters a stage wants remembered in provenance. Across
+  /// partitions the executor merges these in ascending partition order
+  /// (last writer wins), so identical notes are safe from any partition.
+  void NoteParam(const std::string& key, const std::string& value) {
+    params_[key] = value;
+  }
+  [[nodiscard]] const std::map<std::string, std::string>& params() const {
+    return params_;
+  }
+  void ClearParams() { params_.clear(); }
+
+  /// Additive counters: across partitions the executor *sums* these and
+  /// records the totals as provenance params — the right merge for tallies
+  /// like "despiked" or "rejected".
+  void NoteCount(const std::string& key, uint64_t delta) {
+    counts_[key] += delta;
+  }
+  [[nodiscard]] const std::map<std::string, uint64_t>& counts() const {
+    return counts_;
+  }
+  void ClearCounts() { counts_.clear(); }
+
+  [[nodiscard]] const PartitionSlot& partition() const { return partition_; }
+  void SetPartition(PartitionSlot slot) { partition_ = slot; }
+
+  /// Reset for reuse on the next stage: new rng, no leftover notes.
+  void Reset(Rng rng) {
+    rng_ = rng;
+    ClearParams();
+    ClearCounts();
+    partition_ = PartitionSlot{};
+  }
+
+ private:
+  Rng rng_;
+  ProvenanceGraph* provenance_;
+  std::map<std::string, std::string> params_;
+  std::map<std::string, uint64_t> counts_;
+  PartitionSlot partition_;
+};
+
+/// Interface every pipeline stage implements.
+///
+/// For parallel stages, Run is invoked once per partition (concurrently);
+/// BeforePartition/AfterMerge are serial hooks around the parallel map for
+/// global reductions (fit a normalizer, build a lookup table, rebalance).
+/// A subclass that overrides a hook must also override the matching
+/// HasBeforeHook/HasAfterHook to return true — the executor uses them to
+/// decide stage fusion and to skip no-op hook calls.
+class Stage {
+ public:
+  virtual ~Stage() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual StageKind kind() const = 0;
+  virtual Status Run(DataBundle& bundle, StageContext& context) = 0;
+
+  /// Serial pre-pass over the full bundle, before any split.
+  virtual Status BeforePartition(DataBundle& bundle, StageContext& context) {
+    (void)bundle;
+    (void)context;
+    return Status::Ok();
+  }
+  /// Serial post-pass over the merged bundle.
+  virtual Status AfterMerge(DataBundle& bundle, StageContext& context) {
+    (void)bundle;
+    (void)context;
+    return Status::Ok();
+  }
+  [[nodiscard]] virtual bool HasBeforeHook() const { return false; }
+  [[nodiscard]] virtual bool HasAfterHook() const { return false; }
+};
+
+/// Adapter: build a stage from lambdas. `before`/`after` may be null.
+class LambdaStage final : public Stage {
+ public:
+  using Fn = std::function<Status(DataBundle&, StageContext&)>;
+  LambdaStage(std::string name, StageKind kind, Fn fn, Fn before = nullptr,
+              Fn after = nullptr)
+      : name_(std::move(name)),
+        kind_(kind),
+        fn_(std::move(fn)),
+        before_(std::move(before)),
+        after_(std::move(after)) {}
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] StageKind kind() const override { return kind_; }
+  Status Run(DataBundle& bundle, StageContext& context) override {
+    return fn_(bundle, context);
+  }
+  Status BeforePartition(DataBundle& bundle, StageContext& context) override {
+    return before_ ? before_(bundle, context) : Status::Ok();
+  }
+  Status AfterMerge(DataBundle& bundle, StageContext& context) override {
+    return after_ ? after_(bundle, context) : Status::Ok();
+  }
+  [[nodiscard]] bool HasBeforeHook() const override {
+    return static_cast<bool>(before_);
+  }
+  [[nodiscard]] bool HasAfterHook() const override {
+    return static_cast<bool>(after_);
+  }
+
+ private:
+  std::string name_;
+  StageKind kind_;
+  Fn fn_;
+  Fn before_;
+  Fn after_;
+};
+
+/// One stage plus its scheduling annotations.
+struct PlannedStage {
+  std::unique_ptr<Stage> stage;
+  ExecutionHint hint = ExecutionHint::kSerial;
+  ParallelSpec parallel;
+};
+
+/// An ordered, validated list of planned stages. Purely declarative: build
+/// one, then hand it to a ParallelExecutor (or the Pipeline facade).
+class PipelinePlan {
+ public:
+  explicit PipelinePlan(std::string name = "pipeline") : name_(std::move(name)) {}
+
+  /// Append a stage. Throws std::invalid_argument if it would violate the
+  /// canonical stage ordering.
+  PipelinePlan& Add(std::unique_ptr<Stage> stage,
+                    ExecutionHint hint = ExecutionHint::kSerial,
+                    ParallelSpec spec = {});
+  /// Sugar for a serial LambdaStage.
+  PipelinePlan& Add(std::string name, StageKind kind, LambdaStage::Fn fn);
+  /// Sugar for a parallel LambdaStage.
+  PipelinePlan& Add(std::string name, StageKind kind, ExecutionHint hint,
+                    LambdaStage::Fn fn, ParallelSpec spec = {});
+  /// Full map-reduce sugar: serial `before`, parallel `fn`, serial `after`.
+  PipelinePlan& Add(std::string name, StageKind kind, ExecutionHint hint,
+                    LambdaStage::Fn before, LambdaStage::Fn fn,
+                    LambdaStage::Fn after, ParallelSpec spec = {});
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] size_t NumStages() const { return stages_.size(); }
+  [[nodiscard]] const std::vector<PlannedStage>& stages() const {
+    return stages_;
+  }
+
+  /// Whole-plan checks beyond the incremental Add validation: parallel
+  /// kRange stages must know their domain size one way or the other.
+  [[nodiscard]] Status Validate() const;
+
+ private:
+  std::string name_;
+  std::vector<PlannedStage> stages_;
+};
+
+}  // namespace drai::core

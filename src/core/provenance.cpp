@@ -7,6 +7,38 @@
 
 namespace drai::core {
 
+ProvenanceGraph::ProvenanceGraph(const ProvenanceGraph& other) {
+  std::lock_guard<std::mutex> lock(other.mutex_);
+  artifacts_ = other.artifacts_;
+  activities_ = other.activities_;
+  produced_by_ = other.produced_by_;
+}
+
+ProvenanceGraph& ProvenanceGraph::operator=(const ProvenanceGraph& other) {
+  if (this == &other) return *this;
+  std::scoped_lock lock(mutex_, other.mutex_);
+  artifacts_ = other.artifacts_;
+  activities_ = other.activities_;
+  produced_by_ = other.produced_by_;
+  return *this;
+}
+
+ProvenanceGraph::ProvenanceGraph(ProvenanceGraph&& other) noexcept {
+  std::lock_guard<std::mutex> lock(other.mutex_);
+  artifacts_ = std::move(other.artifacts_);
+  activities_ = std::move(other.activities_);
+  produced_by_ = std::move(other.produced_by_);
+}
+
+ProvenanceGraph& ProvenanceGraph::operator=(ProvenanceGraph&& other) noexcept {
+  if (this == &other) return *this;
+  std::scoped_lock lock(mutex_, other.mutex_);
+  artifacts_ = std::move(other.artifacts_);
+  activities_ = std::move(other.activities_);
+  produced_by_ = std::move(other.produced_by_);
+  return *this;
+}
+
 size_t ProvenanceGraph::AddArtifact(const std::string& name,
                                     std::span<const std::byte> content) {
   return AddArtifactHashed(name, DigestToHex(Sha256::Hash(content)),
@@ -16,11 +48,13 @@ size_t ProvenanceGraph::AddArtifact(const std::string& name,
 size_t ProvenanceGraph::AddArtifactHashed(const std::string& name,
                                           std::string sha256_hex,
                                           uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
   artifacts_.push_back({name, std::move(sha256_hex), bytes});
   return artifacts_.size() - 1;
 }
 
 Status ProvenanceGraph::AddActivity(Activity activity) {
+  std::lock_guard<std::mutex> lock(mutex_);
   for (size_t i : activity.inputs) {
     if (i >= artifacts_.size()) {
       return OutOfRange("activity input artifact index out of range");
@@ -42,6 +76,7 @@ Status ProvenanceGraph::AddActivity(Activity activity) {
 }
 
 Result<std::vector<size_t>> ProvenanceGraph::Ancestors(size_t artifact) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (artifact >= artifacts_.size()) {
     return OutOfRange("artifact index out of range");
   }
@@ -61,6 +96,7 @@ Result<std::vector<size_t>> ProvenanceGraph::Ancestors(size_t artifact) const {
 
 Result<std::vector<size_t>> ProvenanceGraph::LineageActivities(
     size_t artifact) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (artifact >= artifacts_.size()) {
     return OutOfRange("artifact index out of range");
   }
@@ -82,6 +118,7 @@ Result<std::vector<size_t>> ProvenanceGraph::LineageActivities(
 }
 
 std::string ProvenanceGraph::RecordHash() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   Sha256 ctx;
   for (const Artifact& a : artifacts_) {
     ctx.Update(a.name);
@@ -115,6 +152,7 @@ std::string ProvenanceGraph::RecordHash() const {
 }
 
 Bytes ProvenanceGraph::Serialize() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   ByteWriter w;
   w.PutRaw("PRV1", 4);
   w.PutVarU64(artifacts_.size());
@@ -204,6 +242,7 @@ Result<ProvenanceGraph> ProvenanceGraph::Parse(
 }
 
 std::string ProvenanceGraph::ToText() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::string out;
   out += "artifacts (" + std::to_string(artifacts_.size()) + "):\n";
   for (size_t i = 0; i < artifacts_.size(); ++i) {

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -37,8 +38,20 @@ struct Activity {
   double seconds = 0;
 };
 
+/// Thread safety: the mutating calls (AddArtifact / AddArtifactHashed /
+/// AddActivity) and the whole-graph reads (Ancestors, LineageActivities,
+/// RecordHash, Serialize, ToText) are internally synchronized so parallel
+/// pipeline stages can record concurrently. The reference accessors
+/// artifacts()/activities() are NOT synchronized — call them only when no
+/// writer is active (e.g. after a pipeline run returns).
 class ProvenanceGraph {
  public:
+  ProvenanceGraph() = default;
+  ProvenanceGraph(const ProvenanceGraph& other);
+  ProvenanceGraph& operator=(const ProvenanceGraph& other);
+  ProvenanceGraph(ProvenanceGraph&& other) noexcept;
+  ProvenanceGraph& operator=(ProvenanceGraph&& other) noexcept;
+
   /// Register an artifact; returns its index. Hash is computed here.
   size_t AddArtifact(const std::string& name, std::span<const std::byte> content);
   /// Register with a precomputed hash (for large data hashed streaming).
@@ -71,6 +84,7 @@ class ProvenanceGraph {
   [[nodiscard]] std::string ToText() const;
 
  private:
+  mutable std::mutex mutex_;  ///< guards all three containers
   std::vector<Artifact> artifacts_;
   std::vector<Activity> activities_;
   /// producer activity per artifact (if any)

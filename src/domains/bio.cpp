@@ -1,6 +1,9 @@
 #include "domains/bio.hpp"
 
+#include <atomic>
 #include <cmath>
+#include <map>
+#include <memory>
 
 #include "common/strings.hpp"
 #include "privacy/anonymize.hpp"
@@ -10,6 +13,9 @@
 namespace drai::domains {
 
 using core::DataBundle;
+using core::ExecutionHint;
+using core::ParallelSpec;
+using core::PartitionAxis;
 using core::StageContext;
 using core::StageKind;
 
@@ -24,8 +30,26 @@ Result<BioArchetypeResult> RunBioArchetype(par::StripedStore& store,
   // subject_id -> pseudonymized token (the join key after de-identification)
   auto token_of = std::make_shared<std::map<std::string, std::string>>();
   auto labeled_fraction = std::make_shared<double>(0.0);
+  // Serial-hook state for the parallel stages: which columns each partition
+  // must pseudonymize, the token -> subject lookup for row-driven fusion,
+  // and the label tally the After hook turns into labeled_fraction.
+  auto direct_cols = std::make_shared<std::vector<std::string>>();
+  auto subject_by_token = std::make_shared<std::map<std::string, size_t>>();
+  auto labeled_count = std::make_shared<std::atomic<size_t>>(0);
+  auto emitted_count = std::make_shared<std::atomic<size_t>>(0);
 
-  core::Pipeline pipeline("bio-archetype");
+  core::PipelineOptions options;
+  options.threads = config.threads;
+  core::Pipeline pipeline("bio-archetype", options);
+
+  // Parallel grains: sequence QC partitions the subject index range (the
+  // bundle carries no per-subject collection yet); the privacy battery and
+  // fusion partition the clinical table by rows.
+  ParallelSpec per_subject;
+  per_subject.axis = PartitionAxis::kRange;
+  per_subject.range_count = workload->subjects.size();
+  ParallelSpec per_rows;
+  per_rows.axis = PartitionAxis::kTableRows;
 
   // ingest: load sequences + clinical table; validate.
   pipeline.Add(
@@ -39,12 +63,16 @@ Result<BioArchetypeResult> RunBioArchetype(par::StripedStore& store,
         return Status::Ok();
       });
 
-  // preprocess: sequence QC + tiling.
+  // preprocess: sequence QC + tiling, partitioned over the subject index
+  // range. Each partition records tile counts for its own subjects only.
   pipeline.Add(
       "tile-sequences", StageKind::kPreprocess,
+      ExecutionHint::kRecordParallel,
       [&](DataBundle& bundle, StageContext& context) -> Status {
         size_t rejected = 0;
-        for (const auto& subj : workload->subjects) {
+        const auto& slot = context.partition();
+        for (size_t i = slot.lo; i < slot.hi; ++i) {
+          const auto& subj = workload->subjects[i];
           DRAI_ASSIGN_OR_RETURN(
               double unknown,
               sequence::UnknownFraction(sequence::Alphabet::kDna,
@@ -59,17 +87,24 @@ Result<BioArchetypeResult> RunBioArchetype(par::StripedStore& store,
                          container::AttrValue::Int(
                              static_cast<int64_t>(tiles.size())));
         }
-        context.NoteParam("rejected", std::to_string(rejected));
+        context.NoteCount("rejected", rejected);
         return Status::Ok();
-      });
+      },
+      per_subject);
 
-  // transform: the privacy battery under audit, then one-hot encoding.
+  // transform: the privacy battery under audit. Field classification and
+  // the audit transcript are serial (Before); pseudonymization + date
+  // shifting are per-row and run per table-rows partition; k-anonymity
+  // needs the whole table back, so it runs in the serial After hook.
   pipeline.Add(
       "anonymize-encode", StageKind::kTransform,
-      [&](DataBundle& bundle, StageContext& context) -> Status {
-        privacy::Table& table = bundle.tables.at("clinical");
+      ExecutionHint::kRecordParallel,
+      /*before=*/
+      [&, audit, token_of, direct_cols](DataBundle& bundle,
+                                        StageContext&) -> Status {
+        const privacy::Table& table = bundle.tables.at("clinical");
         // 1. classify fields
-        std::vector<std::string> direct_cols;
+        direct_cols->clear();
         for (size_t c = 0; c < table.columns.size(); ++c) {
           std::vector<std::string> sample;
           for (size_t r = 0; r < std::min<size_t>(table.rows.size(), 32); ++r) {
@@ -78,31 +113,49 @@ Result<BioArchetypeResult> RunBioArchetype(par::StripedStore& store,
           const privacy::FieldClass cls =
               privacy::ClassifyField(table.columns[c], sample);
           if (cls == privacy::FieldClass::kDirectIdentifier) {
-            direct_cols.push_back(table.columns[c]);
+            direct_cols->push_back(table.columns[c]);
           }
         }
         audit->Append("bio-archetype", "classify-fields",
-                      "direct identifiers: " + Join(direct_cols, ","));
-        // 2. pseudonymize direct identifiers; remember subject tokens
+                      "direct identifiers: " + Join(*direct_cols, ","));
+        // 2. remember subject tokens before the ids are rewritten.
         privacy::Pseudonymizer pseudo(config.hmac_key);
         const int subj_col = table.ColumnIndex("subject_id");
         if (subj_col < 0) return NotFound("clinical table lacks subject_id");
+        token_of->clear();
         for (const auto& row : table.rows) {
           const std::string& sid = row[static_cast<size_t>(subj_col)];
           (*token_of)[sid] = pseudo.Token(sid);
         }
-        for (const std::string& col : direct_cols) {
-          DRAI_RETURN_IF_ERROR(pseudo.PseudonymizeColumn(table, col));
+        for (const std::string& col : *direct_cols) {
           audit->Append("bio-archetype", "pseudonymize", "column=" + col);
         }
-        // 3. shift dates per subject (subject_id column is already
-        // tokenized, which is fine: shifts stay per-subject stable).
+        for (const std::string& col : {std::string("dob"), std::string("admit_date")}) {
+          audit->Append("bio-archetype", "date-shift", "column=" + col);
+        }
+        return Status::Ok();
+      },
+      [&, direct_cols](DataBundle& bundle, StageContext&) -> Status {
+        privacy::Table& table = bundle.tables.at("clinical");
+        // Pseudonymize direct identifiers in this partition's rows. The
+        // HMAC is keyed per value, so chunked application matches the
+        // whole-table result byte for byte.
+        privacy::Pseudonymizer pseudo(config.hmac_key);
+        for (const std::string& col : *direct_cols) {
+          DRAI_RETURN_IF_ERROR(pseudo.PseudonymizeColumn(table, col));
+        }
+        // Shift dates per subject (subject_id column is already tokenized,
+        // which is fine: shifts stay per-subject stable).
         privacy::DateShifter shifter(config.hmac_key);
         for (const std::string& col : {std::string("dob"), std::string("admit_date")}) {
           DRAI_RETURN_IF_ERROR(shifter.ShiftColumn(table, "subject_id", col));
-          audit->Append("bio-archetype", "date-shift", "column=" + col);
         }
-        // 4. k-anonymity over (age, zip)
+        return Status::Ok();
+      },
+      /*after=*/
+      [&, audit, k_report](DataBundle& bundle, StageContext& context) -> Status {
+        // 4. k-anonymity over (age, zip) — a whole-table property.
+        privacy::Table& table = bundle.tables.at("clinical");
         privacy::KAnonymityConfig kc;
         kc.k = config.k_anonymity;
         kc.numeric_bands["age"] = 5;
@@ -116,20 +169,41 @@ Result<BioArchetypeResult> RunBioArchetype(par::StripedStore& store,
         context.NoteParam("k_achieved", std::to_string(k_report->k_achieved));
         context.NoteParam("audit_head", audit->HeadHash().substr(0, 12));
         return Status::Ok();
-      });
+      },
+      per_rows);
 
   // structure: cross-modal fusion — sequence features + de-identified
-  // clinical covariates per subject.
+  // clinical covariates per subject, one example per surviving table row.
   pipeline.Add(
       "fuse", StageKind::kStructure,
-      [&](DataBundle& bundle, StageContext&) -> Status {
+      ExecutionHint::kRecordParallel,
+      /*before=*/
+      [workload, token_of, subject_by_token, labeled_count, emitted_count](
+          DataBundle&, StageContext&) -> Status {
+        subject_by_token->clear();
+        for (size_t i = 0; i < workload->subjects.size(); ++i) {
+          const auto it = token_of->find(workload->subjects[i].subject_id);
+          if (it == token_of->end()) continue;
+          (*subject_by_token)[it->second] = i;
+        }
+        labeled_count->store(0);
+        emitted_count->store(0);
+        return Status::Ok();
+      },
+      [&, subject_by_token, labeled_count, emitted_count](
+          DataBundle& bundle, StageContext&) -> Status {
         const privacy::Table& table = bundle.tables.at("clinical");
         const int subj_col = table.ColumnIndex("subject_id");
         const int age_col = table.ColumnIndex("age");
         const int sex_col = table.ColumnIndex("sex");
-        // Surviving (non-suppressed) tokens.
-        std::map<std::string, std::pair<double, double>> covariates;
+        size_t labeled = 0, emitted = 0;
+        // Rows suppressed by k-anonymity are already gone from the table,
+        // so every surviving row fuses into one example.
         for (const auto& row : table.rows) {
+          const std::string& token = row[static_cast<size_t>(subj_col)];
+          const auto subj_it = subject_by_token->find(token);
+          if (subj_it == subject_by_token->end()) continue;
+          const auto& subj = workload->subjects[subj_it->second];
           double age_mid = 50;
           // age is generalized to "lo-hi": use the band midpoint.
           const std::string& band = row[static_cast<size_t>(age_col)];
@@ -141,14 +215,6 @@ Result<BioArchetypeResult> RunBioArchetype(par::StripedStore& store,
             age_mid = 0.5 * static_cast<double>(lo + hi);
           }
           const double sex = row[static_cast<size_t>(sex_col)] == "F" ? 1.0 : 0.0;
-          covariates[row[static_cast<size_t>(subj_col)]] = {age_mid, sex};
-        }
-        size_t labeled = 0, emitted = 0;
-        for (const auto& subj : workload->subjects) {
-          auto token_it = token_of->find(subj.subject_id);
-          if (token_it == token_of->end()) continue;
-          auto cov_it = covariates.find(token_it->second);
-          if (cov_it == covariates.end()) continue;  // suppressed by k-anon
           const auto tiles = sequence::Tile(subj.sequence, config.tile_len,
                                             config.tile_stride);
           // Sequence features: per-tile GC content + k-mer motif-ish
@@ -169,10 +235,10 @@ Result<BioArchetypeResult> RunBioArchetype(par::StripedStore& store,
             }
             x.SetFromDouble(t * 5 + 4, sequence::GcContent(tiles[t]));
           }
-          x.SetFromDouble(tiles.size() * 5 + 0, cov_it->second.first / 100.0);
-          x.SetFromDouble(tiles.size() * 5 + 1, cov_it->second.second);
+          x.SetFromDouble(tiles.size() * 5 + 0, age_mid / 100.0);
+          x.SetFromDouble(tiles.size() * 5 + 1, sex);
           shard::Example ex;
-          ex.key = token_it->second;  // pseudonymized key — no PHI in shards
+          ex.key = token;  // pseudonymized key — no PHI in shards
           ex.features["x"] = std::move(x);
           if (subj.expression_label >= 0) {
             ex.SetLabel(subj.expression_label);
@@ -183,11 +249,21 @@ Result<BioArchetypeResult> RunBioArchetype(par::StripedStore& store,
           bundle.examples.push_back(std::move(ex));
           ++emitted;
         }
-        *labeled_fraction = emitted == 0 ? 0.0
-                                         : static_cast<double>(labeled) /
-                                               static_cast<double>(emitted);
+        labeled_count->fetch_add(labeled);
+        emitted_count->fetch_add(emitted);
         return Status::Ok();
-      });
+      },
+      /*after=*/
+      [labeled_count, emitted_count, labeled_fraction](DataBundle&,
+                                                       StageContext&) -> Status {
+        const size_t emitted = emitted_count->load();
+        *labeled_fraction = emitted == 0
+                                ? 0.0
+                                : static_cast<double>(labeled_count->load()) /
+                                      static_cast<double>(emitted);
+        return Status::Ok();
+      },
+      per_rows);
 
   // shard: secure export — audit head + provenance in the manifest.
   pipeline.Add(

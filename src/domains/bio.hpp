@@ -25,6 +25,9 @@ struct BioArchetypeConfig {
   std::string hmac_key = "drai-demo-key-0123456789abcdef";
   std::string dataset_dir = "/datasets/bio";
   uint64_t split_seed = 33;
+  /// Worker threads for the parallel stages (0 = shared global pool,
+  /// 1 = serial). Output bytes are identical for any value.
+  size_t threads = 0;
 };
 
 struct BioArchetypeResult : ArchetypeResult {

@@ -1,6 +1,8 @@
 #include "domains/climate.hpp"
 
 #include <cmath>
+#include <cstdio>
+#include <mutex>
 
 #include "container/grib_lite.hpp"
 #include "container/netcdf_lite.hpp"
@@ -12,8 +14,33 @@
 namespace drai::domains {
 
 using core::DataBundle;
+using core::ExecutionHint;
+using core::ParallelSpec;
+using core::PartitionAxis;
 using core::StageContext;
 using core::StageKind;
+
+namespace {
+
+/// Per-time-step tensor keys: "raw@t00003/t2m". Zero-padded so sorted map
+/// order is time order, and '/' so kTensorGroups' prefix grouping keeps
+/// all variables of one time step in one partition.
+std::string TimeKey(const char* prefix, size_t t, const std::string& var) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s@t%05zu/", prefix, t);
+  return buf + var;
+}
+
+/// "raw@t00003" -> 3.
+size_t TimeOfGroup(const std::string& group) {
+  const size_t at = group.find("@t");
+  return at == std::string::npos
+             ? 0
+             : static_cast<size_t>(std::strtoull(group.c_str() + at + 2,
+                                                 nullptr, 10));
+}
+
+}  // namespace
 
 Result<ArchetypeResult> RunClimateArchetype(
     par::StripedStore& store, const ClimateArchetypeConfig& config) {
@@ -22,16 +49,32 @@ Result<ArchetypeResult> RunClimateArchetype(
   const grid::LatLonGrid dst_grid =
       grid::LatLonGrid::Uniform(config.target_lat, config.target_lon);
   const auto& variables = config.workload.variables;
+  std::map<std::string, size_t> var_index;
+  for (size_t v = 0; v < variables.size(); ++v) var_index[variables[v]] = v;
 
   // Shared state the stages hand forward outside the bundle's generic maps.
   auto normalizer = std::make_shared<stats::Normalizer>(
       stats::NormKind::kZScore, variables.size());
   auto manifest = std::make_shared<shard::DatasetManifest>();
+  // Per-partition normalizer partials, reduced in partition order by the
+  // regrid stage's AfterMerge hook so the fit is worker-count independent.
+  auto partials = std::make_shared<std::map<size_t, stats::Normalizer>>();
+  auto partials_mutex = std::make_shared<std::mutex>();
 
-  core::Pipeline pipeline("climate-archetype");
+  core::PipelineOptions options;
+  options.threads = config.threads;
+  core::Pipeline pipeline("climate-archetype", options);
+
+  // One partition per time step for every parallel stage: the partition
+  // count is data-dependent only, so output bytes and provenance hashes
+  // are identical for any thread count.
+  ParallelSpec per_time;
+  per_time.axis = PartitionAxis::kTensorGroups;
+  per_time.group_by_prefix = true;
+  per_time.grain = 1;
 
   // ingest: sniff the container format, decode either GRIB messages or a
-  // NetCDF-lite file into per-variable [time, lat, lon] stacks.
+  // NetCDF-lite file into per-(time, variable) fields.
   pipeline.Add("decode-source", StageKind::kIngest,
                [&](DataBundle& bundle, StageContext& context) -> Status {
                  DRAI_ASSIGN_OR_RETURN(Bytes blob, bundle.Blob("source"));
@@ -44,26 +87,19 @@ Result<ArchetypeResult> RunClimateArchetype(
                                          container::DecodeGribFile(blob));
                    context.NoteParam("messages",
                                      std::to_string(messages.size()));
-                   std::map<std::string, std::vector<NDArray>> stacks;
+                   // Messages arrive per variable in time order; track a
+                   // per-variable clock to place each field.
+                   std::map<std::string, size_t> t_of;
                    for (auto& msg : messages) {
-                     stacks[msg.variable].push_back(std::move(msg.field));
+                     const size_t t = t_of[msg.variable]++;
+                     bundle.tensors[TimeKey("raw", t, msg.variable)] =
+                         std::move(msg.field);
                    }
                    for (const std::string& var : variables) {
-                     auto it = stacks.find(var);
-                     if (it == stacks.end()) {
+                     if (t_of.find(var) == t_of.end()) {
                        return DataLoss("climate: variable missing from GRIB: " +
                                        var);
                      }
-                     const auto& frames = it->second;
-                     NDArray stack = NDArray::Zeros(
-                         {frames.size(), src_grid.n_lat(), src_grid.n_lon()},
-                         DType::kF64);
-                     for (size_t t = 0; t < frames.size(); ++t) {
-                       NDArray slot = stack.Slice(0, t, t + 1).Reshape(
-                           {src_grid.n_lat(), src_grid.n_lon()});
-                       slot.CopyFrom(frames[t]);
-                     }
-                     bundle.tensors["raw/" + var] = std::move(stack);
                    }
                  } else if (format == container::FileFormat::kSdf) {
                    // NetCDF-lite lowers to SDF bytes; parse the variable
@@ -76,7 +112,13 @@ Result<ArchetypeResult> RunClimateArchetype(
                        return DataLoss(
                            "climate: variable missing from NetCDF: " + var);
                      }
-                     bundle.tensors["raw/" + var] = v->data.AsContiguous();
+                     const NDArray stack = v->data.AsContiguous();
+                     const size_t n_times = stack.shape()[0];
+                     for (size_t t = 0; t < n_times; ++t) {
+                       bundle.tensors[TimeKey("raw", t, var)] =
+                           stack.Slice(0, t, t + 1).Reshape(
+                               {src_grid.n_lat(), src_grid.n_lon()});
+                     }
                    }
                  } else {
                    return DataLoss("climate: unrecognized source format");
@@ -90,102 +132,146 @@ Result<ArchetypeResult> RunClimateArchetype(
                  return Status::Ok();
                });
 
-  // preprocess: regrid every (variable, time) slice onto the target grid.
-  pipeline.Add("regrid", StageKind::kPreprocess,
-               [&](DataBundle& bundle, StageContext& context) -> Status {
-                 context.NoteParam("method", std::string(grid::RegridMethodName(
-                                                 config.regrid)));
-                 for (const std::string& var : variables) {
-                   DRAI_ASSIGN_OR_RETURN(NDArray stack,
-                                         bundle.Tensor("raw/" + var));
-                   const size_t n_times = stack.shape()[0];
-                   NDArray out = NDArray::Zeros(
-                       {n_times, dst_grid.n_lat(), dst_grid.n_lon()},
-                       DType::kF64);
-                   for (size_t t = 0; t < n_times; ++t) {
-                     const NDArray slice =
-                         stack.Slice(0, t, t + 1)
-                             .Reshape({src_grid.n_lat(), src_grid.n_lon()});
-                     DRAI_ASSIGN_OR_RETURN(
-                         NDArray regridded,
-                         grid::Regrid(slice, src_grid, dst_grid, config.regrid));
-                     NDArray slot = out.Slice(0, t, t + 1).Reshape(
-                         {dst_grid.n_lat(), dst_grid.n_lon()});
-                     slot.CopyFrom(regridded);
-                   }
-                   bundle.tensors["grid/" + var] = std::move(out);
-                   bundle.tensors.erase("raw/" + var);
-                 }
-                 return Status::Ok();
-               });
+  // preprocess: regrid every (time, variable) field onto the target grid —
+  // record-parallel over time steps. Each partition also observes the
+  // regridded values into a local normalizer partial; the AfterMerge hook
+  // reduces the partials in partition order and fits (the §3.5 "global
+  // statistics need a reduction, not a serial stage" pattern).
+  pipeline.Add(
+      "regrid", StageKind::kPreprocess, ExecutionHint::kRecordParallel,
+      /*before=*/nullptr,
+      [&, partials, partials_mutex](DataBundle& bundle,
+                                    StageContext& context) -> Status {
+        stats::Normalizer local(stats::NormKind::kZScore, variables.size());
+        std::vector<std::pair<std::string, NDArray>> regridded_out;
+        std::vector<std::string> consumed;
+        for (const auto& [key, field] : bundle.tensors) {
+          if (key.rfind("raw@", 0) != 0) continue;
+          const size_t slash = key.rfind('/');
+          const std::string var = key.substr(slash + 1);
+          const auto vit = var_index.find(var);
+          if (vit == var_index.end()) {
+            return Internal("climate: unexpected variable key " + key);
+          }
+          DRAI_ASSIGN_OR_RETURN(
+              NDArray regridded,
+              grid::Regrid(field, src_grid, dst_grid, config.regrid));
+          for (size_t i = 0; i < regridded.numel(); ++i) {
+            local.Observe(vit->second, regridded.GetAsDouble(i));
+          }
+          // "raw@t00003/t2m" -> "grid@t00003/t2m"
+          regridded_out.emplace_back("grid@" + key.substr(4),
+                                     std::move(regridded));
+          consumed.push_back(key);
+        }
+        for (const std::string& key : consumed) bundle.tensors.erase(key);
+        for (auto& [key, tensor] : regridded_out) {
+          bundle.tensors[key] = std::move(tensor);
+        }
+        context.NoteParam("method", std::string(grid::RegridMethodName(
+                                        config.regrid)));
+        std::lock_guard<std::mutex> lock(*partials_mutex);
+        partials->emplace(context.partition().index, std::move(local));
+        return Status::Ok();
+      },
+      /*after=*/
+      [normalizer, partials, partials_mutex](DataBundle&,
+                                             StageContext&) -> Status {
+        for (const auto& [index, partial] : *partials) {
+          normalizer->Merge(partial);
+        }
+        partials->clear();
+        normalizer->Fit();
+        return Status::Ok();
+      },
+      per_time);
 
   // transform: fill missing cells with the variable mean, then z-score.
-  pipeline.Add("normalize", StageKind::kTransform,
-               [&](DataBundle& bundle, StageContext& context) -> Status {
-                 for (size_t v = 0; v < variables.size(); ++v) {
-                   DRAI_ASSIGN_OR_RETURN(NDArray stack,
-                                         bundle.Tensor("grid/" + variables[v]));
-                   for (size_t i = 0; i < stack.numel(); ++i) {
-                     normalizer->Observe(v, stack.GetAsDouble(i));
-                   }
-                 }
-                 normalizer->Fit();
-                 context.NoteParam("kind", "zscore");
-                 for (size_t v = 0; v < variables.size(); ++v) {
-                   NDArray stack =
-                       bundle.tensors.at("grid/" + variables[v]);
-                   const double mean = normalizer->Center(v);
-                   for (size_t i = 0; i < stack.numel(); ++i) {
-                     double x = stack.GetAsDouble(i);
-                     if (std::isnan(x)) x = mean;  // mean-fill missing cells
-                     stack.SetFromDouble(i, normalizer->Apply(v, x));
-                   }
-                   bundle.tensors["norm/" + variables[v]] = stack;
-                   bundle.tensors.erase("grid/" + variables[v]);
-                 }
-                 return Status::Ok();
-               });
+  // Pure per-field map — partition-parallel, and fusable with `patch`.
+  pipeline.Add(
+      "normalize", StageKind::kTransform, ExecutionHint::kPartitionParallel,
+      [&, normalizer](DataBundle& bundle, StageContext& context) -> Status {
+        std::vector<std::pair<std::string, NDArray>> renamed;
+        std::vector<std::string> consumed;
+        for (const auto& [key, tensor] : bundle.tensors) {
+          if (key.rfind("grid@", 0) != 0) continue;
+          const size_t slash = key.rfind('/');
+          const std::string var = key.substr(slash + 1);
+          const auto vit = var_index.find(var);
+          if (vit == var_index.end()) {
+            return Internal("climate: unexpected variable key " + key);
+          }
+          const size_t v = vit->second;
+          NDArray field = tensor;
+          const double mean = normalizer->Center(v);
+          for (size_t i = 0; i < field.numel(); ++i) {
+            double x = field.GetAsDouble(i);
+            if (std::isnan(x)) x = mean;  // mean-fill missing cells
+            field.SetFromDouble(i, normalizer->Apply(v, x));
+          }
+          renamed.emplace_back("norm@" + key.substr(5), std::move(field));
+          consumed.push_back(key);
+        }
+        for (const std::string& key : consumed) bundle.tensors.erase(key);
+        for (auto& [key, tensor] : renamed) {
+          bundle.tensors[key] = std::move(tensor);
+        }
+        context.NoteParam("kind", "zscore");
+        return Status::Ok();
+      },
+      per_time);
 
-  // structure: cut [vars, patch, patch] patches per time step.
-  pipeline.Add("patch", StageKind::kStructure,
-               [&](DataBundle& bundle, StageContext& context) -> Status {
-                 context.NoteParam("patch", std::to_string(config.patch));
-                 const size_t n_times = config.workload.n_times;
-                 // Assemble [vars, lat, lon] per time, then patch.
-                 for (size_t t = 0; t < n_times; ++t) {
-                   NDArray frame = NDArray::Zeros(
-                       {variables.size(), dst_grid.n_lat(), dst_grid.n_lon()},
-                       DType::kF64);
-                   for (size_t v = 0; v < variables.size(); ++v) {
-                     DRAI_ASSIGN_OR_RETURN(
-                         NDArray stack, bundle.Tensor("norm/" + variables[v]));
-                     NDArray slot = frame.Slice(0, v, v + 1).Reshape(
-                         {dst_grid.n_lat(), dst_grid.n_lon()});
-                     slot.CopyFrom(stack.Slice(0, t, t + 1).Reshape(
-                         {dst_grid.n_lat(), dst_grid.n_lon()}));
-                   }
-                   DRAI_ASSIGN_OR_RETURN(
-                       NDArray patches,
-                       grid::ExtractPatches(frame, config.patch, config.patch));
-                   const size_t n_patches = patches.shape()[0];
-                   for (size_t p = 0; p < n_patches; ++p) {
-                     shard::Example ex;
-                     ex.key = "t" + std::to_string(t) + "-p" + std::to_string(p);
-                     NDArray sample =
-                         patches.Slice(0, p, p + 1)
-                             .Reshape({variables.size(), config.patch,
-                                       config.patch})
-                             .Cast(DType::kF32);
-                     ex.features["x"] = std::move(sample);
-                     // Patch-mean regression target (self-supervised).
-                     ex.features["y"] = NDArray::FromVector<float>(
-                         {1}, {static_cast<float>(Mean(
-                                  patches.Slice(0, p, p + 1)))});
-                     bundle.examples.push_back(std::move(ex));
-                   }
-                 }
-                 return Status::Ok();
-               });
+  // structure: cut [vars, patch, patch] patches per time step. Same
+  // partitioning as `normalize`, no hooks — the executor fuses the two
+  // stages into one split/merge round.
+  pipeline.Add(
+      "patch", StageKind::kStructure, ExecutionHint::kPartitionParallel,
+      [&](DataBundle& bundle, StageContext& context) -> Status {
+        context.NoteParam("patch", std::to_string(config.patch));
+        // Group this partition's normalized fields by time step.
+        std::map<size_t, std::map<std::string, const NDArray*>> by_time;
+        for (const auto& [key, tensor] : bundle.tensors) {
+          if (key.rfind("norm@", 0) != 0) continue;
+          const size_t slash = key.rfind('/');
+          by_time[TimeOfGroup(key.substr(0, slash))][key.substr(slash + 1)] =
+              &tensor;
+        }
+        for (const auto& [t, fields] : by_time) {
+          // Assemble [vars, lat, lon], then patch.
+          NDArray frame = NDArray::Zeros(
+              {variables.size(), dst_grid.n_lat(), dst_grid.n_lon()},
+              DType::kF64);
+          for (size_t v = 0; v < variables.size(); ++v) {
+            const auto fit = fields.find(variables[v]);
+            if (fit == fields.end()) {
+              return Internal("climate: missing normalized field for " +
+                              variables[v]);
+            }
+            NDArray slot = frame.Slice(0, v, v + 1).Reshape(
+                {dst_grid.n_lat(), dst_grid.n_lon()});
+            slot.CopyFrom(*fit->second);
+          }
+          DRAI_ASSIGN_OR_RETURN(
+              NDArray patches,
+              grid::ExtractPatches(frame, config.patch, config.patch));
+          const size_t n_patches = patches.shape()[0];
+          for (size_t p = 0; p < n_patches; ++p) {
+            shard::Example ex;
+            ex.key = "t" + std::to_string(t) + "-p" + std::to_string(p);
+            NDArray sample =
+                patches.Slice(0, p, p + 1)
+                    .Reshape({variables.size(), config.patch, config.patch})
+                    .Cast(DType::kF32);
+            ex.features["x"] = std::move(sample);
+            // Patch-mean regression target (self-supervised).
+            ex.features["y"] = NDArray::FromVector<float>(
+                {1}, {static_cast<float>(Mean(patches.Slice(0, p, p + 1)))});
+            bundle.examples.push_back(std::move(ex));
+          }
+        }
+        return Status::Ok();
+      },
+      per_time);
 
   // shard: write RecIO shards + manifest with the normalizer embedded.
   pipeline.Add("shard", StageKind::kShard,

@@ -33,6 +33,9 @@ struct ClimateArchetypeConfig {
   size_t patch = 8;            ///< spatial patch edge (cells)
   std::string dataset_dir = "/datasets/climate";
   uint64_t split_seed = 11;
+  /// Worker threads for the parallel stages (0 = shared global pool,
+  /// 1 = serial). Output bytes are identical for any value.
+  size_t threads = 0;
 };
 
 struct ArchetypeResult {

@@ -1,6 +1,9 @@
 #include "domains/fusion.hpp"
 
 #include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
 
 #include "augment/augment.hpp"
 #include "common/strings.hpp"
@@ -13,6 +16,9 @@
 namespace drai::domains {
 
 using core::DataBundle;
+using core::ExecutionHint;
+using core::ParallelSpec;
+using core::PartitionAxis;
 using core::StageContext;
 using core::StageKind;
 
@@ -38,8 +44,27 @@ Result<ArchetypeResult> RunFusionArchetype(
       config.workload.n_channels * timeseries::kFeaturesPerChannel);
   auto manifest = std::make_shared<shard::DatasetManifest>();
   auto labeled_fraction = std::make_shared<double>(0.0);
+  // Per-partition normalizer pieces, reduced in key order by the AfterMerge
+  // hook so the fit is identical for any worker count.
+  auto partials =
+      std::make_shared<std::map<size_t, stats::Normalizer>>();
+  auto partials_mutex = std::make_shared<std::mutex>();
+  // Shot id -> label snapshot taken after pseudo-labeling, for the
+  // partition-parallel example emission.
+  auto label_of = std::make_shared<std::map<std::string, int>>();
 
-  core::Pipeline pipeline("fusion-archetype");
+  core::PipelineOptions options;
+  options.threads = config.threads;
+  core::Pipeline pipeline("fusion-archetype", options);
+
+  // One shot = one unit of parallel work: align partitions the signal sets,
+  // the later stages partition the per-shot tensors they produce.
+  ParallelSpec per_shot;
+  per_shot.axis = PartitionAxis::kSignalSets;
+  per_shot.grain = 1;
+  ParallelSpec per_tensor;
+  per_tensor.axis = PartitionAxis::kTensorGroups;
+  per_tensor.grain = 1;
 
   // ingest: validate every channel of every shot (MDSplus-extract analog).
   pipeline.Add(
@@ -57,17 +82,21 @@ Result<ArchetypeResult> RunFusionArchetype(
         return Status::Ok();
       });
 
-  // preprocess: despike -> gap-fill -> align channels per shot.
+  // preprocess: despike -> gap-fill -> align channels, one shot per
+  // partition. Jitter augmentation draws from the partition's own RNG
+  // stream, so the synthetic windows are stable across worker counts.
   pipeline.Add(
-      "align", StageKind::kPreprocess,
+      "align", StageKind::kPreprocess, ExecutionHint::kRecordParallel,
       [&](DataBundle& bundle, StageContext& context) -> Status {
         context.NoteParam("dt", FormatDouble(config.align_dt, 6));
-        size_t despiked = 0, filled = 0;
         for (auto& [shot_id, channels] : bundle.signal_sets) {
+          size_t despiked = 0, filled = 0;
           for (auto& ch : channels) {
             despiked += timeseries::Despike(ch, config.despike_z);
             filled += timeseries::FillGaps(ch, config.max_gap);
           }
+          context.NoteCount("despiked", despiked);
+          context.NoteCount("gap_filled", filled);
           timeseries::AlignedFrame frame;
           if (config.lag_correct_max > 0) {
             DRAI_ASSIGN_OR_RETURN(
@@ -102,29 +131,51 @@ Result<ArchetypeResult> RunFusionArchetype(
           }
           bundle.tensors["windows/" + shot_id] = std::move(windows);
         }
-        context.NoteParam("despiked", std::to_string(despiked));
-        context.NoteParam("gap_filled", std::to_string(filled));
         if (config.lag_correct_max > 0) {
           context.NoteParam("lag_corrected", "true");
         }
         return Status::Ok();
-      });
+      },
+      per_shot);
 
-  // transform: window features, fit + apply normalizer, pseudo-label.
+  // transform: window features per shot in parallel, each partition
+  // observing into its own normalizer piece; the serial AfterMerge hook
+  // reduces the pieces, fits, applies, then pseudo-labels from shot means.
   pipeline.Add(
       "normalize-features", StageKind::kTransform,
-      [&](DataBundle& bundle, StageContext& context) -> Status {
-        // Pass 1: features per shot + normalizer fit.
-        for (const ShotMeta& meta : *metas) {
-          DRAI_ASSIGN_OR_RETURN(NDArray windows,
-                                bundle.Tensor("windows/" + meta.id));
+      ExecutionHint::kRecordParallel,
+      /*before=*/nullptr,
+      [&, partials, partials_mutex](DataBundle& bundle,
+                                    StageContext& context) -> Status {
+        stats::Normalizer local(stats::NormKind::kZScore,
+                                normalizer->n_features());
+        std::vector<std::pair<std::string, NDArray>> features_out;
+        std::vector<std::string> consumed;
+        for (const auto& [key, windows] : bundle.tensors) {
+          if (key.rfind("windows/", 0) != 0) continue;
           DRAI_ASSIGN_OR_RETURN(
               NDArray features,
               timeseries::WindowFeatures(windows, config.align_dt));
-          normalizer->ObserveMatrix(features);
-          bundle.tensors["features/" + meta.id] = std::move(features);
-          bundle.tensors.erase("windows/" + meta.id);
+          local.ObserveMatrix(features);
+          features_out.emplace_back("features/" + key.substr(8),
+                                    std::move(features));
+          consumed.push_back(key);
         }
+        for (const std::string& key : consumed) bundle.tensors.erase(key);
+        for (auto& [key, tensor] : features_out) {
+          bundle.tensors[key] = std::move(tensor);
+        }
+        std::lock_guard<std::mutex> lock(*partials_mutex);
+        partials->emplace(context.partition().index, std::move(local));
+        return Status::Ok();
+      },
+      /*after=*/
+      [&, normalizer, partials](DataBundle& bundle,
+                                StageContext& context) -> Status {
+        for (const auto& [index, partial] : *partials) {
+          normalizer->Merge(partial);
+        }
+        partials->clear();
         normalizer->Fit();
         for (const ShotMeta& meta : *metas) {
           NDArray& features = bundle.tensors.at("features/" + meta.id);
@@ -182,31 +233,49 @@ Result<ArchetypeResult> RunFusionArchetype(
                                 : static_cast<double>(labeled) /
                                       static_cast<double>(metas->size());
         return Status::Ok();
-      });
+      },
+      per_tensor);
 
   // structure: one example per window, keyed by shot (split leak-safe).
+  // Shot ids are zero-padded, so ascending-partition merge reproduces the
+  // serial emission order exactly.
   pipeline.Add(
       "windows-to-examples", StageKind::kStructure,
-      [&](DataBundle& bundle, StageContext&) -> Status {
+      ExecutionHint::kRecordParallel,
+      /*before=*/
+      [metas, label_of](DataBundle&, StageContext&) -> Status {
+        label_of->clear();
         for (const ShotMeta& meta : *metas) {
-          if (meta.label < 0) continue;  // still unlabeled: excluded
-          const NDArray& features = bundle.tensors.at("features/" + meta.id);
+          (*label_of)[meta.id] = meta.label;
+        }
+        return Status::Ok();
+      },
+      [label_of](DataBundle& bundle, StageContext&) -> Status {
+        for (const auto& [key, features] : bundle.tensors) {
+          if (key.rfind("features/", 0) != 0) continue;
+          const std::string shot_id = key.substr(9);
+          const auto it = label_of->find(shot_id);
+          if (it == label_of->end()) {
+            return Internal("fusion: unexpected feature key " + key);
+          }
+          if (it->second < 0) continue;  // still unlabeled: excluded
           const size_t rows = features.shape()[0];
           const size_t nf = features.shape()[1];
           for (size_t r = 0; r < rows; ++r) {
             shard::Example ex;
-            ex.key = meta.id + "#w" + std::to_string(r);
+            ex.key = shot_id + "#w" + std::to_string(r);
             NDArray row = NDArray::Zeros({nf}, DType::kF32);
             for (size_t j = 0; j < nf; ++j) {
               row.SetFromDouble(j, features.GetAsDouble(r * nf + j));
             }
             ex.features["x"] = std::move(row);
-            ex.SetLabel(meta.label);
+            ex.SetLabel(it->second);
             bundle.examples.push_back(std::move(ex));
           }
         }
         return Status::Ok();
-      });
+      },
+      /*after=*/nullptr, per_tensor);
 
   // shard: split by *shot* (key prefix before '#') so windows of one shot
   // never straddle train/val/test.

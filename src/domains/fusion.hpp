@@ -31,6 +31,9 @@ struct FusionArchetypeConfig {
   size_t jitter_windows_per_shot = 0;
   std::string dataset_dir = "/datasets/fusion";
   uint64_t split_seed = 22;
+  /// Worker threads for the parallel stages (0 = shared global pool,
+  /// 1 = serial). Output bytes are identical for any value.
+  size_t threads = 0;
 };
 
 Result<ArchetypeResult> RunFusionArchetype(par::StripedStore& store,

@@ -10,6 +10,9 @@
 namespace drai::domains {
 
 using core::DataBundle;
+using core::ExecutionHint;
+using core::ParallelSpec;
+using core::PartitionAxis;
 using core::StageContext;
 using core::StageKind;
 
@@ -23,7 +26,16 @@ Result<MaterialsArchetypeResult> RunMaterialsArchetype(
       stats::NormKind::kZScore, 1);
   auto manifest = std::make_shared<shard::DatasetManifest>();
 
-  core::Pipeline pipeline("materials-archetype");
+  core::PipelineOptions options;
+  options.threads = config.threads;
+  core::Pipeline pipeline("materials-archetype", options);
+
+  // The corpus lives in the shared `structures` vector, not the bundle, so
+  // the parallel stages partition the index range; each partition touches
+  // only its own disjoint slice.
+  ParallelSpec per_structure;
+  per_structure.axis = PartitionAxis::kRange;
+  per_structure.range_count = structures->size();
 
   // ingest: parse/validate simulation outputs.
   pipeline.Add(
@@ -40,16 +52,19 @@ Result<MaterialsArchetypeResult> RunMaterialsArchetype(
   // preprocess: wrap fractional coordinates into [0, 1).
   pipeline.Add(
       "wrap-coords", StageKind::kPreprocess,
-      [&](DataBundle&, StageContext&) -> Status {
-        for (auto& s : *structures) {
-          for (auto& f : s.frac_coords) {
+      ExecutionHint::kRecordParallel,
+      [structures](DataBundle&, StageContext& context) -> Status {
+        const auto& slot = context.partition();
+        for (size_t i = slot.lo; i < slot.hi; ++i) {
+          for (auto& f : (*structures)[i].frac_coords) {
             for (double& v : f) {
               v -= std::floor(v);
             }
           }
         }
         return Status::Ok();
-      });
+      },
+      per_structure);
 
   // transform: standardize energy labels (z-score over the corpus).
   pipeline.Add(
@@ -64,19 +79,35 @@ Result<MaterialsArchetypeResult> RunMaterialsArchetype(
         return Status::Ok();
       });
 
-  // structure: neighbor graphs + GNN encoding + class rebalancing.
+  // structure: neighbor graphs + GNN encoding in parallel (each partition
+  // fills its disjoint slice of `samples`), then class rebalancing and
+  // example emission in the serial After hook (both need the full corpus).
   pipeline.Add(
       "graph-encode", StageKind::kStructure,
-      [&](DataBundle& bundle, StageContext& context) -> Status {
+      ExecutionHint::kRecordParallel,
+      /*before=*/
+      [structures, samples](DataBundle&, StageContext&) -> Status {
         samples->clear();
-        std::vector<int> classes;
-        for (const auto& s : *structures) {
-          DRAI_ASSIGN_OR_RETURN(graph::GraphSample g,
-                                graph::EncodeGraph(s, config.encode));
+        samples->resize(structures->size());
+        return Status::Ok();
+      },
+      [&, structures, samples, label_norm](DataBundle&,
+                                           StageContext& context) -> Status {
+        const auto& slot = context.partition();
+        for (size_t i = slot.lo; i < slot.hi; ++i) {
+          DRAI_ASSIGN_OR_RETURN(
+              graph::GraphSample g,
+              graph::EncodeGraph((*structures)[i], config.encode));
           g.label = label_norm->Apply(0, g.label);
-          classes.push_back(g.class_label);
-          samples->push_back(std::move(g));
+          (*samples)[i] = std::move(g);
         }
+        return Status::Ok();
+      },
+      /*after=*/
+      [&, samples](DataBundle& bundle, StageContext& context) -> Status {
+        std::vector<int> classes;
+        classes.reserve(samples->size());
+        for (const auto& g : *samples) classes.push_back(g.class_label);
         std::vector<int64_t> class64(classes.begin(), classes.end());
         result.imbalance_before =
             stats::ImbalanceRatio(stats::CountClasses(class64));
@@ -106,7 +137,8 @@ Result<MaterialsArchetypeResult> RunMaterialsArchetype(
         context.NoteParam("imbalance_after",
                           FormatDouble(result.imbalance_after, 2));
         return Status::Ok();
-      });
+      },
+      per_structure);
 
   // shard: split by structure id (duplicates follow their original).
   pipeline.Add(

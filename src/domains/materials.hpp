@@ -21,6 +21,9 @@ struct MaterialsArchetypeConfig {
   graph::RebalanceStrategy strategy = graph::RebalanceStrategy::kOversample;
   std::string dataset_dir = "/datasets/materials";
   uint64_t split_seed = 44;
+  /// Worker threads for the parallel stages (0 = shared global pool,
+  /// 1 = serial). Output bytes are identical for any value.
+  size_t threads = 0;
 };
 
 struct MaterialsArchetypeResult : ArchetypeResult {

@@ -64,6 +64,8 @@ ThreadPool& GlobalPool() {
   return pool;
 }
 
+bool InPoolWorker() { return tls_in_pool_worker; }
+
 void ParallelForChunks(size_t begin, size_t end,
                        const std::function<void(size_t, size_t)>& fn,
                        size_t min_grain) {

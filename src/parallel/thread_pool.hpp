@@ -45,6 +45,11 @@ class ThreadPool {
 /// Process-wide pool shared by parallel_for (lazily constructed).
 ThreadPool& GlobalPool();
 
+/// True when the calling thread is a pool worker. Nested parallel
+/// constructs (ParallelFor, the pipeline executor) check this and degrade
+/// to serial instead of deadlocking on their own pool.
+bool InPoolWorker();
+
 /// OpenMP-`parallel for`-style static chunking: splits [begin, end) into
 /// contiguous ranges, one per worker, and blocks until all complete.
 /// `fn(i)` is invoked exactly once per index. Exceptions from workers are

@@ -112,6 +112,59 @@ TEST(Pipeline, NoFailFastRunsRemainingStages) {
   EXPECT_EQ(report.stages.size(), 2u);
 }
 
+TEST(Pipeline, NoFailFastKeepsFirstError) {
+  // With fail_fast off and several failing stages, report.error must hold
+  // the FIRST failure, not the last.
+  PipelineOptions options;
+  options.fail_fast = false;
+  Pipeline p("first-error", options);
+  p.Add("boom1", StageKind::kIngest, [](DataBundle&, StageContext&) {
+    return DataLoss("first failure");
+  });
+  p.Add("boom2", StageKind::kTransform, [](DataBundle&, StageContext&) {
+    return Internal("second failure");
+  });
+  DataBundle bundle;
+  const PipelineReport report = p.Run(bundle);
+  EXPECT_FALSE(report.ok);
+  EXPECT_EQ(report.error.code(), StatusCode::kDataLoss);
+  ASSERT_EQ(report.stages.size(), 2u);
+  EXPECT_EQ(report.stages[0].status.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(report.stages[1].status.code(), StatusCode::kInternal);
+}
+
+TEST(Pipeline, NoteParamsDoNotLeakAcrossStages) {
+  // The executor resets the StageContext between stages, so a NoteParam in
+  // stage 1 must not reappear in stage 2's provenance activity.
+  Pipeline p("params");
+  p.Add("first", StageKind::kIngest, [](DataBundle&, StageContext& ctx) {
+    ctx.NoteParam("only_first", "yes");
+    return Status::Ok();
+  });
+  p.Add("second", StageKind::kTransform, [](DataBundle&, StageContext& ctx) {
+    ctx.NoteParam("only_second", "yes");
+    return Status::Ok();
+  });
+  DataBundle bundle;
+  ASSERT_TRUE(p.Run(bundle).ok);
+  const auto& activities = p.provenance().activities();
+  ASSERT_EQ(activities.size(), 2u);
+  EXPECT_EQ(activities[0].params.count("only_first"), 1u);
+  EXPECT_EQ(activities[1].params.count("only_first"), 0u);
+  EXPECT_EQ(activities[1].params.count("only_second"), 1u);
+}
+
+TEST(PipelinePlan, AddThrowsOnOutOfOrderKinds) {
+  PipelinePlan plan("plan-order");
+  plan.Add("shard", StageKind::kShard,
+           [](DataBundle&, StageContext&) { return Status::Ok(); });
+  EXPECT_THROW(
+      plan.Add("ingest", StageKind::kIngest,
+               [](DataBundle&, StageContext&) { return Status::Ok(); }),
+      std::invalid_argument);
+  EXPECT_EQ(plan.NumStages(), 1u);
+}
+
 TEST(Pipeline, StageRngDeterministicAcrossRuns) {
   // Two pipelines with the same seed must hand stages identical randomness.
   auto collect = [](uint64_t seed) {

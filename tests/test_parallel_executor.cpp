@@ -1,0 +1,374 @@
+// Tests for the Plan/Partitioner/Executor split: bundle partitioning round
+// trips per axis, deterministic merges, and worker-count-independent
+// pipeline output (bundles, reports, provenance).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+
+#include "core/executor.hpp"
+#include "core/partitioner.hpp"
+#include "core/pipeline.hpp"
+#include "core/plan.hpp"
+
+namespace drai::core {
+namespace {
+
+// ---- partitioner ------------------------------------------------------------
+
+TEST(BundlePartitioner, ExamplesRoundTrip) {
+  DataBundle bundle;
+  for (size_t i = 0; i < 10; ++i) {
+    shard::Example ex;
+    ex.key = "k" + std::to_string(i);
+    bundle.examples.push_back(std::move(ex));
+  }
+  bundle.SetAttr("keep", container::AttrValue::Int(7));
+
+  ParallelSpec spec;
+  spec.axis = PartitionAxis::kExamples;
+  spec.grain = 3;
+  auto parts = BundlePartitioner::Split(bundle, spec);
+  ASSERT_TRUE(parts.ok());
+  EXPECT_EQ(parts->size(), 4u);  // ceil(10 / 3)
+  EXPECT_TRUE(bundle.examples.empty());  // moved out
+  // Every partition sees the bundle attrs.
+  EXPECT_EQ((*parts)[0].bundle.Attr("keep")->i, 7);
+
+  BundlePartitioner::Merge(bundle, *parts);
+  ASSERT_EQ(bundle.examples.size(), 10u);
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(bundle.examples[i].key, "k" + std::to_string(i));
+  }
+}
+
+TEST(BundlePartitioner, TableRowsRoundTripConcatenatesChunks) {
+  DataBundle bundle;
+  privacy::Table table;
+  table.columns = {"id", "value"};
+  for (size_t i = 0; i < 9; ++i) {
+    table.rows.push_back({std::to_string(i), "v"});
+  }
+  bundle.tables["t"] = table;
+
+  ParallelSpec spec;
+  spec.axis = PartitionAxis::kTableRows;
+  spec.grain = 4;
+  auto parts = BundlePartitioner::Split(bundle, spec);
+  ASSERT_TRUE(parts.ok());
+  EXPECT_EQ(parts->size(), 3u);  // 4 + 4 + 1 rows
+  EXPECT_EQ((*parts)[2].bundle.tables.at("t").NumRows(), 1u);
+
+  BundlePartitioner::Merge(bundle, *parts);
+  const privacy::Table& merged = bundle.tables.at("t");
+  ASSERT_EQ(merged.NumRows(), 9u);
+  for (size_t i = 0; i < 9; ++i) {
+    EXPECT_EQ(merged.rows[i][0], std::to_string(i));
+  }
+}
+
+TEST(BundlePartitioner, TensorGroupsByPrefixKeepOneGroupTogether) {
+  DataBundle bundle;
+  bundle.tensors["raw@t0/a"] = NDArray::Zeros({2});
+  bundle.tensors["raw@t0/b"] = NDArray::Zeros({2});
+  bundle.tensors["raw@t1/a"] = NDArray::Zeros({2});
+  bundle.tensors["raw@t1/b"] = NDArray::Zeros({2});
+
+  ParallelSpec spec;
+  spec.axis = PartitionAxis::kTensorGroups;
+  spec.group_by_prefix = true;
+  spec.grain = 1;
+  auto parts = BundlePartitioner::Split(bundle, spec);
+  ASSERT_TRUE(parts.ok());
+  ASSERT_EQ(parts->size(), 2u);
+  // Both variables of one time step land in the same partition.
+  EXPECT_EQ((*parts)[0].bundle.tensors.count("raw@t0/a"), 1u);
+  EXPECT_EQ((*parts)[0].bundle.tensors.count("raw@t0/b"), 1u);
+  EXPECT_EQ((*parts)[1].bundle.tensors.count("raw@t1/a"), 1u);
+
+  BundlePartitioner::Merge(bundle, *parts);
+  EXPECT_EQ(bundle.tensors.size(), 4u);
+}
+
+TEST(BundlePartitioner, SignalSetsRoundTrip) {
+  DataBundle bundle;
+  for (const char* name : {"shot-a", "shot-b", "shot-c"}) {
+    bundle.signal_sets[name] = {timeseries::Signal{"ch0", {0.0, 1.0},
+                                                   {0.5, 0.6}}};
+  }
+  ParallelSpec spec;
+  spec.axis = PartitionAxis::kSignalSets;
+  spec.grain = 1;
+  auto parts = BundlePartitioner::Split(bundle, spec);
+  ASSERT_TRUE(parts.ok());
+  EXPECT_EQ(parts->size(), 3u);
+  BundlePartitioner::Merge(bundle, *parts);
+  EXPECT_EQ(bundle.signal_sets.size(), 3u);
+  EXPECT_EQ(bundle.signal_sets.at("shot-b")[0].name, "ch0");
+}
+
+TEST(BundlePartitioner, RangeSlotsCoverTheDomainExactlyOnce) {
+  DataBundle bundle;
+  ParallelSpec spec;
+  spec.axis = PartitionAxis::kRange;
+  spec.range_count = 10;
+  spec.grain = 4;
+  auto parts = BundlePartitioner::Split(bundle, spec);
+  ASSERT_TRUE(parts.ok());
+  ASSERT_EQ(parts->size(), 3u);
+  size_t expected_lo = 0;
+  for (size_t p = 0; p < parts->size(); ++p) {
+    const PartitionSlot& slot = (*parts)[p].slot;
+    EXPECT_EQ(slot.index, p);
+    EXPECT_EQ(slot.count, 3u);
+    EXPECT_EQ(slot.lo, expected_lo);
+    expected_lo = slot.hi;
+  }
+  EXPECT_EQ(expected_lo, 10u);
+}
+
+TEST(BundlePartitioner, AutoAxisPrefersExamples) {
+  DataBundle bundle;
+  bundle.examples.resize(4);
+  bundle.tensors["x"] = NDArray::Zeros({2});
+  ParallelSpec spec;  // kAuto
+  EXPECT_EQ(BundlePartitioner::ResolveAxis(bundle, spec).value(),
+            PartitionAxis::kExamples);
+}
+
+TEST(BundlePartitioner, AttrUpdatesFromPartitionsSurviveMerge) {
+  DataBundle bundle;
+  bundle.examples.resize(4);
+  bundle.SetAttr("stale", container::AttrValue::Int(1));
+  ParallelSpec spec;
+  spec.axis = PartitionAxis::kExamples;
+  spec.grain = 2;
+  auto parts = BundlePartitioner::Split(bundle, spec);
+  ASSERT_TRUE(parts.ok());
+  ASSERT_EQ(parts->size(), 2u);
+  // Partition 0 writes a new attr; partition 1 still carries the stale
+  // snapshot of it missing — the merge must keep partition 0's update.
+  (*parts)[0].bundle.SetAttr("fresh", container::AttrValue::Int(42));
+  BundlePartitioner::Merge(bundle, *parts);
+  ASSERT_TRUE(bundle.Attr("fresh").has_value());
+  EXPECT_EQ(bundle.Attr("fresh")->i, 42);
+  EXPECT_EQ(bundle.Attr("stale")->i, 1);
+}
+
+// ---- executor ---------------------------------------------------------------
+
+/// A small partition-parallel pipeline whose output depends on stage RNG,
+/// params, and counts — everything that must be worker-count independent.
+struct RunArtifacts {
+  std::string provenance_hash;
+  std::vector<std::string> example_keys;
+  std::vector<int64_t> example_labels;
+  PipelineReport report;
+};
+
+RunArtifacts RunDeterminismPipeline(size_t threads) {
+  PipelineOptions options;
+  options.threads = threads;
+  options.seed = 1234;
+  Pipeline p("determinism", options);
+
+  p.Add("make", StageKind::kIngest,
+        [](DataBundle& bundle, StageContext&) -> Status {
+          for (size_t i = 0; i < 20; ++i) {
+            shard::Example ex;
+            ex.key = "e" + std::to_string(100 + i);
+            ex.SetLabel(0);
+            bundle.examples.push_back(std::move(ex));
+          }
+          return Status::Ok();
+        });
+
+  ParallelSpec spec;
+  spec.axis = PartitionAxis::kExamples;
+  spec.grain = 4;
+  p.Add("jitter", StageKind::kTransform, ExecutionHint::kPartitionParallel,
+        [](DataBundle& bundle, StageContext& ctx) -> Status {
+          for (auto& ex : bundle.examples) {
+            ex.SetLabel(static_cast<int64_t>(ctx.rng().NextU64() % 97));
+          }
+          ctx.NoteCount("touched", bundle.examples.size());
+          return Status::Ok();
+        },
+        spec);
+
+  RunArtifacts out;
+  DataBundle bundle;
+  out.report = p.Run(bundle);
+  for (const auto& ex : bundle.examples) {
+    out.example_keys.push_back(ex.key);
+    out.example_labels.push_back(ex.Label().value());
+  }
+  out.provenance_hash = p.provenance().RecordHash();
+  return out;
+}
+
+TEST(ParallelExecutor, OutputIdenticalAcrossWorkerCounts) {
+  const RunArtifacts serial = RunDeterminismPipeline(1);
+  ASSERT_TRUE(serial.report.ok);
+  for (size_t threads : {size_t{2}, size_t{8}}) {
+    const RunArtifacts parallel = RunDeterminismPipeline(threads);
+    ASSERT_TRUE(parallel.report.ok) << threads;
+    EXPECT_EQ(parallel.example_keys, serial.example_keys) << threads;
+    EXPECT_EQ(parallel.example_labels, serial.example_labels) << threads;
+    EXPECT_EQ(parallel.provenance_hash, serial.provenance_hash) << threads;
+  }
+}
+
+TEST(ParallelExecutor, PartitionMetricsAndCountAggregation) {
+  const RunArtifacts run = RunDeterminismPipeline(2);
+  ASSERT_TRUE(run.report.ok);
+  ASSERT_EQ(run.report.stages.size(), 2u);
+  const StageMetrics& jitter = run.report.stages[1];
+  EXPECT_EQ(jitter.hint, ExecutionHint::kPartitionParallel);
+  EXPECT_EQ(jitter.partitions, 5u);  // 20 examples / grain 4
+  EXPECT_EQ(jitter.partition_seconds.size(), 5u);
+  // Serial stages carry identity scheduling facts.
+  EXPECT_EQ(run.report.stages[0].hint, ExecutionHint::kSerial);
+  EXPECT_EQ(run.report.stages[0].partitions, 1u);
+}
+
+TEST(ParallelExecutor, CountsSumAcrossPartitionsIntoProvenance) {
+  PipelineOptions options;
+  options.threads = 2;
+  Pipeline p("counts", options);
+  p.Add("make", StageKind::kIngest,
+        [](DataBundle& bundle, StageContext&) -> Status {
+          bundle.examples.resize(10);
+          return Status::Ok();
+        });
+  ParallelSpec spec;
+  spec.axis = PartitionAxis::kExamples;
+  spec.grain = 3;
+  p.Add("count", StageKind::kTransform, ExecutionHint::kPartitionParallel,
+        [](DataBundle& bundle, StageContext& ctx) -> Status {
+          ctx.NoteCount("seen", bundle.examples.size());
+          return Status::Ok();
+        },
+        spec);
+  DataBundle bundle;
+  ASSERT_TRUE(p.Run(bundle).ok);
+  const auto& activities = p.provenance().activities();
+  ASSERT_EQ(activities.size(), 2u);
+  EXPECT_EQ(activities[1].params.at("seen"), "10");
+  EXPECT_EQ(activities[1].params.at("partitions"), "4");  // 3+3+3+1
+  EXPECT_EQ(activities[1].params.at("hint"), "partition_parallel");
+}
+
+TEST(ParallelExecutor, FirstErrorByPartitionIndexWins) {
+  PipelineOptions options;
+  options.threads = 4;
+  options.fail_fast = false;
+  Pipeline p("errors", options);
+  p.Add("make", StageKind::kIngest,
+        [](DataBundle& bundle, StageContext&) -> Status {
+          bundle.examples.resize(8);
+          return Status::Ok();
+        });
+  ParallelSpec spec;
+  spec.axis = PartitionAxis::kExamples;
+  spec.grain = 2;  // 4 partitions
+  p.Add("fail-some", StageKind::kTransform, ExecutionHint::kPartitionParallel,
+        [](DataBundle&, StageContext& ctx) -> Status {
+          const size_t index = ctx.partition().index;
+          if (index == 1) return DataLoss("partition 1");
+          if (index == 3) return Internal("partition 3");
+          return Status::Ok();
+        },
+        spec);
+  DataBundle bundle;
+  const PipelineReport report = p.Run(bundle);
+  EXPECT_FALSE(report.ok);
+  // Partition 1's error outranks partition 3's regardless of finish order.
+  EXPECT_EQ(report.error.code(), StatusCode::kDataLoss);
+  ASSERT_EQ(report.stages.size(), 2u);
+  EXPECT_EQ(report.stages[1].status.code(), StatusCode::kDataLoss);
+}
+
+TEST(ParallelExecutor, FailFastSkipsLaterStagesButMergesBundle) {
+  PipelineOptions options;
+  options.threads = 2;
+  Pipeline p("failfast", options);
+  std::atomic<bool> later_ran{false};
+  p.Add("make", StageKind::kIngest,
+        [](DataBundle& bundle, StageContext&) -> Status {
+          bundle.examples.resize(6);
+          return Status::Ok();
+        });
+  ParallelSpec spec;
+  spec.axis = PartitionAxis::kExamples;
+  spec.grain = 2;
+  p.Add("boom", StageKind::kTransform, ExecutionHint::kPartitionParallel,
+        [](DataBundle&, StageContext& ctx) -> Status {
+          return ctx.partition().index == 0 ? DataLoss("bad") : Status::Ok();
+        },
+        spec);
+  p.Add("after", StageKind::kShard,
+        [&](DataBundle&, StageContext&) -> Status {
+          later_ran = true;
+          return Status::Ok();
+        });
+  DataBundle bundle;
+  const PipelineReport report = p.Run(bundle);
+  EXPECT_FALSE(report.ok);
+  EXPECT_FALSE(later_ran.load());
+  // The failing stage still merged every partition's slice back.
+  EXPECT_EQ(bundle.examples.size(), 6u);
+}
+
+TEST(ParallelExecutor, HooksRunSeriallyAroundPartitions) {
+  PipelineOptions options;
+  options.threads = 4;
+  Pipeline p("hooks", options);
+  auto order = std::make_shared<std::vector<std::string>>();
+  auto order_mutex = std::make_shared<std::mutex>();
+  p.Add("make", StageKind::kIngest,
+        [](DataBundle& bundle, StageContext&) -> Status {
+          bundle.examples.resize(8);
+          return Status::Ok();
+        });
+  ParallelSpec spec;
+  spec.axis = PartitionAxis::kExamples;
+  spec.grain = 2;
+  p.Add("mapreduce", StageKind::kTransform, ExecutionHint::kPartitionParallel,
+        /*before=*/
+        [order, order_mutex](DataBundle&, StageContext&) -> Status {
+          order->push_back("before");
+          return Status::Ok();
+        },
+        [order, order_mutex](DataBundle&, StageContext&) -> Status {
+          std::lock_guard<std::mutex> lock(*order_mutex);
+          order->push_back("run");
+          return Status::Ok();
+        },
+        /*after=*/
+        [order, order_mutex](DataBundle&, StageContext&) -> Status {
+          order->push_back("after");
+          return Status::Ok();
+        },
+        spec);
+  DataBundle bundle;
+  ASSERT_TRUE(p.Run(bundle).ok);
+  ASSERT_EQ(order->size(), 6u);  // before + 4 runs + after
+  EXPECT_EQ(order->front(), "before");
+  EXPECT_EQ(order->back(), "after");
+}
+
+TEST(PipelinePlan, ValidateRejectsRangeWithoutDomainSize) {
+  PipelinePlan plan("bad-range");
+  ParallelSpec spec;
+  spec.axis = PartitionAxis::kRange;
+  spec.range_count = 0;
+  spec.range_attr.clear();
+  plan.Add("r", StageKind::kIngest, ExecutionHint::kPartitionParallel,
+           [](DataBundle&, StageContext&) { return Status::Ok(); }, spec);
+  EXPECT_FALSE(plan.Validate().ok());
+}
+
+}  // namespace
+}  // namespace drai::core
