@@ -1,0 +1,101 @@
+// P2 — backend equivalence: the climate archetype on threads vs SPMD ranks.
+//
+// Runs the same climate workload under both execution backends — the
+// thread pool and in-process SPMD ranks — at 1, 2, 4, and 8 workers, and
+// checks the contract the backend split is built around: every shard file
+// and the provenance record hash must match the thread/1 baseline exactly,
+// for every backend at every world size. Any divergence is a hard failure.
+#include <thread>
+
+#include "bench_util.hpp"
+#include "common/hash.hpp"
+#include "common/strings.hpp"
+#include "domains/climate.hpp"
+
+namespace drai {
+namespace {
+
+/// One fingerprint over every file of the dataset (paths + bytes, sorted).
+std::string DatasetHash(const par::StripedStore& store,
+                        const std::string& prefix) {
+  Sha256 hasher;
+  for (const std::string& path : store.List(prefix)) {
+    hasher.Update(path);
+    hasher.Update(store.ReadAll(path).value());
+  }
+  return DigestToHex(hasher.Finish());
+}
+
+int Main() {
+  bench::Banner(
+      "execution backends — climate archetype, same bytes on threads "
+      "and SPMD ranks");
+
+  domains::ClimateArchetypeConfig config;
+  config.workload.n_times = 32;
+  config.workload.n_lat = 48;
+  config.workload.n_lon = 96;
+  config.workload.variables = {"t2m", "z500", "u10"};
+  config.workload.missing_prob = 0.005;
+  config.target_lat = 32;
+  config.target_lon = 64;
+  config.patch = 8;
+
+  std::printf("workload: %zu steps x %zu vars, %zux%zu -> %zux%zu "
+              "(%u hardware threads)\n\n",
+              config.workload.n_times, config.workload.variables.size(),
+              config.workload.n_lat, config.workload.n_lon, config.target_lat,
+              config.target_lon, std::thread::hardware_concurrency());
+
+  bench::Table table({"backend", "workers", "wall", "dataset sha256",
+                      "provenance"});
+  std::string baseline_data, baseline_prov;
+  bool identical = true;
+
+  for (core::Backend backend : {core::Backend::kThread, core::Backend::kSpmd}) {
+    for (size_t workers : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+      par::StripedStore store;
+      config.backend = backend;
+      config.threads = workers;
+      const auto result = domains::RunClimateArchetype(store, config);
+      if (!result.ok()) {
+        std::fprintf(stderr, "archetype failed (%s, %zu workers): %s\n",
+                     std::string(core::BackendName(backend)).c_str(), workers,
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      const std::string data_hash = DatasetHash(store, config.dataset_dir);
+      const std::string& prov_hash = result->provenance_hash;
+      if (baseline_data.empty()) {
+        baseline_data = data_hash;
+        baseline_prov = prov_hash;
+        std::printf("thread/1 breakdown: %s\n\n",
+                    result->report.TimeBreakdown().c_str());
+      }
+      const bool match =
+          data_hash == baseline_data && prov_hash == baseline_prov;
+      identical = identical && match;
+      table.AddRow({std::string(core::BackendName(backend)),
+                    std::to_string(workers),
+                    HumanDuration(result->report.total_seconds),
+                    data_hash.substr(0, 16) + (match ? "" : " MISMATCH"),
+                    prov_hash.substr(0, 16)});
+    }
+  }
+  table.Print();
+
+  if (!identical) {
+    std::printf(
+        "FAIL: dataset or provenance diverged across backends/world sizes\n");
+    return 1;
+  }
+  std::printf(
+      "dataset + provenance byte-identical across {thread, spmd} x "
+      "{1, 2, 4, 8} workers\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace drai
+
+int main() { return drai::Main(); }

@@ -1,0 +1,110 @@
+// drai/core/backend.hpp
+//
+// ExecutionBackend — where a plan's partitions actually run. The scheduler
+// (core/executor.hpp) decides *what* to run per partition and how results
+// merge; a backend only decides *where* the per-partition work executes:
+//
+//   ThreadBackend  partitions fan out across a par::ThreadPool (the
+//                  workstation path; shares the process pool by default)
+//   SpmdBackend    partitions scatter across par::RunSpmd ranks (the MPI
+//                  programming model); each rank runs its block-cyclic
+//                  share, then per-partition outcomes gather back to rank 0
+//                  through Communicator collectives in ascending partition
+//                  order
+//
+// Both backends honor the determinism contract: the partition count, the
+// per-partition RNG streams, and the merge order are fixed by the plan and
+// the data, so shard bytes and provenance hashes are identical for any
+// backend at any worker count / world size.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string_view>
+
+#include "common/bytes.hpp"
+
+namespace drai::par {
+class ThreadPool;
+}  // namespace drai::par
+
+namespace drai::core {
+
+/// Which execution substrate runs parallel stages.
+enum class Backend : uint8_t {
+  kThread = 0,  ///< par::ThreadPool workers (default)
+  kSpmd = 1,    ///< par::RunSpmd ranks over the in-process Communicator
+};
+
+std::string_view BackendName(Backend b);
+
+/// One parallel map the scheduler hands to a backend: invoke `run(p)`
+/// exactly once for every partition p in [0, n_parts). `run` never throws
+/// and is safe to call concurrently for distinct p (partitions own
+/// disjoint state).
+///
+/// `pack`/`unpack` are the cross-rank transport for per-partition outcomes
+/// (status, metrics, provenance notes, reduction partials): a backend whose
+/// workers do not share the scheduler's memory — SPMD ranks — calls
+/// `pack(p)` on the rank that ran p and `unpack(p, payload)` on rank 0
+/// with the gathered payloads, ascending by partition index. Shared-memory
+/// backends may skip both. Either may be null (no transport needed).
+struct PartitionTask {
+  size_t n_parts = 0;
+  std::function<void(size_t)> run;
+  std::function<Bytes(size_t)> pack;
+  std::function<void(size_t, const Bytes&)> unpack;
+};
+
+/// Strategy interface: execute a PartitionTask. Implementations may throw
+/// (e.g. on a transport fault); the scheduler converts that into a failing
+/// stage status.
+class ExecutionBackend {
+ public:
+  virtual ~ExecutionBackend() = default;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  /// Concurrency available to partition dispatch (threads or ranks).
+  [[nodiscard]] virtual size_t concurrency() const = 0;
+  virtual void Map(const PartitionTask& task) = 0;
+};
+
+/// Today's thread-pool path, extracted from the pre-split executor.
+/// `threads`: 0 = share the process pool (par::GlobalPool), 1 = run
+/// partitions inline on the calling thread, N > 1 = a dedicated pool.
+class ThreadBackend final : public ExecutionBackend {
+ public:
+  explicit ThreadBackend(size_t threads);
+  ~ThreadBackend() override;
+
+  [[nodiscard]] std::string_view name() const override { return "thread"; }
+  [[nodiscard]] size_t concurrency() const override;
+  void Map(const PartitionTask& task) override;
+
+ private:
+  size_t threads_;
+  std::unique_ptr<par::ThreadPool> pool_;  ///< only when threads > 1
+};
+
+/// SPMD path: every Map launches a fixed-size rank world (par::RunSpmd).
+/// Rank 0 scatters the block-cyclic partition assignment, each rank runs
+/// its partitions rank-locally, and outcomes gather back to rank 0 in
+/// ascending partition order via Communicator collectives. `ranks`: 0 =
+/// one rank per hardware thread.
+class SpmdBackend final : public ExecutionBackend {
+ public:
+  explicit SpmdBackend(size_t ranks);
+
+  [[nodiscard]] std::string_view name() const override { return "spmd"; }
+  [[nodiscard]] size_t concurrency() const override { return ranks_; }
+  void Map(const PartitionTask& task) override;
+
+ private:
+  size_t ranks_;
+};
+
+/// Build the backend an ExecutorOptions selection names. (Declared here,
+/// defined in backend.cpp; the executor owns the returned object.)
+std::unique_ptr<ExecutionBackend> MakeBackend(Backend backend, size_t workers);
+
+}  // namespace drai::core

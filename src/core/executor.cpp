@@ -4,14 +4,21 @@
 #include <atomic>
 #include <cstdio>
 #include <exception>
-#include <future>
 
 #include "common/strings.hpp"
 #include "common/timer.hpp"
 #include "core/partitioner.hpp"
-#include "parallel/thread_pool.hpp"
 
 namespace drai::core {
+
+double StageMetrics::PartitionSkew() const {
+  if (partition_seconds.size() <= 1) return 1.0;
+  std::vector<double> sorted = partition_seconds;
+  std::sort(sorted.begin(), sorted.end());
+  const double median = sorted[sorted.size() / 2];
+  if (median <= 0) return 1.0;
+  return sorted.back() / median;
+}
 
 double PipelineReport::SecondsIn(StageKind kind) const {
   double total = 0;
@@ -33,6 +40,19 @@ std::string PipelineReport::TimeBreakdown() const {
                   std::string(StageKindName(k)).c_str(), pct);
     out += buf;
   }
+  // Partition skew per parallel stage: max/median partition seconds. The
+  // executor records partition_seconds for every parallel stage; a skew
+  // well above 1 names the straggler stage that caps parallel speedup.
+  std::string skew;
+  for (const StageMetrics& s : stages) {
+    if (s.partition_seconds.size() <= 1) continue;
+    if (!skew.empty()) skew += ", ";
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%s %.2fx", s.name.c_str(),
+                  s.PartitionSkew());
+    skew += buf;
+  }
+  if (!skew.empty()) out += " || skew(max/med): " + skew;
   return out;
 }
 
@@ -72,7 +92,9 @@ std::map<std::string, std::string> MergedParams(
   return out;
 }
 
-/// One partition's outcome for one stage of a fused group.
+/// One partition's outcome for one stage of a fused group. Everything the
+/// scheduler needs survives pack/unpack, so SPMD ranks can ship outcomes
+/// home through the communicator instead of relying on shared memory.
 struct PartResult {
   Status status;
   double seconds = 0;
@@ -80,16 +102,85 @@ struct PartResult {
   bool ran = false;
   std::map<std::string, std::string> params;
   std::map<std::string, uint64_t> counts;
+  std::map<std::string, Bytes> partials;
 };
+
+void PackResult(ByteWriter& w, const PartResult& r) {
+  w.PutU8(r.ran ? 1 : 0);
+  w.PutI32(static_cast<int32_t>(r.status.code()));
+  w.PutString(r.status.message());
+  w.PutF64(r.seconds);
+  w.PutU64(r.bytes_after);
+  w.PutVarU64(r.params.size());
+  for (const auto& [k, v] : r.params) {
+    w.PutString(k);
+    w.PutString(v);
+  }
+  w.PutVarU64(r.counts.size());
+  for (const auto& [k, v] : r.counts) {
+    w.PutString(k);
+    w.PutU64(v);
+  }
+  w.PutVarU64(r.partials.size());
+  for (const auto& [k, v] : r.partials) {
+    w.PutString(k);
+    w.PutBlob(v);
+  }
+}
+
+/// Throws std::runtime_error on a malformed payload (the backend surfaces
+/// that as a transport fault).
+PartResult UnpackResult(ByteReader& rd) {
+  const auto req = [](const Status& s) {
+    if (!s.ok()) throw std::runtime_error("partition outcome: " + s.message());
+  };
+  PartResult r;
+  uint8_t ran = 0;
+  req(rd.GetU8(ran));
+  r.ran = ran != 0;
+  int32_t code = 0;
+  std::string message;
+  req(rd.GetI32(code));
+  req(rd.GetString(message));
+  r.status = code == static_cast<int32_t>(StatusCode::kOk)
+                 ? Status::Ok()
+                 : Status(static_cast<StatusCode>(code), std::move(message));
+  req(rd.GetF64(r.seconds));
+  req(rd.GetU64(r.bytes_after));
+  uint64_t n = 0;
+  req(rd.GetVarU64(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string k, v;
+    req(rd.GetString(k));
+    req(rd.GetString(v));
+    r.params.emplace(std::move(k), std::move(v));
+  }
+  req(rd.GetVarU64(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string k;
+    uint64_t v = 0;
+    req(rd.GetString(k));
+    req(rd.GetU64(v));
+    r.counts.emplace(std::move(k), v);
+  }
+  req(rd.GetVarU64(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string k;
+    Bytes v;
+    req(rd.GetString(k));
+    req(rd.GetBlob(v));
+    r.partials.emplace(std::move(k), std::move(v));
+  }
+  return r;
+}
+
+bool IsParallel(ExecutionHint hint) { return hint != ExecutionHint::kSerial; }
 
 }  // namespace
 
 ParallelExecutor::ParallelExecutor(ExecutorOptions options)
-    : options_(options) {
-  if (options_.threads > 1) {
-    pool_ = std::make_unique<par::ThreadPool>(options_.threads);
-  }
-}
+    : options_(options),
+      backend_(MakeBackend(options.backend, options.threads)) {}
 
 ParallelExecutor::~ParallelExecutor() = default;
 ParallelExecutor::ParallelExecutor(ParallelExecutor&&) noexcept = default;
@@ -97,9 +188,7 @@ ParallelExecutor& ParallelExecutor::operator=(ParallelExecutor&&) noexcept =
     default;
 
 size_t ParallelExecutor::thread_count() const {
-  if (options_.threads == 1) return 1;
-  if (pool_) return pool_->thread_count();
-  return par::GlobalPool().thread_count();
+  return backend_->concurrency();
 }
 
 PipelineReport ParallelExecutor::Run(const PipelinePlan& plan,
@@ -116,15 +205,14 @@ PipelineReport ParallelExecutor::Run(const PipelinePlan& plan,
   const auto& stages = plan.stages();
   size_t i = 0;
   while (i < stages.size()) {
-    // Fuse maximal runs of kPartitionParallel stages with identical specs
-    // and no hooks at interior boundaries: split once, run the chain per
-    // partition, merge once. Fusion is skipped under fail_fast=false so
-    // "attempt the remaining stages" keeps exact per-stage semantics.
+    // Fuse maximal runs of parallel stages (either parallel hint) with
+    // identical specs and no hooks at interior boundaries: split once, run
+    // the chain per partition, merge once. Fusion is skipped under
+    // fail_fast=false so "attempt the remaining stages" keeps exact
+    // per-stage semantics.
     size_t j = i + 1;
-    if (options_.fail_fast &&
-        stages[i].hint == ExecutionHint::kPartitionParallel) {
-      while (j < stages.size() &&
-             stages[j].hint == ExecutionHint::kPartitionParallel &&
+    if (options_.fail_fast && IsParallel(stages[i].hint)) {
+      while (j < stages.size() && IsParallel(stages[j].hint) &&
              stages[j].parallel == stages[i].parallel &&
              !stages[j - 1].stage->HasAfterHook() &&
              !stages[j].stage->HasBeforeHook()) {
@@ -245,7 +333,9 @@ void ParallelExecutor::RunGroup(const PipelinePlan& plan, size_t first,
   std::atomic<bool> abort{false};
   const bool fail_fast = options_.fail_fast;
 
-  auto run_partition = [&](size_t p) {
+  PartitionTask task;
+  task.n_parts = n_parts;
+  task.run = [&](size_t p) {
     for (size_t s = 0; s < n_stages; ++s) {
       if (fail_fast && abort.load(std::memory_order_relaxed)) return;
       PartResult& r = results[s][p];
@@ -260,31 +350,41 @@ void ParallelExecutor::RunGroup(const PipelinePlan& plan, size_t first,
       r.ran = true;
       r.params = ctx.params();
       r.counts = ctx.counts();
+      r.partials = ctx.TakePartials();
       if (!r.status.ok()) {
         if (fail_fast) abort.store(true, std::memory_order_relaxed);
         return;  // this partition stops; its slice merges back untouched
       }
     }
   };
+  // Cross-rank transport: serialize one partition's outcomes across all
+  // fused stages; a distributed backend gathers these to the scheduler in
+  // ascending partition order instead of reading shared memory.
+  task.pack = [&](size_t p) {
+    ByteWriter w;
+    for (size_t s = 0; s < n_stages; ++s) PackResult(w, results[s][p]);
+    return w.Take();
+  };
+  task.unpack = [&](size_t p, const Bytes& payload) {
+    ByteReader rd(payload);
+    for (size_t s = 0; s < n_stages; ++s) results[s][p] = UnpackResult(rd);
+  };
 
-  const bool inline_run =
-      n_parts <= 1 || options_.threads == 1 || par::InPoolWorker();
-  if (inline_run) {
-    for (size_t p = 0; p < n_parts; ++p) run_partition(p);
-  } else {
-    par::ThreadPool& pool = pool_ ? *pool_ : par::GlobalPool();
-    std::vector<std::future<void>> futures;
-    futures.reserve(n_parts);
-    for (size_t p = 0; p < n_parts; ++p) {
-      futures.push_back(pool.Submit([&run_partition, p] { run_partition(p); }));
-    }
-    for (auto& f : futures) f.get();  // run_partition never throws
+  Status map_status;
+  try {
+    backend_->Map(task);
+  } catch (const std::exception& e) {
+    map_status = Internal("backend '" + std::string(backend_->name()) +
+                          "' failed: " + e.what());
+  } catch (...) {
+    map_status = Internal("backend '" + std::string(backend_->name()) +
+                          "' failed with a non-std exception");
   }
 
   WallTimer tail_timer;
   BundlePartitioner::Merge(bundle, parts);
 
-  bool group_ok = true;
+  bool group_ok = map_status.ok();
   for (size_t s = 0; s < n_stages && group_ok; ++s) {
     for (size_t p = 0; p < n_parts; ++p) {
       if (!results[s][p].ran || !results[s][p].status.ok()) {
@@ -293,12 +393,33 @@ void ParallelExecutor::RunGroup(const PipelinePlan& plan, size_t first,
       }
     }
   }
+
+  // The reduction inputs for the After hook: every partition's emitted
+  // partials and summed counts, in ascending (stage, partition) order —
+  // already transported cross-rank by the backend when needed.
+  std::map<std::string, std::vector<Bytes>> gathered_partials;
+  std::map<std::string, uint64_t> gathered_counts;
+  if (group_ok) {
+    for (size_t s = 0; s < n_stages; ++s) {
+      for (size_t p = 0; p < n_parts; ++p) {
+        const PartResult& r = results[s][p];
+        if (!r.ran) continue;
+        for (const auto& [k, v] : r.partials) {
+          gathered_partials[k].push_back(v);
+        }
+        for (const auto& [k, v] : r.counts) gathered_counts[k] += v;
+      }
+    }
+  }
+
   const PlannedStage& tail = stages[last - 1];
   Status after_status;
   if (group_ok && tail.stage->HasAfterHook()) {
     hook_ctx.Reset(
         DeriveRng(options_.seed, scope.run_index, last - 1, n_parts + 1));
+    hook_ctx.SetGathered(&gathered_partials, &gathered_counts);
     after_status = tail.stage->AfterMerge(bundle, hook_ctx);
+    hook_ctx.SetGathered(nullptr, nullptr);
     harvest(n_stages - 1);
   }
   const double tail_seconds = tail_timer.Seconds();
@@ -326,6 +447,7 @@ void ParallelExecutor::RunGroup(const PipelinePlan& plan, size_t first,
         for (const auto& [k, v] : r.counts) stage_counts[s][k] += v;
       }
     }
+    if (s == 0 && m.status.ok() && !map_status.ok()) m.status = map_status;
     m.seconds = critical_path;
     if (s == 0) m.seconds += before_split_seconds;
     if (s == n_stages - 1) {
@@ -342,6 +464,9 @@ void ParallelExecutor::RunGroup(const PipelinePlan& plan, size_t first,
     // before they started) — mirrors the serial truncation semantics.
     if (s > 0 && !any_ran) break;
 
+    // Scheduling facts that are backend-invariant go into provenance; the
+    // backend name deliberately does not, so thread and SPMD runs hash
+    // identically.
     stage_params[s]["hint"] = std::string(ExecutionHintName(m.hint));
     stage_params[s]["partitions"] = std::to_string(n_parts);
     RecordStage(scope, m, MergedParams(stage_params[s], stage_counts[s]));

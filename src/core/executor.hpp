@@ -1,20 +1,24 @@
 // drai/core/executor.hpp
 //
-// ParallelExecutor — schedules a PipelinePlan over a DataBundle.
+// ParallelExecutor — the backend-agnostic scheduler for a PipelinePlan.
 //
 // Serial stages run exactly as the old monolithic Pipeline did. Parallel
 // stages run as a map-reduce: the stage's serial BeforePartition hook, a
 // BundlePartitioner::Split, the stage's Run once per partition (dispatched
-// to a par::ThreadPool), a deterministic Merge, then the serial AfterMerge
-// hook. Consecutive kPartitionParallel stages with identical ParallelSpecs
-// and no hooks at the interior boundaries are *fused*: split once, run the
-// stage chain per partition, merge once.
+// through an ExecutionBackend — thread pool workers or SPMD ranks), a
+// deterministic Merge, then the serial AfterMerge hook. Consecutive
+// parallel stages with identical ParallelSpecs and no hooks at the
+// interior boundaries are *fused*: split once, run the stage chain per
+// partition, merge once.
 //
+// The scheduler decides what each partition runs and how outcomes merge;
+// the backend (core/backend.hpp) only decides where partitions execute.
 // Determinism: partition counts are data-dependent only, per-partition RNG
 // streams are derived arithmetically from (seed, run, stage, partition),
-// params/counts merge in ascending partition order, and the first-error
-// rule picks the lowest (hook, partition-index) position — so reports,
-// bundles, and provenance are identical for any worker count.
+// params/counts/partials merge in ascending partition order, and the
+// first-error rule picks the lowest (hook, partition-index) position — so
+// reports, bundles, and provenance are identical for any backend at any
+// worker count or world size.
 #pragma once
 
 #include <memory>
@@ -22,11 +26,8 @@
 #include <string>
 #include <vector>
 
+#include "core/backend.hpp"
 #include "core/plan.hpp"
-
-namespace drai::par {
-class ThreadPool;
-}  // namespace drai::par
 
 namespace drai::core {
 
@@ -43,6 +44,10 @@ struct StageMetrics {
   size_t partitions = 1;
   /// Per-partition Run seconds; empty for serial stages.
   std::vector<double> partition_seconds;
+
+  /// Partition skew: max / median of partition_seconds. 1.0 when balanced
+  /// or serial; the straggler diagnosis for the §4 scaling story.
+  [[nodiscard]] double PartitionSkew() const;
 };
 
 struct PipelineReport {
@@ -53,14 +58,19 @@ struct PipelineReport {
   Status error;
 
   [[nodiscard]] double SecondsIn(StageKind kind) const;
-  /// "ingest 12% | preprocess 55% | ..." — the §3.2 curation-time story.
+  /// "ingest 12% | preprocess 55% | ..." — the §3.2 curation-time story —
+  /// followed by per-stage partition skew (max/median partition seconds)
+  /// for every parallel stage that recorded partition timings.
   [[nodiscard]] std::string TimeBreakdown() const;
 };
 
 struct ExecutorOptions {
-  /// Worker threads for partition-parallel stages. 0 = share the process
-  /// pool (par::GlobalPool); 1 = run partitions inline on the calling
-  /// thread; N > 1 = a dedicated pool of N workers.
+  /// Execution substrate for parallel stages: thread pool or SPMD ranks.
+  Backend backend = Backend::kThread;
+  /// Parallel workers. kThread: 0 = share the process pool
+  /// (par::GlobalPool); 1 = run partitions inline on the calling thread;
+  /// N > 1 = a dedicated pool of N workers. kSpmd: the rank world size
+  /// (0 = one rank per hardware thread).
   size_t threads = 0;
   uint64_t seed = 0xD6A1;
   bool capture_provenance = true;
@@ -94,11 +104,12 @@ class ParallelExecutor {
                      const ExecutorRunScope& scope);
 
   [[nodiscard]] const ExecutorOptions& options() const { return options_; }
-  /// Concurrency actually available to partition dispatch.
+  /// Concurrency actually available to partition dispatch (threads or
+  /// ranks, depending on the backend).
   [[nodiscard]] size_t thread_count() const;
+  [[nodiscard]] const ExecutionBackend& backend() const { return *backend_; }
 
  private:
-  struct GroupOutcome;
   /// Run the fused stage group [first, last) of the plan. Appends one
   /// StageMetrics per stage to the report.
   void RunGroup(const PipelinePlan& plan, size_t first, size_t last,
@@ -108,7 +119,7 @@ class ParallelExecutor {
                    const std::map<std::string, std::string>& params);
 
   ExecutorOptions options_;
-  std::unique_ptr<par::ThreadPool> pool_;  ///< only when threads > 1
+  std::unique_ptr<ExecutionBackend> backend_;
 };
 
 }  // namespace drai::core

@@ -5,6 +5,7 @@ namespace drai::core {
 namespace {
 ExecutorOptions ToExecutorOptions(const PipelineOptions& options) {
   ExecutorOptions out;
+  out.backend = options.backend;
   out.threads = options.threads;
   out.seed = options.seed;
   out.capture_provenance = options.capture_provenance;

@@ -33,8 +33,12 @@ struct PipelineOptions {
   bool capture_provenance = true;
   /// Stop at the first failing stage (true) or attempt the rest (false).
   bool fail_fast = true;
-  /// Worker threads for parallel stages: 0 = shared global pool, 1 =
-  /// serial, N = dedicated pool of N.
+  /// Execution substrate for parallel stages (core/backend.hpp): a thread
+  /// pool or in-process SPMD ranks. Either backend produces byte-identical
+  /// shards, reports, and provenance at any worker count.
+  Backend backend = Backend::kThread;
+  /// Parallel workers. kThread: 0 = shared global pool, 1 = serial, N =
+  /// dedicated pool of N. kSpmd: rank world size (0 = hardware threads).
   size_t threads = 0;
 };
 

@@ -14,10 +14,16 @@
 //   kRecordParallel     the stage is a pure map over independent records;
 //                       the executor may split the bundle and run the stage
 //                       on each partition concurrently
-//   kPartitionParallel  like kRecordParallel, and additionally consecutive
-//                       stages with identical ParallelSpecs may be *fused*:
-//                       split once, run the stage chain per partition,
-//                       merge once
+//   kPartitionParallel  like kRecordParallel; the historical opt-in for
+//                       stage fusion, kept for plans that want to state
+//                       fusion-friendliness explicitly
+//
+// Consecutive parallel stages (either parallel hint) with identical
+// ParallelSpecs and no hooks at the interior boundaries are *fused* by the
+// executor: split once, run the stage chain per partition, merge once. A
+// fused chain skips the interior merge+resplit, so a stage that grows or
+// shrinks the partitioned collection hands its successor the original
+// partition boundaries rather than freshly rebalanced ones.
 //
 // The plan only *describes* the work; src/core/executor.hpp schedules it
 // and src/core/partitioner.hpp does the bundle splitting/merging.
@@ -29,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "common/bytes.hpp"
 #include "common/rng.hpp"
 #include "core/bundle.hpp"
 #include "core/provenance.hpp"
@@ -140,6 +147,46 @@ class StageContext {
   }
   void ClearCounts() { counts_.clear(); }
 
+  /// Serialized reduction partial from a parallel Run (e.g. a normalizer's
+  /// streaming observations). The executor transports partials back to the
+  /// scheduler — through Communicator collectives under the SPMD backend —
+  /// and hands them to the stage group's AfterMerge hook in ascending
+  /// partition order, so a global fit is bit-identical for any backend at
+  /// any worker count. One payload per key per partition (last write wins).
+  void EmitPartial(const std::string& key, Bytes payload) {
+    emitted_partials_[key] = std::move(payload);
+  }
+  [[nodiscard]] const std::map<std::string, Bytes>& emitted_partials() const {
+    return emitted_partials_;
+  }
+  std::map<std::string, Bytes> TakePartials() {
+    return std::move(emitted_partials_);
+  }
+
+  /// AfterMerge-hook view of the parallel map's outcome: `Partials(key)`
+  /// returns every partition's payload for `key` in ascending partition
+  /// order; `MergedCount(key)` the sum of the partitions' NoteCount
+  /// tallies. Empty/zero outside an AfterMerge hook.
+  [[nodiscard]] const std::vector<Bytes>& Partials(
+      const std::string& key) const {
+    static const std::vector<Bytes> kEmpty;
+    if (gathered_partials_ == nullptr) return kEmpty;
+    const auto it = gathered_partials_->find(key);
+    return it == gathered_partials_->end() ? kEmpty : it->second;
+  }
+  [[nodiscard]] uint64_t MergedCount(const std::string& key) const {
+    if (gathered_counts_ == nullptr) return 0;
+    const auto it = gathered_counts_->find(key);
+    return it == gathered_counts_->end() ? 0 : it->second;
+  }
+  /// Executor-only: install the gathered maps before an AfterMerge hook.
+  void SetGathered(
+      const std::map<std::string, std::vector<Bytes>>* partials,
+      const std::map<std::string, uint64_t>* counts) {
+    gathered_partials_ = partials;
+    gathered_counts_ = counts;
+  }
+
   [[nodiscard]] const PartitionSlot& partition() const { return partition_; }
   void SetPartition(PartitionSlot slot) { partition_ = slot; }
 
@@ -148,6 +195,8 @@ class StageContext {
     rng_ = rng;
     ClearParams();
     ClearCounts();
+    emitted_partials_.clear();
+    SetGathered(nullptr, nullptr);
     partition_ = PartitionSlot{};
   }
 
@@ -156,6 +205,9 @@ class StageContext {
   ProvenanceGraph* provenance_;
   std::map<std::string, std::string> params_;
   std::map<std::string, uint64_t> counts_;
+  std::map<std::string, Bytes> emitted_partials_;
+  const std::map<std::string, std::vector<Bytes>>* gathered_partials_ = nullptr;
+  const std::map<std::string, uint64_t>* gathered_counts_ = nullptr;
   PartitionSlot partition_;
 };
 

@@ -1,6 +1,5 @@
 #include "domains/bio.hpp"
 
-#include <atomic>
 #include <cmath>
 #include <map>
 #include <memory>
@@ -31,14 +30,14 @@ Result<BioArchetypeResult> RunBioArchetype(par::StripedStore& store,
   auto token_of = std::make_shared<std::map<std::string, std::string>>();
   auto labeled_fraction = std::make_shared<double>(0.0);
   // Serial-hook state for the parallel stages: which columns each partition
-  // must pseudonymize, the token -> subject lookup for row-driven fusion,
-  // and the label tally the After hook turns into labeled_fraction.
+  // must pseudonymize and the token -> subject lookup for row-driven
+  // fusion. Label tallies flow through StageContext counts instead, which
+  // the executor sums across partitions (and ranks) deterministically.
   auto direct_cols = std::make_shared<std::vector<std::string>>();
   auto subject_by_token = std::make_shared<std::map<std::string, size_t>>();
-  auto labeled_count = std::make_shared<std::atomic<size_t>>(0);
-  auto emitted_count = std::make_shared<std::atomic<size_t>>(0);
 
   core::PipelineOptions options;
+  options.backend = config.backend;
   options.threads = config.threads;
   core::Pipeline pipeline("bio-archetype", options);
 
@@ -178,20 +177,18 @@ Result<BioArchetypeResult> RunBioArchetype(par::StripedStore& store,
       "fuse", StageKind::kStructure,
       ExecutionHint::kRecordParallel,
       /*before=*/
-      [workload, token_of, subject_by_token, labeled_count, emitted_count](
-          DataBundle&, StageContext&) -> Status {
+      [workload, token_of, subject_by_token](DataBundle&,
+                                             StageContext&) -> Status {
         subject_by_token->clear();
         for (size_t i = 0; i < workload->subjects.size(); ++i) {
           const auto it = token_of->find(workload->subjects[i].subject_id);
           if (it == token_of->end()) continue;
           (*subject_by_token)[it->second] = i;
         }
-        labeled_count->store(0);
-        emitted_count->store(0);
         return Status::Ok();
       },
-      [&, subject_by_token, labeled_count, emitted_count](
-          DataBundle& bundle, StageContext&) -> Status {
+      [&, subject_by_token](DataBundle& bundle,
+                            StageContext& context) -> Status {
         const privacy::Table& table = bundle.tables.at("clinical");
         const int subj_col = table.ColumnIndex("subject_id");
         const int age_col = table.ColumnIndex("age");
@@ -249,18 +246,17 @@ Result<BioArchetypeResult> RunBioArchetype(par::StripedStore& store,
           bundle.examples.push_back(std::move(ex));
           ++emitted;
         }
-        labeled_count->fetch_add(labeled);
-        emitted_count->fetch_add(emitted);
+        context.NoteCount("labeled", labeled);
+        context.NoteCount("emitted", emitted);
         return Status::Ok();
       },
       /*after=*/
-      [labeled_count, emitted_count, labeled_fraction](DataBundle&,
-                                                       StageContext&) -> Status {
-        const size_t emitted = emitted_count->load();
-        *labeled_fraction = emitted == 0
-                                ? 0.0
-                                : static_cast<double>(labeled_count->load()) /
-                                      static_cast<double>(emitted);
+      [labeled_fraction](DataBundle&, StageContext& context) -> Status {
+        const uint64_t emitted = context.MergedCount("emitted");
+        *labeled_fraction =
+            emitted == 0 ? 0.0
+                         : static_cast<double>(context.MergedCount("labeled")) /
+                               static_cast<double>(emitted);
         return Status::Ok();
       },
       per_rows);

@@ -25,8 +25,11 @@ struct BioArchetypeConfig {
   std::string hmac_key = "drai-demo-key-0123456789abcdef";
   std::string dataset_dir = "/datasets/bio";
   uint64_t split_seed = 33;
-  /// Worker threads for the parallel stages (0 = shared global pool,
-  /// 1 = serial). Output bytes are identical for any value.
+  /// Execution substrate for the parallel stages (thread pool or SPMD
+  /// ranks). Output bytes are identical either way.
+  core::Backend backend = core::Backend::kThread;
+  /// Worker threads (kThread) or rank world size (kSpmd); 0 = default.
+  /// Output bytes are identical for any value.
   size_t threads = 0;
 };
 

@@ -2,7 +2,6 @@
 
 #include <cmath>
 #include <cstdio>
-#include <mutex>
 
 #include "container/grib_lite.hpp"
 #include "container/netcdf_lite.hpp"
@@ -56,12 +55,9 @@ Result<ArchetypeResult> RunClimateArchetype(
   auto normalizer = std::make_shared<stats::Normalizer>(
       stats::NormKind::kZScore, variables.size());
   auto manifest = std::make_shared<shard::DatasetManifest>();
-  // Per-partition normalizer partials, reduced in partition order by the
-  // regrid stage's AfterMerge hook so the fit is worker-count independent.
-  auto partials = std::make_shared<std::map<size_t, stats::Normalizer>>();
-  auto partials_mutex = std::make_shared<std::mutex>();
 
   core::PipelineOptions options;
+  options.backend = config.backend;
   options.threads = config.threads;
   core::Pipeline pipeline("climate-archetype", options);
 
@@ -133,15 +129,17 @@ Result<ArchetypeResult> RunClimateArchetype(
                });
 
   // preprocess: regrid every (time, variable) field onto the target grid —
-  // record-parallel over time steps. Each partition also observes the
-  // regridded values into a local normalizer partial; the AfterMerge hook
-  // reduces the partials in partition order and fits (the §3.5 "global
-  // statistics need a reduction, not a serial stage" pattern).
+  // record-parallel over time steps. Each partition observes the regridded
+  // values into a local normalizer partial and emits its serialized
+  // streaming state; the AfterMerge hook reduces the partials in ascending
+  // partition order and fits (the §3.5 "global statistics need a
+  // reduction, not a serial stage" pattern). The executor transports the
+  // partials cross-rank under the SPMD backend, so the fit is identical
+  // for any backend and worker count.
   pipeline.Add(
       "regrid", StageKind::kPreprocess, ExecutionHint::kRecordParallel,
       /*before=*/nullptr,
-      [&, partials, partials_mutex](DataBundle& bundle,
-                                    StageContext& context) -> Status {
+      [&](DataBundle& bundle, StageContext& context) -> Status {
         stats::Normalizer local(stats::NormKind::kZScore, variables.size());
         std::vector<std::pair<std::string, NDArray>> regridded_out;
         std::vector<std::string> consumed;
@@ -170,17 +168,20 @@ Result<ArchetypeResult> RunClimateArchetype(
         }
         context.NoteParam("method", std::string(grid::RegridMethodName(
                                         config.regrid)));
-        std::lock_guard<std::mutex> lock(*partials_mutex);
-        partials->emplace(context.partition().index, std::move(local));
+        ByteWriter pw;
+        DRAI_RETURN_IF_ERROR(local.SerializeObservations(pw));
+        context.EmitPartial("normalizer", pw.Take());
         return Status::Ok();
       },
       /*after=*/
-      [normalizer, partials, partials_mutex](DataBundle&,
-                                             StageContext&) -> Status {
-        for (const auto& [index, partial] : *partials) {
+      [normalizer](DataBundle&, StageContext& context) -> Status {
+        for (const Bytes& blob : context.Partials("normalizer")) {
+          ByteReader reader(blob);
+          DRAI_ASSIGN_OR_RETURN(
+              stats::Normalizer partial,
+              stats::Normalizer::DeserializeObservations(reader));
           normalizer->Merge(partial);
         }
-        partials->clear();
         normalizer->Fit();
         return Status::Ok();
       },

@@ -33,8 +33,11 @@ struct ClimateArchetypeConfig {
   size_t patch = 8;            ///< spatial patch edge (cells)
   std::string dataset_dir = "/datasets/climate";
   uint64_t split_seed = 11;
-  /// Worker threads for the parallel stages (0 = shared global pool,
-  /// 1 = serial). Output bytes are identical for any value.
+  /// Execution substrate for the parallel stages: thread pool or
+  /// in-process SPMD ranks. Output bytes are identical either way.
+  core::Backend backend = core::Backend::kThread;
+  /// Worker threads (kThread: 0 = shared global pool, 1 = serial) or rank
+  /// world size (kSpmd). Output bytes are identical for any value.
   size_t threads = 0;
 };
 

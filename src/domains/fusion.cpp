@@ -3,7 +3,6 @@
 #include <cmath>
 #include <map>
 #include <memory>
-#include <mutex>
 
 #include "augment/augment.hpp"
 #include "common/strings.hpp"
@@ -44,16 +43,12 @@ Result<ArchetypeResult> RunFusionArchetype(
       config.workload.n_channels * timeseries::kFeaturesPerChannel);
   auto manifest = std::make_shared<shard::DatasetManifest>();
   auto labeled_fraction = std::make_shared<double>(0.0);
-  // Per-partition normalizer pieces, reduced in key order by the AfterMerge
-  // hook so the fit is identical for any worker count.
-  auto partials =
-      std::make_shared<std::map<size_t, stats::Normalizer>>();
-  auto partials_mutex = std::make_shared<std::mutex>();
   // Shot id -> label snapshot taken after pseudo-labeling, for the
   // partition-parallel example emission.
   auto label_of = std::make_shared<std::map<std::string, int>>();
 
   core::PipelineOptions options;
+  options.backend = config.backend;
   options.threads = config.threads;
   core::Pipeline pipeline("fusion-archetype", options);
 
@@ -139,14 +134,16 @@ Result<ArchetypeResult> RunFusionArchetype(
       per_shot);
 
   // transform: window features per shot in parallel, each partition
-  // observing into its own normalizer piece; the serial AfterMerge hook
-  // reduces the pieces, fits, applies, then pseudo-labels from shot means.
+  // observing into its own normalizer piece and emitting its serialized
+  // streaming state; the serial AfterMerge hook reduces the pieces in
+  // ascending partition order, fits, applies, then pseudo-labels from shot
+  // means. The executor transports the partials cross-rank under the SPMD
+  // backend.
   pipeline.Add(
       "normalize-features", StageKind::kTransform,
       ExecutionHint::kRecordParallel,
       /*before=*/nullptr,
-      [&, partials, partials_mutex](DataBundle& bundle,
-                                    StageContext& context) -> Status {
+      [&](DataBundle& bundle, StageContext& context) -> Status {
         stats::Normalizer local(stats::NormKind::kZScore,
                                 normalizer->n_features());
         std::vector<std::pair<std::string, NDArray>> features_out;
@@ -165,17 +162,20 @@ Result<ArchetypeResult> RunFusionArchetype(
         for (auto& [key, tensor] : features_out) {
           bundle.tensors[key] = std::move(tensor);
         }
-        std::lock_guard<std::mutex> lock(*partials_mutex);
-        partials->emplace(context.partition().index, std::move(local));
+        ByteWriter pw;
+        DRAI_RETURN_IF_ERROR(local.SerializeObservations(pw));
+        context.EmitPartial("normalizer", pw.Take());
         return Status::Ok();
       },
       /*after=*/
-      [&, normalizer, partials](DataBundle& bundle,
-                                StageContext& context) -> Status {
-        for (const auto& [index, partial] : *partials) {
+      [&, normalizer](DataBundle& bundle, StageContext& context) -> Status {
+        for (const Bytes& blob : context.Partials("normalizer")) {
+          ByteReader reader(blob);
+          DRAI_ASSIGN_OR_RETURN(
+              stats::Normalizer partial,
+              stats::Normalizer::DeserializeObservations(reader));
           normalizer->Merge(partial);
         }
-        partials->clear();
         normalizer->Fit();
         for (const ShotMeta& meta : *metas) {
           NDArray& features = bundle.tensors.at("features/" + meta.id);

@@ -27,6 +27,7 @@ Result<MaterialsArchetypeResult> RunMaterialsArchetype(
   auto manifest = std::make_shared<shard::DatasetManifest>();
 
   core::PipelineOptions options;
+  options.backend = config.backend;
   options.threads = config.threads;
   core::Pipeline pipeline("materials-archetype", options);
 

@@ -21,8 +21,11 @@ struct MaterialsArchetypeConfig {
   graph::RebalanceStrategy strategy = graph::RebalanceStrategy::kOversample;
   std::string dataset_dir = "/datasets/materials";
   uint64_t split_seed = 44;
-  /// Worker threads for the parallel stages (0 = shared global pool,
-  /// 1 = serial). Output bytes are identical for any value.
+  /// Execution substrate for the parallel stages (thread pool or SPMD
+  /// ranks). Output bytes are identical either way.
+  core::Backend backend = core::Backend::kThread;
+  /// Worker threads (kThread) or rank world size (kSpmd); 0 = default.
+  /// Output bytes are identical for any value.
   size_t threads = 0;
 };
 

@@ -1,5 +1,6 @@
 #include "parallel/communicator.hpp"
 
+#include <algorithm>
 #include <exception>
 
 namespace drai::par {
@@ -52,6 +53,55 @@ double Communicator::AllReduceScalar(double v, ReduceOp op) {
 
 int64_t Communicator::AllReduceScalar(int64_t v, ReduceOp op) {
   return AllReduce(std::vector<int64_t>{v}, op)[0];
+}
+
+std::vector<uint64_t> ScatterAssignment(Communicator& comm, uint64_t n_parts,
+                                        int root) {
+  std::vector<std::vector<uint64_t>> assignment;
+  if (comm.rank() == root) {
+    assignment.resize(static_cast<size_t>(comm.size()));
+    for (uint64_t p = 0; p < n_parts; ++p) {
+      assignment[static_cast<size_t>(p % static_cast<uint64_t>(comm.size()))]
+          .push_back(p);
+    }
+  }
+  return comm.Scatter(assignment, root);
+}
+
+std::vector<std::pair<uint64_t, Bytes>> GatherByIndex(
+    Communicator& comm, const std::vector<std::pair<uint64_t, Bytes>>& local,
+    int root) {
+  // Flatten to one byte stream per rank: [index, length, payload]*.
+  ByteWriter w;
+  for (const auto& [index, payload] : local) {
+    w.PutU64(index);
+    w.PutBlob(payload);
+  }
+  const Bytes mine = w.Take();
+  const auto streams = comm.Gather(
+      std::vector<std::byte>(mine.begin(), mine.end()), root);
+  std::vector<std::pair<uint64_t, Bytes>> out;
+  if (comm.rank() != root) return out;
+  for (const auto& stream : streams) {
+    ByteReader r(stream);
+    while (!r.exhausted()) {
+      uint64_t index = 0;
+      Bytes payload;
+      if (!r.GetU64(index).ok() || !r.GetBlob(payload).ok()) {
+        throw std::invalid_argument("GatherByIndex: truncated rank stream");
+      }
+      out.emplace_back(index, std::move(payload));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (size_t i = 1; i < out.size(); ++i) {
+    if (out[i].first == out[i - 1].first) {
+      throw std::invalid_argument(
+          "GatherByIndex: partition index claimed by two ranks");
+    }
+  }
+  return out;
 }
 
 void RunSpmd(int n_ranks, const std::function<void(Communicator&)>& body) {

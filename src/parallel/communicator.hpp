@@ -146,6 +146,29 @@ class Communicator {
 /// rethrown (first by rank order) after all ranks have been joined.
 void RunSpmd(int n_ranks, const std::function<void(Communicator&)>& body);
 
+// ---- partition scatter/gather helpers ----------------------------------
+//
+// The distributed-executor building blocks: root deals a block-cyclic
+// partition assignment out to the world, each rank works its share, and
+// per-partition payloads come back to root ordered by partition index —
+// the same gather-in-canonical-order rule the BundlePartitioner uses, so
+// results are independent of the world size.
+
+/// Root computes the block-cyclic owner map for `n_parts` partitions
+/// (partition p belongs to rank p % size) and scatters it; every rank
+/// returns its own partition indices in ascending order. Collective: all
+/// ranks must call with the same `n_parts` and `root`.
+std::vector<uint64_t> ScatterAssignment(Communicator& comm, uint64_t n_parts,
+                                        int root);
+
+/// Gather (partition index, payload) pairs from every rank onto `root`,
+/// returned sorted ascending by partition index. Non-root ranks return an
+/// empty vector. Throws std::invalid_argument if two ranks claim the same
+/// partition index. Collective.
+std::vector<std::pair<uint64_t, Bytes>> GatherByIndex(
+    Communicator& comm, const std::vector<std::pair<uint64_t, Bytes>>& local,
+    int root);
+
 // ---- template definitions ----------------------------------------------
 
 namespace internal {
@@ -184,17 +207,32 @@ template <typename T>
 std::vector<T> Communicator::Reduce(const std::vector<T>& local, ReduceOp op,
                                     int root) {
   std::vector<T> result;
+  bool bad = false;
   if (rank_ == root) {
     result = local;
     for (int r = 0; r < size(); ++r) {
       if (r == root) continue;
+      // Keep draining every rank's contribution even after a mismatch, so
+      // no mailbox is left holding a stale collective message.
       const auto v = RecvVec<T>(r, internal::kCollectiveTag);
+      if (bad || v.size() != result.size()) {
+        bad = true;
+        continue;
+      }
       ApplyOp(result, v, op);
     }
   } else {
     SendVec(root, internal::kCollectiveTag, local);
   }
   Barrier();
+  // Root tells every rank whether the reduction was well-formed, so a
+  // mismatch throws on all ranks together instead of stranding the
+  // survivors at the next collective.
+  std::vector<uint8_t> status{static_cast<uint8_t>(bad ? 1 : 0)};
+  Broadcast(status, root);
+  if (status[0] != 0) {
+    throw std::invalid_argument("Reduce: mismatched vector lengths");
+  }
   return result;
 }
 
@@ -249,19 +287,27 @@ template <typename T>
 std::vector<T> Communicator::Scatter(const std::vector<std::vector<T>>& parts,
                                      int root) {
   std::vector<T> mine;
+  bool bad = false;
   if (rank_ == root) {
-    if (parts.size() != static_cast<size_t>(size())) {
-      throw std::invalid_argument("Scatter: parts.size() != world size");
-    }
-    mine = parts[static_cast<size_t>(root)];
+    bad = parts.size() != static_cast<size_t>(size());
+    if (!bad) mine = parts[static_cast<size_t>(root)];
+    // On a malformed call still send placeholders, so non-root ranks are
+    // not stranded in Recv; the status broadcast below makes every rank
+    // throw together.
     for (int r = 0; r < size(); ++r) {
       if (r == root) continue;
-      SendVec(r, internal::kCollectiveTag, parts[static_cast<size_t>(r)]);
+      SendVec(r, internal::kCollectiveTag,
+              bad ? std::vector<T>{} : parts[static_cast<size_t>(r)]);
     }
   } else {
     mine = RecvVec<T>(root, internal::kCollectiveTag);
   }
   Barrier();
+  std::vector<uint8_t> status{static_cast<uint8_t>(bad ? 1 : 0)};
+  Broadcast(status, root);
+  if (status[0] != 0) {
+    throw std::invalid_argument("Scatter: parts.size() != world size");
+  }
   return mine;
 }
 

@@ -233,6 +233,109 @@ TEST(Spmd, InvalidRankCountThrows) {
   EXPECT_THROW(RunSpmd(0, [](Communicator&) {}), std::invalid_argument);
 }
 
+// ---- collective error paths -------------------------------------------------
+
+TEST(Spmd, ZeroBytePayloadsDeliverAsEmptyMessages) {
+  RunSpmd(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.Send(1, /*tag=*/7, std::span<const std::byte>{});
+      EXPECT_TRUE(comm.Recv(1, 7).empty());
+    } else {
+      EXPECT_TRUE(comm.Recv(0, 7).empty());
+      comm.Send(0, 7, std::span<const std::byte>{});
+    }
+  });
+}
+
+TEST(Spmd, CollectivesOnEmptyVectorsAreWellDefined) {
+  RunSpmd(3, [](Communicator& comm) {
+    // Reduce over zero-length vectors: every rank contributes nothing,
+    // the result is an empty vector, and no rank deadlocks.
+    const std::vector<double> reduced =
+        comm.AllReduce(std::vector<double>{}, ReduceOp::kSum);
+    EXPECT_TRUE(reduced.empty());
+    const auto gathered = comm.Gather(std::vector<int64_t>{}, /*root=*/0);
+    if (comm.rank() == 0) {
+      ASSERT_EQ(gathered.size(), 3u);
+      for (const auto& g : gathered) EXPECT_TRUE(g.empty());
+    }
+    std::vector<int64_t> empty;
+    comm.Broadcast(empty, /*root=*/0);
+    EXPECT_TRUE(empty.empty());
+  });
+}
+
+TEST(Spmd, ReduceMismatchedLengthsThrowOnEveryRank) {
+  // The mismatch is only observable at the root, but the error must reach
+  // every rank — otherwise the survivors deadlock at the next collective.
+  std::atomic<int> throwers{0};
+  RunSpmd(3, [&](Communicator& comm) {
+    std::vector<double> local(comm.rank() == 1 ? 3 : 2, 1.0);
+    try {
+      comm.Reduce(local, ReduceOp::kSum, /*root=*/0);
+    } catch (const std::invalid_argument&) {
+      ++throwers;
+      return;
+    }
+    ADD_FAILURE() << "rank " << comm.rank() << " did not throw";
+  });
+  EXPECT_EQ(throwers.load(), 3);
+}
+
+TEST(Spmd, ScatterWrongPartCountThrowsOnEveryRank) {
+  std::atomic<int> throwers{0};
+  RunSpmd(2, [&](Communicator& comm) {
+    std::vector<std::vector<int64_t>> parts;
+    if (comm.rank() == 0) parts = {{1}, {2}, {3}};  // 3 parts, 2 ranks
+    try {
+      comm.Scatter(parts, /*root=*/0);
+    } catch (const std::invalid_argument&) {
+      ++throwers;
+      return;
+    }
+    ADD_FAILURE() << "rank " << comm.rank() << " did not throw";
+  });
+  EXPECT_EQ(throwers.load(), 2);
+}
+
+TEST(Spmd, DistinctTagsAreIndependentFifos) {
+  // Messages on different tags between the same pair of ranks never
+  // collide: receiving tag 2 first must not consume or reorder tag 1.
+  RunSpmd(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.SendVec(1, /*tag=*/1, std::vector<int64_t>{11});
+      comm.SendVec(1, /*tag=*/2, std::vector<int64_t>{22});
+      comm.SendVec(1, /*tag=*/1, std::vector<int64_t>{12});
+    } else {
+      EXPECT_EQ(comm.RecvVec<int64_t>(0, 2), (std::vector<int64_t>{22}));
+      EXPECT_EQ(comm.RecvVec<int64_t>(0, 1), (std::vector<int64_t>{11}));
+      EXPECT_EQ(comm.RecvVec<int64_t>(0, 1), (std::vector<int64_t>{12}));
+    }
+  });
+}
+
+TEST(Spmd, UserTagsSurviveInterleavedCollectives) {
+  // Point-to-point traffic on user tags must not collide with the
+  // reserved collective tag: a pending user message survives a Barrier
+  // and an AllReduce untouched.
+  RunSpmd(2, [](Communicator& comm) {
+    if (comm.rank() == 0) comm.SendVec(1, /*tag=*/5, std::vector<int64_t>{99});
+    comm.Barrier();
+    const int64_t sum = comm.AllReduceScalar(int64_t{1}, ReduceOp::kSum);
+    EXPECT_EQ(sum, 2);
+    if (comm.rank() == 1) {
+      EXPECT_EQ(comm.RecvVec<int64_t>(0, 5), (std::vector<int64_t>{99}));
+    }
+  });
+}
+
+TEST(Spmd, SendToSelfRoundTrips) {
+  RunSpmd(1, [](Communicator& comm) {
+    comm.SendVec(0, /*tag=*/3, std::vector<int64_t>{1, 2, 3});
+    EXPECT_EQ(comm.RecvVec<int64_t>(0, 3), (std::vector<int64_t>{1, 2, 3}));
+  });
+}
+
 // ---- striped store --------------------------------------------------------
 
 TEST(StripedStore, WriteReadRoundTrip) {

@@ -359,6 +359,118 @@ TEST(ParallelExecutor, HooksRunSeriallyAroundPartitions) {
   EXPECT_EQ(order->back(), "after");
 }
 
+// ---- stage fusion -----------------------------------------------------------
+
+/// Build a two-stage record-parallel pipeline where stage "mark" writes a
+/// per-partition attr and stage "count" tallies how many marks it can see.
+/// Fused, each partition of "count" sees only its own partition's mark
+/// (total = n_parts); unfused, the interior merge + resplit broadcasts all
+/// marks to every partition (total = n_parts^2). The visible total is
+/// therefore a direct observation of whether the boundary fused.
+uint64_t VisibleMarks(bool after_hook_on_first) {
+  PipelineOptions options;
+  options.threads = 2;
+  Pipeline p("fusion-probe", options);
+  p.Add("make", StageKind::kIngest,
+        [](DataBundle& bundle, StageContext&) -> Status {
+          bundle.examples.resize(6);
+          return Status::Ok();
+        });
+  ParallelSpec spec;
+  spec.axis = PartitionAxis::kExamples;
+  spec.grain = 2;  // 3 partitions
+  p.Add("mark", StageKind::kPreprocess, ExecutionHint::kRecordParallel,
+        /*before=*/nullptr,
+        [](DataBundle& bundle, StageContext& ctx) -> Status {
+          bundle.SetAttr("mark/" + std::to_string(ctx.partition().index),
+                         container::AttrValue::Int(1));
+          return Status::Ok();
+        },
+        /*after=*/
+        after_hook_on_first
+            ? LambdaStage::Fn([](DataBundle&, StageContext&) -> Status {
+                return Status::Ok();
+              })
+            : LambdaStage::Fn(nullptr),
+        spec);
+  p.Add("count", StageKind::kTransform, ExecutionHint::kRecordParallel,
+        [](DataBundle& bundle, StageContext& ctx) -> Status {
+          uint64_t visible = 0;
+          for (size_t i = 0; i < 8; ++i) {
+            if (bundle.Attr("mark/" + std::to_string(i)).has_value()) {
+              ++visible;
+            }
+          }
+          ctx.NoteCount("visible", visible);
+          return Status::Ok();
+        },
+        spec);
+  DataBundle bundle;
+  EXPECT_TRUE(p.Run(bundle).ok);
+  const auto& activities = p.provenance().activities();
+  for (const auto& act : activities) {
+    if (act.name == "count") return std::stoull(act.params.at("visible"));
+  }
+  return 0;
+}
+
+TEST(ParallelExecutor, RecordParallelStagesFuseWithoutInteriorHooks) {
+  // Fused: each "count" partition inherits exactly its own partition's
+  // bundle from "mark" — one visible attr each, 3 total.
+  EXPECT_EQ(VisibleMarks(/*after_hook_on_first=*/false), 3u);
+}
+
+TEST(ParallelExecutor, InteriorHookBlocksRecordParallelFusion) {
+  // An AfterMerge hook on "mark" forces merge + resplit at the boundary,
+  // so every "count" partition sees all 3 marks: 9 total.
+  EXPECT_EQ(VisibleMarks(/*after_hook_on_first=*/true), 9u);
+}
+
+// ---- partition skew ---------------------------------------------------------
+
+TEST(StageMetrics, PartitionSkewIsMaxOverMedian) {
+  StageMetrics m;
+  EXPECT_DOUBLE_EQ(m.PartitionSkew(), 1.0);  // serial: no partition timings
+  m.partition_seconds = {1.0, 2.0, 10.0};
+  EXPECT_DOUBLE_EQ(m.PartitionSkew(), 5.0);  // 10 / median(=2)
+  m.partition_seconds = {0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(m.PartitionSkew(), 1.0);  // degenerate median
+  m.partition_seconds = {3.0};
+  EXPECT_DOUBLE_EQ(m.PartitionSkew(), 1.0);  // one partition: balanced
+}
+
+TEST(PipelineReport, TimeBreakdownReportsSkewForParallelStages) {
+  PipelineReport report;
+  StageMetrics serial;
+  serial.name = "load";
+  serial.kind = StageKind::kIngest;
+  serial.seconds = 1.0;
+  report.stages.push_back(serial);
+  StageMetrics par;
+  par.name = "map";
+  par.kind = StageKind::kTransform;
+  par.seconds = 2.0;
+  par.partition_seconds = {0.5, 1.0, 2.0};
+  report.stages.push_back(par);
+  report.total_seconds = 3.0;
+  const std::string breakdown = report.TimeBreakdown();
+  EXPECT_NE(breakdown.find("skew(max/med):"), std::string::npos);
+  EXPECT_NE(breakdown.find("map 2.00x"), std::string::npos);
+  // Serial stages never get a skew entry.
+  EXPECT_EQ(breakdown.find("load"), std::string::npos);
+}
+
+TEST(PipelineReport, TimeBreakdownOmitsSkewWhenAllSerial) {
+  PipelineReport report;
+  StageMetrics serial;
+  serial.name = "only";
+  serial.kind = StageKind::kIngest;
+  serial.seconds = 1.0;
+  report.stages.push_back(serial);
+  report.total_seconds = 1.0;
+  EXPECT_EQ(report.TimeBreakdown().find("skew"), std::string::npos);
+}
+
 TEST(PipelinePlan, ValidateRejectsRangeWithoutDomainSize) {
   PipelinePlan plan("bad-range");
   ParallelSpec spec;
