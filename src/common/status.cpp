@@ -15,6 +15,7 @@ std::string_view StatusCodeName(StatusCode code) {
     case StatusCode::kInternal: return "INTERNAL";
     case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
     case StatusCode::kPermissionDenied: return "PERMISSION_DENIED";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }
@@ -62,6 +63,9 @@ Status ResourceExhausted(std::string msg) {
 }
 Status PermissionDenied(std::string msg) {
   return Status(StatusCode::kPermissionDenied, std::move(msg));
+}
+Status Unavailable(std::string msg) {
+  return Status(StatusCode::kUnavailable, std::move(msg));
 }
 
 }  // namespace drai

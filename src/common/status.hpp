@@ -31,6 +31,7 @@ enum class StatusCode {
   kInternal,          ///< invariant violation inside drai itself
   kResourceExhausted, ///< quota/limit hit (e.g. simulated storage full)
   kPermissionDenied,  ///< governance/privacy policy refused the operation
+  kUnavailable,       ///< transient fault (I/O timeout, node loss) — retry may succeed
 };
 
 /// Human-readable name of a status code ("OK", "DATA_LOSS", ...).
@@ -49,6 +50,16 @@ class Status {
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
   [[nodiscard]] StatusCode code() const { return code_; }
   [[nodiscard]] const std::string& message() const { return message_; }
+
+  /// Transient-failure classification: true for codes where re-running the
+  /// same operation can plausibly succeed (kUnavailable: I/O timeouts and
+  /// node faults; kResourceExhausted: quota pressure that may clear).
+  /// Deterministic-input failures (kDataLoss, kInvalidArgument, kInternal,
+  /// ...) are permanent: a retry would fail identically.
+  [[nodiscard]] bool IsRetryable() const {
+    return code_ == StatusCode::kUnavailable ||
+           code_ == StatusCode::kResourceExhausted;
+  }
 
   /// "OK" or "DATA_LOSS: shard 3 crc mismatch".
   [[nodiscard]] std::string ToString() const;
@@ -77,6 +88,7 @@ Status Unimplemented(std::string msg);
 Status Internal(std::string msg);
 Status ResourceExhausted(std::string msg);
 Status PermissionDenied(std::string msg);
+Status Unavailable(std::string msg);
 
 /// Result<T>: either a value or a non-OK Status. A minimal StatusOr.
 template <typename T>

@@ -73,6 +73,19 @@ void SpmdBackend::Map(const PartitionTask& task) {
         outcomes.emplace_back(p, task.pack(static_cast<size_t>(p)));
       }
     }
+    // Quarantine agreement: every rank learns the full dropped set before
+    // anyone proceeds — the multi-process invariant that collective
+    // operations (degraded merge, collective I/O) need all ranks to share
+    // the same view of which partitions survived. The condition is uniform
+    // across ranks (one shared task), so all ranks enter the collective.
+    std::vector<uint64_t> agreed;
+    if (task.quarantined) {
+      std::vector<uint64_t> local;
+      for (uint64_t p : mine) {
+        if (task.quarantined(static_cast<size_t>(p))) local.push_back(p);
+      }
+      agreed = par::AgreeQuarantine(comm, n_parts, local);
+    }
     if (task.pack == nullptr) {
       comm.Barrier();
       return;
@@ -90,6 +103,22 @@ void SpmdBackend::Map(const PartitionTask& task) {
     if (task.unpack) {
       for (const auto& [p, payload] : gathered) {
         task.unpack(static_cast<size_t>(p), payload);
+      }
+    }
+    // Cross-check on the scheduler rank: the transported outcomes must name
+    // exactly the partitions the collective agreed on. A mismatch means a
+    // rank dropped a partition the others did not hear about — a protocol
+    // bug worth failing loudly on, never silently merging.
+    if (task.quarantined) {
+      std::vector<uint64_t> unpacked;
+      for (uint64_t p = 0; p < n_parts; ++p) {
+        if (task.quarantined(static_cast<size_t>(p))) unpacked.push_back(p);
+      }
+      if (unpacked != agreed) {
+        throw std::logic_error(
+            "SpmdBackend: quarantine agreement mismatch (agreed " +
+            std::to_string(agreed.size()) + " partitions, outcomes name " +
+            std::to_string(unpacked.size()) + ")");
       }
     }
   });

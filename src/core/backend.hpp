@@ -55,6 +55,13 @@ struct PartitionTask {
   std::function<void(size_t)> run;
   std::function<Bytes(size_t)> pack;
   std::function<void(size_t, const Bytes&)> unpack;
+  /// Optional quarantine probe: after `run(p)`, reports whether partition p
+  /// was dropped by retry exhaustion. When set, a distributed backend must
+  /// bring every rank to agreement on the dropped set (par::AgreeQuarantine)
+  /// before returning, so all ranks apply the same degraded merge; on the
+  /// scheduler's side it is also consulted post-transport as a cross-check.
+  /// Null when no stage in the group can quarantine.
+  std::function<bool(size_t)> quarantined;
 };
 
 /// Strategy interface: execute a PartitionTask. Implementations may throw

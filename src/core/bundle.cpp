@@ -32,6 +32,166 @@ double DataBundle::AttrOr(const std::string& name, double fallback) const {
   }
 }
 
+namespace {
+
+constexpr uint32_t kBundleVersion = 1;
+
+void WriteTable(ByteWriter& w, const privacy::Table& table) {
+  w.PutVarU64(table.columns.size());
+  for (const auto& c : table.columns) w.PutString(c);
+  w.PutVarU64(table.rows.size());
+  for (const auto& row : table.rows) {
+    w.PutVarU64(row.size());
+    for (const auto& cell : row) w.PutString(cell);
+  }
+}
+
+Result<privacy::Table> ReadTable(ByteReader& r) {
+  privacy::Table table;
+  uint64_t n = 0;
+  DRAI_RETURN_IF_ERROR(r.GetVarU64(n));
+  table.columns.resize(n);
+  for (auto& c : table.columns) DRAI_RETURN_IF_ERROR(r.GetString(c));
+  DRAI_RETURN_IF_ERROR(r.GetVarU64(n));
+  table.rows.resize(n);
+  for (auto& row : table.rows) {
+    uint64_t cells = 0;
+    DRAI_RETURN_IF_ERROR(r.GetVarU64(cells));
+    row.resize(cells);
+    for (auto& cell : row) DRAI_RETURN_IF_ERROR(r.GetString(cell));
+  }
+  return table;
+}
+
+void WriteSignal(ByteWriter& w, const timeseries::Signal& s) {
+  w.PutString(s.name);
+  w.PutVarU64(s.t.size());
+  for (double t : s.t) w.PutF64(t);
+  w.PutVarU64(s.v.size());
+  for (double v : s.v) w.PutF64(v);
+}
+
+Result<timeseries::Signal> ReadSignal(ByteReader& r) {
+  timeseries::Signal s;
+  DRAI_RETURN_IF_ERROR(r.GetString(s.name));
+  uint64_t n = 0;
+  DRAI_RETURN_IF_ERROR(r.GetVarU64(n));
+  if (n > r.remaining() / sizeof(double)) {
+    return DataLoss("bundle signal: timestamp count exceeds payload");
+  }
+  s.t.resize(n);
+  for (auto& t : s.t) DRAI_RETURN_IF_ERROR(r.GetF64(t));
+  DRAI_RETURN_IF_ERROR(r.GetVarU64(n));
+  if (n > r.remaining() / sizeof(double)) {
+    return DataLoss("bundle signal: value count exceeds payload");
+  }
+  s.v.resize(n);
+  for (auto& v : s.v) DRAI_RETURN_IF_ERROR(r.GetF64(v));
+  return s;
+}
+
+}  // namespace
+
+Bytes DataBundle::Serialize() const {
+  ByteWriter w;
+  w.PutU32(kBundleVersion);
+  w.PutVarU64(blobs.size());
+  for (const auto& [name, b] : blobs) {
+    w.PutString(name);
+    w.PutBlob(b);
+  }
+  w.PutVarU64(tensors.size());
+  for (const auto& [name, t] : tensors) {
+    w.PutString(name);
+    container::WriteTensor(w, t);
+  }
+  w.PutVarU64(tables.size());
+  for (const auto& [name, table] : tables) {
+    w.PutString(name);
+    WriteTable(w, table);
+  }
+  w.PutVarU64(signal_sets.size());
+  for (const auto& [name, signals] : signal_sets) {
+    w.PutString(name);
+    w.PutVarU64(signals.size());
+    for (const auto& s : signals) WriteSignal(w, s);
+  }
+  w.PutVarU64(examples.size());
+  for (const auto& ex : examples) w.PutBlob(ex.Serialize());
+  w.PutVarU64(attrs.size());
+  for (const auto& [name, v] : attrs) {
+    w.PutString(name);
+    container::WriteAttr(w, v);
+  }
+  return w.Take();
+}
+
+Result<DataBundle> DataBundle::Parse(std::span<const std::byte> bytes) {
+  ByteReader r(bytes);
+  uint32_t version = 0;
+  DRAI_RETURN_IF_ERROR(r.GetU32(version));
+  if (version != kBundleVersion) {
+    return DataLoss("bundle version " + std::to_string(version) +
+                    " unsupported");
+  }
+  DataBundle bundle;
+  uint64_t n = 0;
+  DRAI_RETURN_IF_ERROR(r.GetVarU64(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string name;
+    Bytes b;
+    DRAI_RETURN_IF_ERROR(r.GetString(name));
+    DRAI_RETURN_IF_ERROR(r.GetBlob(b));
+    bundle.blobs.emplace(std::move(name), std::move(b));
+  }
+  DRAI_RETURN_IF_ERROR(r.GetVarU64(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string name;
+    DRAI_RETURN_IF_ERROR(r.GetString(name));
+    DRAI_ASSIGN_OR_RETURN(NDArray t, container::ReadTensor(r));
+    bundle.tensors.emplace(std::move(name), std::move(t));
+  }
+  DRAI_RETURN_IF_ERROR(r.GetVarU64(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string name;
+    DRAI_RETURN_IF_ERROR(r.GetString(name));
+    DRAI_ASSIGN_OR_RETURN(privacy::Table table, ReadTable(r));
+    bundle.tables.emplace(std::move(name), std::move(table));
+  }
+  DRAI_RETURN_IF_ERROR(r.GetVarU64(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string name;
+    DRAI_RETURN_IF_ERROR(r.GetString(name));
+    uint64_t count = 0;
+    DRAI_RETURN_IF_ERROR(r.GetVarU64(count));
+    std::vector<timeseries::Signal> signals;
+    signals.reserve(count);
+    for (uint64_t k = 0; k < count; ++k) {
+      DRAI_ASSIGN_OR_RETURN(timeseries::Signal s, ReadSignal(r));
+      signals.push_back(std::move(s));
+    }
+    bundle.signal_sets.emplace(std::move(name), std::move(signals));
+  }
+  DRAI_RETURN_IF_ERROR(r.GetVarU64(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    Bytes payload;
+    DRAI_RETURN_IF_ERROR(r.GetBlob(payload));
+    DRAI_ASSIGN_OR_RETURN(shard::Example ex, shard::Example::Parse(payload));
+    bundle.examples.push_back(std::move(ex));
+  }
+  DRAI_RETURN_IF_ERROR(r.GetVarU64(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string name;
+    DRAI_RETURN_IF_ERROR(r.GetString(name));
+    DRAI_ASSIGN_OR_RETURN(container::AttrValue v, container::ReadAttr(r));
+    bundle.attrs.emplace(std::move(name), std::move(v));
+  }
+  if (!r.exhausted()) {
+    return DataLoss("bundle payload has trailing bytes");
+  }
+  return bundle;
+}
+
 uint64_t DataBundle::ApproxBytes() const {
   uint64_t total = 0;
   for (const auto& [_, b] : blobs) total += b.size();

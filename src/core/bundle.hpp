@@ -50,6 +50,13 @@ class DataBundle {
 
   /// Approximate resident size, for stage metrics.
   [[nodiscard]] uint64_t ApproxBytes() const;
+
+  /// Full-fidelity serialization for checkpointing: every collection, in
+  /// deterministic (map/vector) order, so equal bundles produce equal
+  /// bytes. Tensors ride the CRC-checked container encoding; corruption
+  /// surfaces as kDataLoss from Parse.
+  [[nodiscard]] Bytes Serialize() const;
+  static Result<DataBundle> Parse(std::span<const std::byte> bytes);
 };
 
 }  // namespace drai::core

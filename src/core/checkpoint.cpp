@@ -1,0 +1,75 @@
+#include "core/checkpoint.hpp"
+
+#include "parallel/striped_store.hpp"
+#include "shard/checkpoint.hpp"
+
+namespace drai::core {
+
+StoreCheckpointSink::StoreCheckpointSink(par::StripedStore& store,
+                                         std::string directory)
+    : store_(store), directory_(std::move(directory)) {}
+
+std::string StoreCheckpointSink::PathFor(const std::string& pipeline) const {
+  return directory_ + "/" + pipeline + ".ckpt";
+}
+
+Status StoreCheckpointSink::Save(const PipelineCheckpoint& checkpoint) {
+  shard::CheckpointMeta meta;
+  meta.pipeline = checkpoint.pipeline;
+  meta.run_index = checkpoint.run_index;
+  meta.plan_fingerprint = checkpoint.plan_fingerprint;
+  meta.stages_done = checkpoint.stages_done;
+
+  std::map<std::string, Bytes> sections;
+  sections["bundle"] = checkpoint.bundle.Serialize();
+  if (!checkpoint.provenance.empty()) {
+    sections["provenance"] = checkpoint.provenance;
+  }
+  if (checkpoint.last_state.has_value()) {
+    ByteWriter w;
+    w.PutU64(static_cast<uint64_t>(*checkpoint.last_state));
+    sections["last_state"] = w.Take();
+  }
+
+  const Bytes file = shard::EncodeCheckpoint(meta, sections);
+  const std::string path = PathFor(checkpoint.pipeline);
+  // Create truncates: the new checkpoint replaces the previous one whole,
+  // so a reader never sees a mix of two saves.
+  DRAI_RETURN_IF_ERROR(store_.Create(path));
+  return store_.Write(path, 0, file);
+}
+
+Result<std::optional<PipelineCheckpoint>> StoreCheckpointSink::LoadLatest(
+    const std::string& pipeline) {
+  const std::string path = PathFor(pipeline);
+  if (!store_.Exists(path)) return std::optional<PipelineCheckpoint>{};
+  DRAI_ASSIGN_OR_RETURN(Bytes file, store_.ReadAll(path));
+  DRAI_ASSIGN_OR_RETURN(shard::CheckpointFile decoded,
+                        shard::DecodeCheckpoint(file));
+
+  PipelineCheckpoint cp;
+  cp.pipeline = decoded.meta.pipeline;
+  cp.run_index = decoded.meta.run_index;
+  cp.plan_fingerprint = decoded.meta.plan_fingerprint;
+  cp.stages_done = static_cast<size_t>(decoded.meta.stages_done);
+
+  const auto bundle_it = decoded.sections.find("bundle");
+  if (bundle_it == decoded.sections.end()) {
+    return DataLoss("checkpoint '" + path + "' has no bundle section");
+  }
+  DRAI_ASSIGN_OR_RETURN(cp.bundle, DataBundle::Parse(bundle_it->second));
+  if (const auto it = decoded.sections.find("provenance");
+      it != decoded.sections.end()) {
+    cp.provenance = it->second;
+  }
+  if (const auto it = decoded.sections.find("last_state");
+      it != decoded.sections.end()) {
+    ByteReader r(it->second);
+    uint64_t v = 0;
+    DRAI_RETURN_IF_ERROR(r.GetU64(v));
+    cp.last_state = static_cast<size_t>(v);
+  }
+  return std::optional<PipelineCheckpoint>{std::move(cp)};
+}
+
+}  // namespace drai::core

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <exception>
+#include <thread>
 
 #include "common/strings.hpp"
 #include "common/timer.hpp"
+#include "core/checkpoint.hpp"
 #include "core/partitioner.hpp"
 
 namespace drai::core {
@@ -75,12 +78,30 @@ Rng DeriveRng(uint64_t seed, uint64_t run, size_t stage, size_t slot) {
 
 Status GuardedRun(Stage& stage, DataBundle& bundle, StageContext& ctx) {
   try {
-    return stage.Run(bundle, ctx);
+    Status status = stage.Run(bundle, ctx);
+    // An injected fault fires only after a clean run, modeling a failure at
+    // commit time: the bundle (or partition slice) is left mutated, so the
+    // retry path must restore a pristine copy to be correct. A genuine
+    // stage failure always wins over an injected one.
+    if (status.ok() && ctx.injected_fault().has_value()) {
+      const InjectedFault& fault = *ctx.injected_fault();
+      if (fault.throw_instead) throw std::runtime_error(fault.status.message());
+      return fault.status;
+    }
+    return status;
   } catch (const std::exception& e) {
     return Internal("stage '" + stage.name() + "' threw: " + e.what());
   } catch (...) {
     return Internal("stage '" + stage.name() + "' threw a non-std exception");
   }
+}
+
+/// Deterministic capped backoff between attempts. Wall-clock only; results
+/// never depend on it.
+void BackoffSleep(const RetryPolicy& retry, size_t next_attempt) {
+  const double ms = retry.BackoffMs(next_attempt);
+  if (ms <= 0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
 }
 
 /// Render params plus additive counters into one provenance param map.
@@ -100,6 +121,11 @@ struct PartResult {
   double seconds = 0;
   uint64_t bytes_after = 0;
   bool ran = false;
+  /// Run tries spent on this (stage, partition); 1 when no retry fired.
+  uint64_t attempts = 0;
+  /// Attempts exhausted under a quarantine policy: the slice's records are
+  /// dropped from the merge and the run continues.
+  bool quarantined = false;
   std::map<std::string, std::string> params;
   std::map<std::string, uint64_t> counts;
   std::map<std::string, Bytes> partials;
@@ -111,6 +137,8 @@ void PackResult(ByteWriter& w, const PartResult& r) {
   w.PutString(r.status.message());
   w.PutF64(r.seconds);
   w.PutU64(r.bytes_after);
+  w.PutVarU64(r.attempts);
+  w.PutU8(r.quarantined ? 1 : 0);
   w.PutVarU64(r.params.size());
   for (const auto& [k, v] : r.params) {
     w.PutString(k);
@@ -147,6 +175,10 @@ PartResult UnpackResult(ByteReader& rd) {
                  : Status(static_cast<StatusCode>(code), std::move(message));
   req(rd.GetF64(r.seconds));
   req(rd.GetU64(r.bytes_after));
+  req(rd.GetVarU64(r.attempts));
+  uint8_t quarantined = 0;
+  req(rd.GetU8(quarantined));
+  r.quarantined = quarantined != 0;
   uint64_t n = 0;
   req(rd.GetVarU64(n));
   for (uint64_t i = 0; i < n; ++i) {
@@ -203,15 +235,15 @@ PipelineReport ParallelExecutor::Run(const PipelinePlan& plan,
     return report;
   }
   const auto& stages = plan.stages();
-  size_t i = 0;
+  size_t i = scope.start_stage;
   while (i < stages.size()) {
     // Fuse maximal runs of parallel stages (either parallel hint) with
     // identical specs and no hooks at interior boundaries: split once, run
-    // the chain per partition, merge once. Fusion is skipped under
-    // fail_fast=false so "attempt the remaining stages" keeps exact
-    // per-stage semantics.
+    // the chain per partition, merge once. Fusion is independent of
+    // fail_fast — the error-reporting knob must not change which bundle
+    // states stages observe.
     size_t j = i + 1;
-    if (options_.fail_fast && IsParallel(stages[i].hint)) {
+    if (IsParallel(stages[i].hint)) {
       while (j < stages.size() && IsParallel(stages[j].hint) &&
              stages[j].parallel == stages[i].parallel &&
              !stages[j - 1].stage->HasAfterHook() &&
@@ -226,14 +258,53 @@ PipelineReport ParallelExecutor::Run(const PipelinePlan& plan,
       if (!report.stages[s].status.ok()) {
         failed = true;
         if (report.ok) {
-          // First failing status wins, even when fail_fast keeps going.
+          // First failing status wins (lowest stage position).
           report.ok = false;
           report.error = report.stages[s].status;
         }
       }
     }
-    if (failed && options_.fail_fast) break;
+    if (failed) {
+      // No later stage runs either way — a failed bundle would poison its
+      // dependents. fail_fast only picks the report shape: truncate, or
+      // record every skipped dependent explicitly.
+      if (!options_.fail_fast) {
+        for (size_t k = scope.start_stage + report.stages.size();
+             k < stages.size(); ++k) {
+          StageMetrics m;
+          m.name = stages[k].stage->name();
+          m.kind = stages[k].stage->kind();
+          m.hint = stages[k].hint;
+          m.status =
+              FailedPrecondition("skipped: an upstream stage failed (" +
+                                 report.error.ToString() + ")");
+          report.stages.push_back(std::move(m));
+        }
+      }
+      break;
+    }
     i = j;
+    if (scope.checkpoint != nullptr) {
+      PipelineCheckpoint cp;
+      cp.pipeline = scope.pipeline_name;
+      cp.run_index = scope.run_index;
+      cp.plan_fingerprint = plan.Fingerprint();
+      cp.stages_done = i;
+      cp.bundle = bundle;
+      if (scope.provenance != nullptr) {
+        cp.provenance = scope.provenance->Serialize();
+      }
+      if (scope.last_state != nullptr && scope.last_state->has_value()) {
+        cp.last_state = **scope.last_state;
+      }
+      if (Status saved = scope.checkpoint->Save(cp); !saved.ok()) {
+        report.ok = false;
+        report.error = Status(saved.code(),
+                              "checkpoint after stage " + std::to_string(i) +
+                                  ": " + saved.message());
+        break;
+      }
+    }
   }
   report.total_seconds = total.Seconds();
   return report;
@@ -254,20 +325,47 @@ void ParallelExecutor::RunGroup(const PipelinePlan& plan, size_t first,
     m.hint = ExecutionHint::kSerial;
     m.bundle_bytes_before = bundle.ApproxBytes();
     StageContext ctx(Rng(0), scope.provenance);
-    // Reset (not just construct) so the no-leak-across-stages contract is
-    // exercised on every path.
-    ctx.Reset(DeriveRng(options_.seed, scope.run_index, first, 0));
+    // Retry re-runs the whole stage (hooks included) against a pristine
+    // bundle snapshot with the *same* derived RNG, so a successful retry is
+    // byte-identical to a fault-free run. Serial stages never quarantine —
+    // dropping the entire bundle is not a degraded outcome.
+    const RetryPolicy& retry = head.retry;
+    std::optional<DataBundle> snapshot;
+    if (retry.max_attempts > 1) snapshot = bundle;
+    size_t attempt = 1;
     WallTimer timer;
-    m.status = head.stage->HasBeforeHook()
-                   ? head.stage->BeforePartition(bundle, ctx)
-                   : Status::Ok();
-    if (m.status.ok()) m.status = GuardedRun(*head.stage, bundle, ctx);
-    if (m.status.ok() && head.stage->HasAfterHook()) {
-      m.status = head.stage->AfterMerge(bundle, ctx);
+    for (;;) {
+      // Reset (not just construct) so the no-leak-across-stages contract is
+      // exercised on every path.
+      ctx.Reset(DeriveRng(options_.seed, scope.run_index, first, 0));
+      ctx.SetAttempt(attempt);
+      if (options_.faults.active()) {
+        ctx.SetInjectedFault(options_.faults.Decide(scope.run_index, m.name,
+                                                    first, 0, attempt));
+      }
+      m.status = head.stage->HasBeforeHook()
+                     ? head.stage->BeforePartition(bundle, ctx)
+                     : Status::Ok();
+      if (m.status.ok()) m.status = GuardedRun(*head.stage, bundle, ctx);
+      if (m.status.ok() && head.stage->HasAfterHook()) {
+        m.status = head.stage->AfterMerge(bundle, ctx);
+      }
+      if (m.status.ok() || attempt >= retry.max_attempts ||
+          !retry.ShouldRetry(m.status)) {
+        break;
+      }
+      ++attempt;
+      BackoffSleep(retry, attempt);
+      bundle = *snapshot;
     }
+    m.attempts = attempt;
     m.seconds = timer.Seconds();
     m.bundle_bytes_after = bundle.ApproxBytes();
-    RecordStage(scope, m, MergedParams(ctx.params(), ctx.counts()));
+    auto params = MergedParams(ctx.params(), ctx.counts());
+    // Retry counts live in StageMetrics only, never in provenance: a
+    // successfully retried run must hash byte-identically to a fault-free
+    // run, and shard manifests embed the provenance hash.
+    RecordStage(scope, m, params);
     report.stages.push_back(std::move(m));
     return;
   }
@@ -338,25 +436,69 @@ void ParallelExecutor::RunGroup(const PipelinePlan& plan, size_t first,
   task.run = [&](size_t p) {
     for (size_t s = 0; s < n_stages; ++s) {
       if (fail_fast && abort.load(std::memory_order_relaxed)) return;
+      const PlannedStage& planned = stages[first + s];
+      const RetryPolicy& retry = planned.retry;
       PartResult& r = results[s][p];
-      StageContext ctx(
-          DeriveRng(options_.seed, scope.run_index, first + s, p + 1),
-          scope.provenance);
-      ctx.SetPartition(parts[p].slot);
+      // Pristine-slice snapshot for retry: an injected (or real) failure
+      // may leave the slice half-mutated, so each re-run starts from the
+      // state this stage first saw. Same derived RNG each attempt — a
+      // successful retry is byte-identical to a fault-free run.
+      std::optional<DataBundle> snapshot;
+      if (retry.max_attempts > 1) snapshot = parts[p].bundle;
+      size_t attempt = 1;
       WallTimer t;
-      r.status = GuardedRun(*stages[first + s].stage, parts[p].bundle, ctx);
+      for (;;) {
+        StageContext ctx(
+            DeriveRng(options_.seed, scope.run_index, first + s, p + 1),
+            scope.provenance);
+        ctx.SetPartition(parts[p].slot);
+        ctx.SetAttempt(attempt);
+        if (options_.faults.active()) {
+          ctx.SetInjectedFault(options_.faults.Decide(
+              scope.run_index, planned.stage->name(), first + s, p, attempt));
+        }
+        r.status = GuardedRun(*planned.stage, parts[p].bundle, ctx);
+        r.params = ctx.params();
+        r.counts = ctx.counts();
+        r.partials = ctx.TakePartials();
+        if (r.status.ok() || attempt >= retry.max_attempts ||
+            !retry.ShouldRetry(r.status)) {
+          break;
+        }
+        ++attempt;
+        BackoffSleep(retry, attempt);
+        parts[p].bundle = *snapshot;
+      }
       r.seconds = t.Seconds();
       r.bytes_after = parts[p].bundle.ApproxBytes();
       r.ran = true;
-      r.params = ctx.params();
-      r.counts = ctx.counts();
-      r.partials = ctx.TakePartials();
+      r.attempts = attempt;
       if (!r.status.ok()) {
+        if (retry.quarantine) {
+          // Degrade instead of failing the run: this slice's records will
+          // be dropped from the merge; the other partitions keep going.
+          r.quarantined = true;
+          return;
+        }
         if (fail_fast) abort.store(true, std::memory_order_relaxed);
         return;  // this partition stops; its slice merges back untouched
       }
     }
   };
+  bool any_quarantine_policy = false;
+  for (size_t s = 0; s < n_stages; ++s) {
+    if (stages[first + s].retry.quarantine) any_quarantine_policy = true;
+  }
+  if (any_quarantine_policy) {
+    // Lets a distributed backend reach cross-rank agreement on the dropped
+    // set (par::AgreeQuarantine) before the scheduler merges.
+    task.quarantined = [&](size_t p) {
+      for (size_t s = 0; s < n_stages; ++s) {
+        if (results[s][p].quarantined) return true;
+      }
+      return false;
+    };
+  }
   // Cross-rank transport: serialize one partition's outcomes across all
   // fused stages; a distributed backend gathers these to the scheduler in
   // ascending partition order instead of reading shared memory.
@@ -382,11 +524,35 @@ void ParallelExecutor::RunGroup(const PipelinePlan& plan, size_t first,
   }
 
   WallTimer tail_timer;
+
+  // A quarantined partition's slice is emptied before the merge, so its
+  // records drop out of the bundle — the degraded-run outcome its policy
+  // opted into. Everything it produced (partials, counts, params) is
+  // excluded from the reduction as well.
+  std::vector<char> part_quarantined(n_parts, 0);
+  for (size_t p = 0; p < n_parts; ++p) {
+    for (size_t s = 0; s < n_stages; ++s) {
+      if (results[s][p].quarantined) {
+        part_quarantined[p] = 1;
+        parts[p].bundle = DataBundle{};
+        const PartResult& r = results[s][p];
+        QuarantineRecord q;
+        q.stage = stages[first + s].stage->name();
+        q.partition = p;
+        q.attempts = static_cast<size_t>(r.attempts);
+        q.error = r.status;
+        q.units = parts[p].slot.hi - parts[p].slot.lo;
+        report.quarantined.push_back(std::move(q));
+        break;
+      }
+    }
+  }
   BundlePartitioner::Merge(bundle, parts);
 
   bool group_ok = map_status.ok();
   for (size_t s = 0; s < n_stages && group_ok; ++s) {
     for (size_t p = 0; p < n_parts; ++p) {
+      if (part_quarantined[p]) continue;  // dropped, not failed
       if (!results[s][p].ran || !results[s][p].status.ok()) {
         group_ok = false;
         break;
@@ -403,7 +569,7 @@ void ParallelExecutor::RunGroup(const PipelinePlan& plan, size_t first,
     for (size_t s = 0; s < n_stages; ++s) {
       for (size_t p = 0; p < n_parts; ++p) {
         const PartResult& r = results[s][p];
-        if (!r.ran) continue;
+        if (!r.ran || part_quarantined[p]) continue;
         for (const auto& [k, v] : r.partials) {
           gathered_partials[k].push_back(v);
         }
@@ -441,11 +607,26 @@ void ParallelExecutor::RunGroup(const PipelinePlan& plan, size_t first,
       critical_path = std::max(critical_path, r.seconds);
       if (r.ran) {
         any_ran = true;
+        m.attempts += r.attempts;
+        if (r.quarantined) {
+          // Dropped, not failed: the stage stays OK, and nothing the
+          // quarantined slice produced reaches metrics or provenance.
+          m.quarantined.push_back(p);
+          cur_bytes[p] = 0;
+          continue;
+        }
         cur_bytes[p] = r.bytes_after;
         if (m.status.ok() && !r.status.ok()) m.status = r.status;
         for (const auto& [k, v] : r.params) stage_params[s][k] = v;
         for (const auto& [k, v] : r.counts) stage_counts[s][k] += v;
       }
+    }
+    // Retry counts live in StageMetrics only (a successfully retried run
+    // must hash byte-identically to a fault-free one, and shard manifests
+    // embed the provenance hash); quarantine DID change the data, so it is
+    // a provenance fact.
+    if (!m.quarantined.empty()) {
+      stage_params[s]["quarantined"] = std::to_string(m.quarantined.size());
     }
     if (s == 0 && m.status.ok() && !map_status.ok()) m.status = map_status;
     m.seconds = critical_path;

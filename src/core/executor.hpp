@@ -31,6 +31,8 @@
 
 namespace drai::core {
 
+class CheckpointSink;
+
 /// Per-stage execution record.
 struct StageMetrics {
   std::string name;
@@ -44,10 +46,25 @@ struct StageMetrics {
   size_t partitions = 1;
   /// Per-partition Run seconds; empty for serial stages.
   std::vector<double> partition_seconds;
+  /// Total Run attempts across all partitions (== partitions for a clean
+  /// parallel stage, 1 for a clean serial stage, more when retries fired).
+  uint64_t attempts = 0;
+  /// Partition indices this stage quarantined (attempts exhausted under a
+  /// RetryPolicy that allows degradation). Ascending.
+  std::vector<size_t> quarantined;
 
   /// Partition skew: max / median of partition_seconds. 1.0 when balanced
   /// or serial; the straggler diagnosis for the §4 scaling story.
   [[nodiscard]] double PartitionSkew() const;
+};
+
+/// One partition dropped from the run instead of failing it.
+struct QuarantineRecord {
+  std::string stage;     ///< stage whose attempts were exhausted
+  size_t partition = 0;  ///< partition index within that stage's split
+  size_t attempts = 0;   ///< tries spent before giving up
+  Status error;          ///< the final attempt's failure
+  size_t units = 0;      ///< axis units (examples/rows/keys) dropped
 };
 
 struct PipelineReport {
@@ -56,6 +73,10 @@ struct PipelineReport {
   bool ok = true;
   /// First failing status when !ok.
   Status error;
+  /// Partitions dropped by retry exhaustion under quarantine policies, in
+  /// execution order. A run can be ok with a nonempty quarantine list —
+  /// that is the degraded-but-successful outcome the policy opted into.
+  std::vector<QuarantineRecord> quarantined;
 
   [[nodiscard]] double SecondsIn(StageKind kind) const;
   /// "ingest 12% | preprocess 55% | ..." — the §3.2 curation-time story —
@@ -74,8 +95,14 @@ struct ExecutorOptions {
   size_t threads = 0;
   uint64_t seed = 0xD6A1;
   bool capture_provenance = true;
-  /// Stop at the first failing stage (true) or attempt the rest (false).
+  /// How the report treats stages after the first failure. Either way no
+  /// further stage *runs* (a failed bundle would poison its dependents):
+  /// true truncates the report at the failure; false records every
+  /// remaining stage as kFailedPrecondition "skipped", so a report always
+  /// has one entry per planned stage.
   bool fail_fast = true;
+  /// Deterministic fault injection (tests/benches). Inactive by default.
+  FaultPlan faults;
 };
 
 /// Per-run bookkeeping owned by the caller (the Pipeline facade): where to
@@ -87,6 +114,14 @@ struct ExecutorRunScope {
   ProvenanceGraph* provenance = nullptr;
   /// Latest bundle-state artifact, updated as stages complete. May be null.
   std::optional<size_t>* last_state = nullptr;
+  /// First plan stage to run (everything before it was already applied to
+  /// the bundle — the checkpoint/resume path). Stage indices for RNG
+  /// derivation and fault injection stay absolute, so a resumed run
+  /// reproduces the original run's streams exactly.
+  size_t start_stage = 0;
+  /// When set, the executor saves a checkpoint after every successful
+  /// stage group; a checkpoint write failure fails the run.
+  CheckpointSink* checkpoint = nullptr;
 };
 
 class ParallelExecutor {

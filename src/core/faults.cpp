@@ -1,0 +1,57 @@
+#include "core/faults.hpp"
+
+#include "common/rng.hpp"
+
+namespace drai::core {
+
+namespace {
+
+/// Hash the cell coordinates into a uniform double in [0, 1). Mirrors the
+/// executor's RNG derivation: fold each salt through SplitMix64 so nearby
+/// coordinates land far apart.
+double CellUniform(uint64_t seed, uint64_t run, size_t stage,
+                   size_t partition) {
+  uint64_t x = seed;
+  const uint64_t salts[] = {run, static_cast<uint64_t>(stage),
+                            static_cast<uint64_t>(partition)};
+  for (uint64_t salt : salts) {
+    SplitMix64 sm(x ^ (salt * 0x9E3779B97F4A7C15ull + 0x94D049BB133111EBull));
+    x = sm.Next();
+  }
+  // 53 high bits -> [0, 1).
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+Status MakeFaultStatus(StatusCode code, std::string_view stage_name,
+                       size_t partition, size_t attempt) {
+  return Status(code, "injected fault: stage '" + std::string(stage_name) +
+                          "' partition " + std::to_string(partition) +
+                          " attempt " + std::to_string(attempt));
+}
+
+}  // namespace
+
+std::optional<InjectedFault> FaultPlan::Decide(uint64_t run,
+                                               std::string_view stage_name,
+                                               size_t stage_index,
+                                               size_t partition,
+                                               size_t attempt) const {
+  for (const FaultSite& site : sites) {
+    if (!site.stage.empty() && site.stage != stage_name) continue;
+    if (site.partition != kAnyPartition && site.partition != partition) {
+      continue;
+    }
+    if (attempt > site.fail_attempts) continue;
+    return InjectedFault{
+        MakeFaultStatus(site.code, stage_name, partition, attempt),
+        site.throw_instead};
+  }
+  if (rate > 0.0 && attempt <= fail_attempts &&
+      CellUniform(seed, run, stage_index, partition) < rate) {
+    return InjectedFault{MakeFaultStatus(code, stage_name, partition, attempt),
+                         throw_instead};
+  }
+  return std::nullopt;
+}
+
+}  // namespace drai::core

@@ -1,0 +1,82 @@
+// drai/core/faults.hpp
+//
+// Deterministic fault injection for the pipeline executor. Leadership-class
+// runs see transient I/O errors and node faults as a matter of course; the
+// executor's retry/quarantine machinery (core/executor.hpp) must therefore
+// be testable against *reproducible* failures. A FaultPlan decides, as a
+// pure function of (seed, run, stage, partition, attempt), whether one
+// stage attempt on one partition fails and how — so the thread and SPMD
+// backends inject byte-identical fault schedules, and a fault observed in a
+// bench can be replayed in a debugger from its coordinates alone.
+//
+// An injected fault fires *after* the stage body has run, modeling a
+// failure at commit time: the partition slice is left mutated, so a retry
+// is only correct if the scheduler restores the pristine slice first. This
+// makes the harness a real test of the retry path, not just of the
+// bookkeeping.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace drai::core {
+
+/// Wildcard for FaultSite fields that match any value.
+inline constexpr size_t kAnyPartition = std::numeric_limits<size_t>::max();
+
+/// One explicitly scripted fault location: "stage X, partition P fails its
+/// first `fail_attempts` attempts with `code`". Empty stage name matches
+/// every stage; kAnyPartition matches every partition.
+struct FaultSite {
+  std::string stage;
+  size_t partition = kAnyPartition;
+  /// Attempts 1..fail_attempts fault; attempt fail_attempts+1 succeeds.
+  size_t fail_attempts = 1;
+  StatusCode code = StatusCode::kUnavailable;
+  /// Throw std::runtime_error instead of returning a Status — models a
+  /// crash rather than a reported error (surfaces as kInternal).
+  bool throw_instead = false;
+};
+
+/// What the executor does at a faulted attempt.
+struct InjectedFault {
+  Status status;
+  bool throw_instead = false;
+};
+
+/// The fault schedule for a run: explicit sites plus an optional random
+/// background rate. Inactive by default — a default FaultPlan injects
+/// nothing and the executor's behavior is byte-identical to a build without
+/// the harness.
+struct FaultPlan {
+  uint64_t seed = 0;
+  /// Probability that a given (run, stage, partition) cell faults at all.
+  /// Sampled by hashing the coordinates, never by shared RNG state, so the
+  /// schedule is identical for any backend, worker count, or replay.
+  double rate = 0.0;
+  /// Attempts 1..fail_attempts fault at a sampled cell (1 = first attempt
+  /// only, so one retry clears it).
+  size_t fail_attempts = 1;
+  StatusCode code = StatusCode::kUnavailable;
+  bool throw_instead = false;
+  std::vector<FaultSite> sites;
+
+  [[nodiscard]] bool active() const { return rate > 0.0 || !sites.empty(); }
+
+  /// The fault decision for one stage attempt, or nullopt to run clean.
+  /// Explicit sites take precedence over the background rate. Pure: equal
+  /// arguments always produce an equal decision.
+  [[nodiscard]] std::optional<InjectedFault> Decide(uint64_t run,
+                                                    std::string_view stage_name,
+                                                    size_t stage_index,
+                                                    size_t partition,
+                                                    size_t attempt) const;
+};
+
+}  // namespace drai::core

@@ -10,7 +10,15 @@ ExecutorOptions ToExecutorOptions(const PipelineOptions& options) {
   out.seed = options.seed;
   out.capture_provenance = options.capture_provenance;
   out.fail_fast = options.fail_fast;
+  out.faults = options.faults;
   return out;
+}
+
+PipelineReport FailedReport(Status error) {
+  PipelineReport report;
+  report.ok = false;
+  report.error = std::move(error);
+  return report;
 }
 }  // namespace
 
@@ -44,6 +52,11 @@ Pipeline& Pipeline::Add(std::string name, StageKind kind, ExecutionHint hint,
   return *this;
 }
 
+Pipeline& Pipeline::WithRetry(RetryPolicy policy) {
+  plan_.WithRetry(std::move(policy));
+  return *this;
+}
+
 PipelineReport Pipeline::Run(DataBundle& bundle) {
   ++runs_;
   ExecutorRunScope scope;
@@ -51,6 +64,40 @@ PipelineReport Pipeline::Run(DataBundle& bundle) {
   scope.run_index = runs_;
   scope.provenance = options_.capture_provenance ? &provenance_ : nullptr;
   scope.last_state = &last_state_;
+  scope.checkpoint = options_.checkpoint;
+  return executor_.Run(plan_, bundle, scope);
+}
+
+PipelineReport Pipeline::Resume(DataBundle& bundle) {
+  if (options_.checkpoint == nullptr) return Run(bundle);
+  auto loaded = options_.checkpoint->LoadLatest(plan_.name());
+  if (!loaded.ok()) return FailedReport(loaded.status());
+  if (!loaded->has_value()) return Run(bundle);  // nothing to resume from
+  PipelineCheckpoint cp = std::move(**loaded);
+  if (cp.plan_fingerprint != plan_.Fingerprint()) {
+    return FailedReport(FailedPrecondition(
+        "checkpoint for pipeline '" + plan_.name() +
+        "' was written by a structurally different plan; refusing to resume"));
+  }
+  // Restore the full run state the checkpoint captured. Provenance and the
+  // lineage cursor must come back too: downstream stages embed the
+  // provenance hash in their outputs, so resuming with a fresh graph would
+  // produce different shards than the uninterrupted run.
+  bundle = std::move(cp.bundle);
+  if (!cp.provenance.empty()) {
+    auto graph = ProvenanceGraph::Parse(cp.provenance);
+    if (!graph.ok()) return FailedReport(graph.status());
+    provenance_ = std::move(*graph);
+  }
+  last_state_ = cp.last_state;
+  runs_ = cp.run_index;
+  ExecutorRunScope scope;
+  scope.pipeline_name = plan_.name();
+  scope.run_index = cp.run_index;
+  scope.provenance = options_.capture_provenance ? &provenance_ : nullptr;
+  scope.last_state = &last_state_;
+  scope.start_stage = cp.stages_done;
+  scope.checkpoint = options_.checkpoint;
   return executor_.Run(plan_, bundle, scope);
 }
 

@@ -22,6 +22,7 @@
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "core/bundle.hpp"
+#include "core/checkpoint.hpp"
 #include "core/executor.hpp"
 #include "core/plan.hpp"
 #include "core/provenance.hpp"
@@ -31,7 +32,9 @@ namespace drai::core {
 struct PipelineOptions {
   uint64_t seed = 0xD6A1;
   bool capture_provenance = true;
-  /// Stop at the first failing stage (true) or attempt the rest (false).
+  /// Report shape after a failure: truncate at the failing stage (true) or
+  /// record every remaining stage as kFailedPrecondition "skipped" (false).
+  /// No later stage runs either way.
   bool fail_fast = true;
   /// Execution substrate for parallel stages (core/backend.hpp): a thread
   /// pool or in-process SPMD ranks. Either backend produces byte-identical
@@ -40,6 +43,11 @@ struct PipelineOptions {
   /// Parallel workers. kThread: 0 = shared global pool, 1 = serial, N =
   /// dedicated pool of N. kSpmd: rank world size (0 = hardware threads).
   size_t threads = 0;
+  /// Deterministic fault injection (tests/benches). Inactive by default.
+  FaultPlan faults;
+  /// When set, every successful stage group checkpoints here, and Resume()
+  /// can restart a killed run from the last good stage. Not owned.
+  CheckpointSink* checkpoint = nullptr;
 };
 
 class Pipeline {
@@ -61,12 +69,26 @@ class Pipeline {
                 LambdaStage::Fn before, LambdaStage::Fn fn,
                 LambdaStage::Fn after, ParallelSpec spec = {});
 
+  /// Attach a retry policy to the most recently added stage.
+  Pipeline& WithRetry(RetryPolicy policy);
+
   [[nodiscard]] const std::string& name() const { return plan_.name(); }
   [[nodiscard]] size_t NumStages() const { return plan_.NumStages(); }
   [[nodiscard]] const PipelinePlan& plan() const { return plan_; }
 
   /// Run every stage in order over the bundle.
   PipelineReport Run(DataBundle& bundle);
+
+  /// Restart a killed run from its last checkpoint: reload the newest
+  /// checkpoint from PipelineOptions.checkpoint, restore the bundle,
+  /// provenance graph and lineage cursor it captured, and run only the
+  /// remaining stages. Because stage RNG streams and fault decisions key
+  /// off absolute stage indices, the resumed run's downstream results are
+  /// byte-identical to an uninterrupted run. With no sink configured or no
+  /// checkpoint on disk this is a plain Run; a checkpoint whose plan
+  /// fingerprint does not match the current plan yields a
+  /// kFailedPrecondition report without touching the bundle.
+  PipelineReport Resume(DataBundle& bundle);
 
   /// Figure 1's iterate arrow: run, call `evaluate` (e.g. train a model,
   /// compute a quality score); if it returns false the caller's `refine`

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "common/hash.hpp"
+
 namespace drai::core {
 
 std::string_view StageKindName(StageKind k) {
@@ -78,6 +80,33 @@ PipelinePlan& PipelinePlan::Add(std::string name, StageKind kind,
                                            std::move(fn), std::move(before),
                                            std::move(after)),
              hint, spec);
+}
+
+PipelinePlan& PipelinePlan::WithRetry(RetryPolicy policy) {
+  if (stages_.empty()) {
+    throw std::logic_error("Pipeline '" + name_ +
+                           "': WithRetry called before any stage was added");
+  }
+  if (policy.max_attempts == 0) {
+    throw std::invalid_argument("Pipeline '" + name_ +
+                                "': RetryPolicy.max_attempts must be >= 1");
+  }
+  stages_.back().retry = std::move(policy);
+  return *this;
+}
+
+std::string PipelinePlan::Fingerprint() const {
+  Sha256 ctx;
+  ctx.Update(name_);
+  for (const PlannedStage& s : stages_) {
+    ctx.Update("|");
+    ctx.Update(s.stage->name());
+    ctx.Update("/");
+    ctx.Update(StageKindName(s.stage->kind()));
+    ctx.Update("/");
+    ctx.Update(ExecutionHintName(s.hint));
+  }
+  return DigestToHex(ctx.Finish());
 }
 
 Status PipelinePlan::Validate() const {

@@ -38,6 +38,7 @@
 #include "common/bytes.hpp"
 #include "common/rng.hpp"
 #include "core/bundle.hpp"
+#include "core/faults.hpp"
 #include "core/provenance.hpp"
 
 namespace drai::core {
@@ -100,6 +101,44 @@ struct ParallelSpec {
     return a.axis == b.axis && a.grain == b.grain &&
            a.range_count == b.range_count && a.range_attr == b.range_attr &&
            a.group_by_prefix == b.group_by_prefix;
+  }
+};
+
+/// Per-stage failure handling. With the default policy a failing partition
+/// fails the run, exactly as before retry existed. Raising max_attempts
+/// makes the scheduler re-run a failed partition against a pristine copy of
+/// its slice — same RNG stream, so a successful retry is byte-identical to
+/// a fault-free run. Setting `quarantine` lets the run degrade instead of
+/// fail once attempts are exhausted: the partition's records are dropped
+/// from the merge and tallied in PipelineReport::quarantined. Serial stages
+/// honor max_attempts (whole-bundle snapshot) but never quarantine.
+struct RetryPolicy {
+  /// Total tries per (stage, partition), including the first. 1 = no retry.
+  size_t max_attempts = 1;
+  /// Deterministic capped exponential backoff before attempt k+1:
+  /// min(backoff_base_ms * 2^(k-1), backoff_cap_ms). 0 = no wait.
+  double backoff_base_ms = 0.0;
+  double backoff_cap_ms = 100.0;
+  /// Drop the partition instead of failing the run when attempts exhaust.
+  bool quarantine = false;
+  /// Codes worth re-running. Empty = Status::IsRetryable() (transient I/O).
+  /// Include kInternal to also retry crashes (thrown exceptions).
+  std::vector<StatusCode> retryable_codes;
+
+  [[nodiscard]] bool ShouldRetry(const Status& status) const {
+    if (status.ok()) return false;
+    if (retryable_codes.empty()) return status.IsRetryable();
+    for (StatusCode c : retryable_codes) {
+      if (status.code() == c) return true;
+    }
+    return false;
+  }
+  /// Backoff before re-running attempt `next_attempt` (2-based).
+  [[nodiscard]] double BackoffMs(size_t next_attempt) const {
+    if (backoff_base_ms <= 0.0) return 0.0;
+    double ms = backoff_base_ms;
+    for (size_t a = 2; a < next_attempt && ms < backoff_cap_ms; ++a) ms *= 2;
+    return ms < backoff_cap_ms ? ms : backoff_cap_ms;
   }
 };
 
@@ -190,6 +229,23 @@ class StageContext {
   [[nodiscard]] const PartitionSlot& partition() const { return partition_; }
   void SetPartition(PartitionSlot slot) { partition_ = slot; }
 
+  /// Which try of this stage on this partition is running (1-based).
+  /// Stages may branch on it to make attempt-dependent work observable in
+  /// tests; production stages should ignore it.
+  [[nodiscard]] size_t attempt() const { return attempt_; }
+  void SetAttempt(size_t attempt) { attempt_ = attempt; }
+
+  /// Executor-only: the fault-injection decision for this attempt. The
+  /// executor's guarded runner fires it after the stage body returns, so
+  /// injection is identical on every backend (the decision travels with the
+  /// context, not with any backend state).
+  [[nodiscard]] const std::optional<InjectedFault>& injected_fault() const {
+    return injected_fault_;
+  }
+  void SetInjectedFault(std::optional<InjectedFault> fault) {
+    injected_fault_ = std::move(fault);
+  }
+
   /// Reset for reuse on the next stage: new rng, no leftover notes.
   void Reset(Rng rng) {
     rng_ = rng;
@@ -198,6 +254,8 @@ class StageContext {
     emitted_partials_.clear();
     SetGathered(nullptr, nullptr);
     partition_ = PartitionSlot{};
+    attempt_ = 1;
+    injected_fault_.reset();
   }
 
  private:
@@ -209,6 +267,8 @@ class StageContext {
   const std::map<std::string, std::vector<Bytes>>* gathered_partials_ = nullptr;
   const std::map<std::string, uint64_t>* gathered_counts_ = nullptr;
   PartitionSlot partition_;
+  size_t attempt_ = 1;
+  std::optional<InjectedFault> injected_fault_;
 };
 
 /// Interface every pipeline stage implements.
@@ -284,6 +344,7 @@ struct PlannedStage {
   std::unique_ptr<Stage> stage;
   ExecutionHint hint = ExecutionHint::kSerial;
   ParallelSpec parallel;
+  RetryPolicy retry;
 };
 
 /// An ordered, validated list of planned stages. Purely declarative: build
@@ -307,11 +368,21 @@ class PipelinePlan {
                     LambdaStage::Fn before, LambdaStage::Fn fn,
                     LambdaStage::Fn after, ParallelSpec spec = {});
 
+  /// Attach a retry policy to the most recently added stage. Throws
+  /// std::logic_error if no stage has been added yet.
+  PipelinePlan& WithRetry(RetryPolicy policy);
+
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] size_t NumStages() const { return stages_.size(); }
   [[nodiscard]] const std::vector<PlannedStage>& stages() const {
     return stages_;
   }
+
+  /// Structural identity of the plan (name + per-stage name/kind/hint),
+  /// used to refuse resuming a checkpoint against a different plan. Does
+  /// not hash stage *code* — renaming a stage is the supported way to
+  /// invalidate old checkpoints after a logic change.
+  [[nodiscard]] std::string Fingerprint() const;
 
   /// Whole-plan checks beyond the incremental Add validation: parallel
   /// kRange stages must know their domain size one way or the other.

@@ -39,6 +39,7 @@ Result<BioArchetypeResult> RunBioArchetype(par::StripedStore& store,
   core::PipelineOptions options;
   options.backend = config.backend;
   options.threads = config.threads;
+  options.faults = config.faults;
   core::Pipeline pipeline("bio-archetype", options);
 
   // Parallel grains: sequence QC partitions the subject index range (the
@@ -90,6 +91,7 @@ Result<BioArchetypeResult> RunBioArchetype(par::StripedStore& store,
         return Status::Ok();
       },
       per_subject);
+  pipeline.WithRetry(config.retry);
 
   // transform: the privacy battery under audit. Field classification and
   // the audit transcript are serial (Before); pseudonymization + date
@@ -170,6 +172,7 @@ Result<BioArchetypeResult> RunBioArchetype(par::StripedStore& store,
         return Status::Ok();
       },
       per_rows);
+  pipeline.WithRetry(config.retry);
 
   // structure: cross-modal fusion — sequence features + de-identified
   // clinical covariates per subject, one example per surviving table row.
@@ -260,6 +263,7 @@ Result<BioArchetypeResult> RunBioArchetype(par::StripedStore& store,
         return Status::Ok();
       },
       per_rows);
+  pipeline.WithRetry(config.retry);
 
   // shard: secure export — audit head + provenance in the manifest.
   pipeline.Add(

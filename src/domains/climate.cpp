@@ -59,6 +59,8 @@ Result<ArchetypeResult> RunClimateArchetype(
   core::PipelineOptions options;
   options.backend = config.backend;
   options.threads = config.threads;
+  options.faults = config.faults;
+  options.checkpoint = config.checkpoint;
   core::Pipeline pipeline("climate-archetype", options);
 
   // One partition per time step for every parallel stage: the partition
@@ -186,6 +188,7 @@ Result<ArchetypeResult> RunClimateArchetype(
         return Status::Ok();
       },
       per_time);
+  pipeline.WithRetry(config.retry);
 
   // transform: fill missing cells with the variable mean, then z-score.
   // Pure per-field map — partition-parallel, and fusable with `patch`.
@@ -221,6 +224,7 @@ Result<ArchetypeResult> RunClimateArchetype(
         return Status::Ok();
       },
       per_time);
+  pipeline.WithRetry(config.retry);
 
   // structure: cut [vars, patch, patch] patches per time step. Same
   // partitioning as `normalize`, no hooks — the executor fuses the two
@@ -273,6 +277,7 @@ Result<ArchetypeResult> RunClimateArchetype(
         return Status::Ok();
       },
       per_time);
+  pipeline.WithRetry(config.retry);
 
   // shard: write RecIO shards + manifest with the normalizer embedded.
   pipeline.Add("shard", StageKind::kShard,

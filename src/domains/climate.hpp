@@ -39,6 +39,15 @@ struct ClimateArchetypeConfig {
   /// Worker threads (kThread: 0 = shared global pool, 1 = serial) or rank
   /// world size (kSpmd). Output bytes are identical for any value.
   size_t threads = 0;
+  /// Retry policy applied to every parallel stage. Default = no retry, a
+  /// failing partition fails the run; raise max_attempts (and optionally
+  /// allow quarantine) to ride out transient faults.
+  core::RetryPolicy retry;
+  /// Deterministic fault injection (tests/benches). Inactive by default.
+  core::FaultPlan faults;
+  /// When set, every successful stage group checkpoints here (see
+  /// core/checkpoint.hpp). Not owned. Default: no checkpointing.
+  core::CheckpointSink* checkpoint = nullptr;
 };
 
 struct ArchetypeResult {

@@ -50,6 +50,7 @@ Result<ArchetypeResult> RunFusionArchetype(
   core::PipelineOptions options;
   options.backend = config.backend;
   options.threads = config.threads;
+  options.faults = config.faults;
   core::Pipeline pipeline("fusion-archetype", options);
 
   // One shot = one unit of parallel work: align partitions the signal sets,
@@ -132,6 +133,7 @@ Result<ArchetypeResult> RunFusionArchetype(
         return Status::Ok();
       },
       per_shot);
+  pipeline.WithRetry(config.retry);
 
   // transform: window features per shot in parallel, each partition
   // observing into its own normalizer piece and emitting its serialized
@@ -235,6 +237,7 @@ Result<ArchetypeResult> RunFusionArchetype(
         return Status::Ok();
       },
       per_tensor);
+  pipeline.WithRetry(config.retry);
 
   // structure: one example per window, keyed by shot (split leak-safe).
   // Shot ids are zero-padded, so ascending-partition merge reproduces the
@@ -276,6 +279,7 @@ Result<ArchetypeResult> RunFusionArchetype(
         return Status::Ok();
       },
       /*after=*/nullptr, per_tensor);
+  pipeline.WithRetry(config.retry);
 
   // shard: split by *shot* (key prefix before '#') so windows of one shot
   // never straddle train/val/test.

@@ -37,6 +37,10 @@ struct FusionArchetypeConfig {
   /// Worker threads (kThread) or rank world size (kSpmd); 0 = default.
   /// Output bytes are identical for any value.
   size_t threads = 0;
+  /// Retry policy applied to every parallel stage (default: no retry).
+  core::RetryPolicy retry;
+  /// Deterministic fault injection (tests/benches). Inactive by default.
+  core::FaultPlan faults;
 };
 
 Result<ArchetypeResult> RunFusionArchetype(par::StripedStore& store,

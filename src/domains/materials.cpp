@@ -29,6 +29,7 @@ Result<MaterialsArchetypeResult> RunMaterialsArchetype(
   core::PipelineOptions options;
   options.backend = config.backend;
   options.threads = config.threads;
+  options.faults = config.faults;
   core::Pipeline pipeline("materials-archetype", options);
 
   // The corpus lives in the shared `structures` vector, not the bundle, so
@@ -66,6 +67,7 @@ Result<MaterialsArchetypeResult> RunMaterialsArchetype(
         return Status::Ok();
       },
       per_structure);
+  pipeline.WithRetry(config.retry);
 
   // transform: standardize energy labels (z-score over the corpus).
   pipeline.Add(
@@ -140,6 +142,7 @@ Result<MaterialsArchetypeResult> RunMaterialsArchetype(
         return Status::Ok();
       },
       per_structure);
+  pipeline.WithRetry(config.retry);
 
   // shard: split by structure id (duplicates follow their original).
   pipeline.Add(

@@ -104,6 +104,25 @@ std::vector<std::pair<uint64_t, Bytes>> GatherByIndex(
   return out;
 }
 
+std::vector<uint64_t> AgreeQuarantine(Communicator& comm, uint64_t n_parts,
+                                      const std::vector<uint64_t>& local) {
+  std::vector<uint8_t> bitmap(static_cast<size_t>(n_parts), 0);
+  for (uint64_t p : local) {
+    if (p >= n_parts) {
+      throw std::out_of_range("AgreeQuarantine: partition " +
+                              std::to_string(p) + " >= n_parts " +
+                              std::to_string(n_parts));
+    }
+    bitmap[static_cast<size_t>(p)] = 1;
+  }
+  const std::vector<uint8_t> agreed = comm.AllReduce(bitmap, ReduceOp::kMax);
+  std::vector<uint64_t> out;
+  for (uint64_t p = 0; p < n_parts; ++p) {
+    if (agreed[static_cast<size_t>(p)] != 0) out.push_back(p);
+  }
+  return out;
+}
+
 void RunSpmd(int n_ranks, const std::function<void(Communicator&)>& body) {
   if (n_ranks <= 0) throw std::invalid_argument("RunSpmd: n_ranks must be > 0");
   auto world = std::make_shared<internal::World>(n_ranks);

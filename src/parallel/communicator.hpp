@@ -169,6 +169,16 @@ std::vector<std::pair<uint64_t, Bytes>> GatherByIndex(
     Communicator& comm, const std::vector<std::pair<uint64_t, Bytes>>& local,
     int root);
 
+/// Agree on the union of per-rank quarantined partition sets: each rank
+/// passes the partitions *it* dropped (ascending or not), every rank
+/// returns the same global set in ascending order. Built on an
+/// AllReduce(kMax) bitmap, so the result is independent of rank count and
+/// arrival order — every rank can then apply the identical degraded-merge
+/// decision (the fault-tolerance analogue of the ascending-gather rule).
+/// Throws std::out_of_range if a local index is >= n_parts. Collective.
+std::vector<uint64_t> AgreeQuarantine(Communicator& comm, uint64_t n_parts,
+                                      const std::vector<uint64_t>& local);
+
 // ---- template definitions ----------------------------------------------
 
 namespace internal {

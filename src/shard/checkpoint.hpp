@@ -1,0 +1,48 @@
+// drai/shard/checkpoint.hpp
+//
+// On-disk checkpoint container: the format layer for pipeline stage
+// checkpoint/resume. A checkpoint file is a RecIO stream (CRC-protected
+// records, torn-write detection) whose header metadata carries the
+// checkpoint identity (pipeline, run, plan fingerprint, stages done) and
+// whose records are named opaque sections — the executor stores its bundle
+// and provenance snapshots here without this layer knowing their types.
+// Like every shard format, a reader rejects corruption as kDataLoss at the
+// exact record that was damaged.
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+
+namespace drai::shard {
+
+/// Identity of one checkpoint: which pipeline run it belongs to, the
+/// structural fingerprint of the plan that produced it, and how many plan
+/// stages the saved state has already absorbed.
+struct CheckpointMeta {
+  std::string pipeline;
+  uint64_t run_index = 0;
+  std::string plan_fingerprint;
+  uint64_t stages_done = 0;
+};
+
+/// A decoded checkpoint: identity plus named opaque sections.
+struct CheckpointFile {
+  CheckpointMeta meta;
+  std::map<std::string, Bytes> sections;
+};
+
+/// Serialize a checkpoint. Sections are written in ascending name order so
+/// equal inputs produce byte-identical files.
+Bytes EncodeCheckpoint(const CheckpointMeta& meta,
+                       const std::map<std::string, Bytes>& sections);
+
+/// Parse a checkpoint file. Corruption anywhere (header, meta, any
+/// section's CRC) returns kDataLoss — a damaged checkpoint must never be
+/// resumed from.
+Result<CheckpointFile> DecodeCheckpoint(std::span<const std::byte> file);
+
+}  // namespace drai::shard

@@ -30,6 +30,26 @@ TEST(Status, ErrorCarriesCodeAndMessage) {
   EXPECT_EQ(s.ToString(), "DATA_LOSS: shard 3 crc mismatch");
 }
 
+TEST(Status, UnavailableFactoryAndName) {
+  const Status s = Unavailable("node 12 went away");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(s.ToString(), "UNAVAILABLE: node 12 went away");
+}
+
+TEST(Status, IsRetryableClassifiesTransientCodes) {
+  // Only faults where the *same* operation can plausibly succeed on a
+  // re-run count as retryable; deterministic failures must not.
+  EXPECT_TRUE(Unavailable("timeout").IsRetryable());
+  EXPECT_TRUE(ResourceExhausted("oom").IsRetryable());
+  EXPECT_FALSE(Status::Ok().IsRetryable());
+  EXPECT_FALSE(DataLoss("crc").IsRetryable());
+  EXPECT_FALSE(Internal("bug").IsRetryable());
+  EXPECT_FALSE(InvalidArgument("bad").IsRetryable());
+  EXPECT_FALSE(NotFound("gone").IsRetryable());
+  EXPECT_FALSE(FailedPrecondition("order").IsRetryable());
+}
+
 TEST(Status, OrDieThrowsOnError) {
   EXPECT_THROW(NotFound("x").OrDie(), std::runtime_error);
   EXPECT_NO_THROW(Status::Ok().OrDie());

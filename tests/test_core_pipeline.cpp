@@ -93,7 +93,10 @@ TEST(Pipeline, FailFastStopsAtFirstError) {
   EXPECT_EQ(report.stages.size(), 1u);
 }
 
-TEST(Pipeline, NoFailFastRunsRemainingStages) {
+TEST(Pipeline, NoFailFastSkipsDependentStages) {
+  // Stages form a linear dependency chain, so once one fails the rest
+  // cannot trust their input. fail_fast=false keeps the *report* complete
+  // (every stage gets an entry) but must not run the downstream bodies.
   PipelineOptions options;
   options.fail_fast = false;
   Pipeline p("continue", options);
@@ -108,13 +111,17 @@ TEST(Pipeline, NoFailFastRunsRemainingStages) {
   DataBundle bundle;
   const PipelineReport report = p.Run(bundle);
   EXPECT_FALSE(report.ok);
-  EXPECT_TRUE(later_ran);
-  EXPECT_EQ(report.stages.size(), 2u);
+  EXPECT_FALSE(later_ran);
+  ASSERT_EQ(report.stages.size(), 2u);
+  EXPECT_EQ(report.stages[0].status.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(report.stages[1].status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(report.stages[1].status.message().find("skipped"),
+            std::string::npos);
 }
 
 TEST(Pipeline, NoFailFastKeepsFirstError) {
-  // With fail_fast off and several failing stages, report.error must hold
-  // the FIRST failure, not the last.
+  // With fail_fast off, report.error holds the FIRST failure and every
+  // later stage is recorded as skipped, not run.
   PipelineOptions options;
   options.fail_fast = false;
   Pipeline p("first-error", options);
@@ -130,7 +137,8 @@ TEST(Pipeline, NoFailFastKeepsFirstError) {
   EXPECT_EQ(report.error.code(), StatusCode::kDataLoss);
   ASSERT_EQ(report.stages.size(), 2u);
   EXPECT_EQ(report.stages[0].status.code(), StatusCode::kDataLoss);
-  EXPECT_EQ(report.stages[1].status.code(), StatusCode::kInternal);
+  EXPECT_EQ(report.stages[1].status.code(),
+            StatusCode::kFailedPrecondition);
 }
 
 TEST(Pipeline, NoteParamsDoNotLeakAcrossStages) {

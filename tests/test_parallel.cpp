@@ -329,6 +329,43 @@ TEST(Spmd, UserTagsSurviveInterleavedCollectives) {
   });
 }
 
+TEST(Spmd, AgreeQuarantineUnionsDisjointLocalSets) {
+  // Each rank reports a disjoint local quarantine set; every rank must see
+  // the identical ascending union — the precondition for every rank
+  // applying the same degraded merge.
+  RunSpmd(3, [](Communicator& comm) {
+    std::vector<uint64_t> local;
+    if (comm.rank() == 0) local = {4};
+    if (comm.rank() == 2) local = {1, 7};
+    const std::vector<uint64_t> agreed = AgreeQuarantine(comm, 8, local);
+    EXPECT_EQ(agreed, (std::vector<uint64_t>{1, 4, 7}));
+  });
+}
+
+TEST(Spmd, AgreeQuarantineEmptyEverywhereIsEmpty) {
+  RunSpmd(2, [](Communicator& comm) {
+    const std::vector<uint64_t> agreed = AgreeQuarantine(comm, 5, {});
+    EXPECT_TRUE(agreed.empty());
+  });
+}
+
+TEST(Spmd, AgreeQuarantineRejectsOutOfRangeIndex) {
+  std::atomic<int> throwers{0};
+  RunSpmd(2, [&](Communicator& comm) {
+    std::vector<uint64_t> local;
+    if (comm.rank() == 0) local = {9};  // >= n_parts
+    try {
+      AgreeQuarantine(comm, 4, local);
+    } catch (const std::out_of_range&) {
+      ++throwers;
+      // The other rank is still parked in the collective; feed it a clean
+      // contribution so the test can finish.
+      AgreeQuarantine(comm, 4, {});
+    }
+  });
+  EXPECT_EQ(throwers.load(), 1);
+}
+
 TEST(Spmd, SendToSelfRoundTrips) {
   RunSpmd(1, [](Communicator& comm) {
     comm.SendVec(0, /*tag=*/3, std::vector<int64_t>{1, 2, 3});

@@ -482,5 +482,65 @@ TEST(PipelinePlan, ValidateRejectsRangeWithoutDomainSize) {
   EXPECT_FALSE(plan.Validate().ok());
 }
 
+// ---- report diagnostics edge cases ------------------------------------------
+
+TEST(StageMetrics, PartitionSkewIdentityForSerialAndSingle) {
+  StageMetrics m;
+  EXPECT_EQ(m.PartitionSkew(), 1.0);  // serial: no partition timings
+  m.partition_seconds = {0.5};
+  EXPECT_EQ(m.PartitionSkew(), 1.0);  // single partition: nothing to skew
+}
+
+TEST(StageMetrics, PartitionSkewAllZeroTimingsIsIdentity) {
+  // Sub-resolution partitions must not divide by a zero median.
+  StageMetrics m;
+  m.partition_seconds = {0.0, 0.0, 0.0};
+  EXPECT_EQ(m.PartitionSkew(), 1.0);
+}
+
+TEST(StageMetrics, PartitionSkewNamesTheStraggler) {
+  StageMetrics m;
+  m.partition_seconds = {1.0, 1.0, 4.0};
+  EXPECT_DOUBLE_EQ(m.PartitionSkew(), 4.0);
+}
+
+TEST(PipelineReport, TimeBreakdownEmptyReportIsEmpty) {
+  PipelineReport report;
+  EXPECT_EQ(report.TimeBreakdown(), "");
+}
+
+TEST(PipelineReport, TimeBreakdownZeroTotalSecondsDoesNotDivide) {
+  PipelineReport report;
+  StageMetrics m;
+  m.name = "fast";
+  m.kind = StageKind::kIngest;
+  m.seconds = 0.25;
+  report.stages.push_back(m);
+  report.total_seconds = 0;  // e.g. clock resolution swallowed the run
+  const std::string text = report.TimeBreakdown();
+  EXPECT_NE(text.find("ingest"), std::string::npos);
+  EXPECT_NE(text.find("0.0%"), std::string::npos);
+}
+
+TEST(PipelineReport, TimeBreakdownSkipsSkewForSerialStages) {
+  PipelineReport report;
+  report.total_seconds = 1.0;
+  StageMetrics serial;
+  serial.name = "only";
+  serial.kind = StageKind::kTransform;
+  serial.seconds = 1.0;
+  report.stages.push_back(serial);
+  EXPECT_EQ(report.TimeBreakdown().find("skew"), std::string::npos);
+
+  StageMetrics par;
+  par.name = "spread";
+  par.kind = StageKind::kStructure;
+  par.seconds = 0.0;
+  par.partition_seconds = {1.0, 2.0};
+  report.stages.push_back(par);
+  EXPECT_NE(report.TimeBreakdown().find("skew"), std::string::npos);
+  EXPECT_NE(report.TimeBreakdown().find("spread"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace drai::core

@@ -365,5 +365,60 @@ TEST(SpmdExecutor, WorldLargerThanPartitionCountStillCoversAll) {
   EXPECT_EQ(bundle.examples.size(), 4u);
 }
 
+TEST(SpmdExecutor, QuarantineDropsSamePartitionOnEveryRankCount) {
+  // A partition whose attempts exhaust under a quarantine policy must be
+  // dropped identically for any rank world size — the ranks agree on the
+  // quarantine set through a collective before merging.
+  auto run = [](size_t ranks) {
+    PipelineOptions options;
+    options.backend = Backend::kSpmd;
+    options.threads = ranks;
+    FaultSite site;
+    site.stage = "mark";
+    site.partition = 1;
+    site.fail_attempts = 10;
+    options.faults.sites.push_back(site);
+    Pipeline p("spmd-quarantine", options);
+
+    ParallelSpec spec;
+    spec.axis = PartitionAxis::kExamples;
+    spec.grain = 2;
+    p.Add("seed", StageKind::kIngest,
+          [](DataBundle& bundle, StageContext&) -> Status {
+            for (size_t i = 0; i < 8; ++i) {
+              shard::Example ex;
+              ex.key = "e" + std::to_string(i);
+              bundle.examples.push_back(std::move(ex));
+            }
+            return Status::Ok();
+          });
+    p.Add("mark", StageKind::kPreprocess, ExecutionHint::kRecordParallel,
+          [](DataBundle& bundle, StageContext&) -> Status {
+            for (auto& ex : bundle.examples) ex.key += "!";
+            return Status::Ok();
+          },
+          spec);
+    RetryPolicy retry;
+    retry.max_attempts = 2;
+    retry.quarantine = true;
+    p.WithRetry(retry);
+
+    DataBundle bundle;
+    const PipelineReport report = p.Run(bundle);
+    EXPECT_TRUE(report.ok) << report.error.ToString();
+    EXPECT_EQ(report.quarantined.size(), 1u);
+    return bundle.Serialize();
+  };
+  const Bytes two = run(2);
+  EXPECT_EQ(two, run(3));
+  EXPECT_EQ(two, run(5));
+  // Examples 2 and 3 (partition 1) are gone on every world size.
+  auto parsed = DataBundle::Parse(two);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->examples.size(), 6u);
+  EXPECT_EQ(parsed->examples[0].key, "e0!");
+  EXPECT_EQ(parsed->examples[2].key, "e4!");
+}
+
 }  // namespace
 }  // namespace drai::core
