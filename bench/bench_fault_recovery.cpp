@@ -16,6 +16,14 @@
 //               from the last checkpoint: the resumed run must reproduce
 //               the uninterrupted run's bytes while re-running only the
 //               stages past the checkpoint.
+//   hang        background hang rates {1%, 5%} stall sampled partitions for
+//               30 s; a hard deadline cancels each stalled attempt and the
+//               retry replays it clean, so the wall clock stays far below a
+//               single hang and the bytes still match the baseline.
+//   speculation a slowdown-only fault site makes one partition a straggler;
+//               a soft deadline races a backup copy against it. The backup
+//               commits byte-identically and beats the hard-timeout-only
+//               configuration's wall clock.
 //
 // Besides the text tables this bench emits machine-parsable lines:
 //   BENCH {"bench":"fault_recovery","section":...}
@@ -27,6 +35,7 @@
 #include "bench_util.hpp"
 #include "common/hash.hpp"
 #include "common/strings.hpp"
+#include "common/timer.hpp"
 #include "core/checkpoint.hpp"
 #include "domains/climate.hpp"
 
@@ -219,6 +228,150 @@ int Main() {
         "\"identical\":%s}\n",
         died ? "true" : "false", has_ckpt ? "true" : "false", stages_done,
         identical ? "true" : "false");
+  }
+
+  // -- section 4: hang injection under a hard deadline ---------------------
+  // Sampled partitions stall for 30 s — far beyond anything the pipeline
+  // should tolerate. The per-stage hard deadline cancels each stalled
+  // attempt cooperatively and the retry replays the pristine slice with the
+  // same RNG stream, so recovery never shows in the output bytes and the
+  // wall clock stays orders of magnitude below a single hang. The hang seed,
+  // like the retry seed above, is one whose sampled schedule lands only on
+  // deadline-armed parallel-stage cells (pure function of the coordinates:
+  // holds on every backend and worker count).
+  {
+    bench::Table hang_table({"backend", "hang rate", "wall", "timeouts",
+                             "retries", "dataset"});
+    for (core::Backend backend :
+         {core::Backend::kThread, core::Backend::kSpmd}) {
+      for (double rate : {0.01, 0.05}) {
+        domains::ClimateArchetypeConfig config = BaseConfig();
+        config.backend = backend;
+        config.retry.max_attempts = 3;
+        config.deadline.hard_ms = 150;
+        config.faults.seed = 0xA110;
+        config.faults.hang_rate = rate;
+        config.faults.hang_ms = 30'000;
+        config.faults.hang_attempts = 1;
+        par::StripedStore store;
+        WallTimer wall;
+        const auto result = domains::RunClimateArchetype(store, config);
+        if (!result.ok()) {
+          std::fprintf(stderr, "hung run failed (%s, rate %.2f): %s\n",
+                       std::string(core::BackendName(backend)).c_str(), rate,
+                       result.status().ToString().c_str());
+          ++failures;
+          continue;
+        }
+        const std::string hash = DatasetHash(store, config.dataset_dir);
+        uint64_t timeouts = 0;
+        for (const auto& m : result->report.stages) timeouts += m.timeouts;
+        // Identity AND liveness: the run must both reproduce the baseline
+        // bytes and have actually hit (and escaped) at least one hang.
+        const bool identical = hash == baseline_hash;
+        const bool escaped =
+            timeouts >= 1 && wall.Seconds() < config.faults.hang_ms / 2000.0;
+        if (!identical || !escaped) ++failures;
+        hang_table.AddRow(
+            {std::string(core::BackendName(backend)),
+             bench::Fmt("%.0f%%", rate * 100),
+             HumanDuration(result->report.total_seconds),
+             std::to_string(timeouts),
+             std::to_string(TotalRetries(result->report)),
+             hash.substr(0, 16) + (identical ? "" : " MISMATCH") +
+                 (escaped ? "" : " STALLED")});
+        std::printf(
+            "BENCH {\"bench\":\"fault_recovery\",\"section\":\"hang\","
+            "\"backend\":\"%s\",\"hang_rate\":%.2f,\"hang_ms\":%.0f,"
+            "\"hard_deadline_ms\":%.0f,\"wall_s\":%.4f,\"timeouts\":%llu,"
+            "\"identical\":%s}\n",
+            std::string(core::BackendName(backend)).c_str(), rate,
+            config.faults.hang_ms, config.deadline.hard_ms,
+            result->report.total_seconds,
+            static_cast<unsigned long long>(timeouts),
+            identical ? "true" : "false");
+      }
+    }
+    bench::Banner("hang injection — hard deadline cancels, retry replays");
+    hang_table.Print();
+  }
+
+  // -- section 5: straggler speculation vs hard timeout only ---------------
+  // One partition of "regrid" is a straggler (slowdown-only site: no
+  // failure, just a 5 s stall). The hard-timeout-only config waits out its
+  // full hard deadline before the retry replays the slice; the speculative
+  // config's soft deadline launches a backup from the pristine slice after
+  // 60 ms which skips the environment-local delay and commits — same bytes,
+  // far less waiting.
+  {
+    core::FaultSite straggler;
+    straggler.stage = "regrid";
+    straggler.partition = 0;
+    straggler.code = StatusCode::kOk;  // slowdown, not fail-stop
+    straggler.hang_ms = 5'000;
+    straggler.fail_attempts = 1;
+
+    bench::Table spec_table({"backend", "policy", "wall", "spec launched",
+                             "spec wins", "dataset"});
+    for (core::Backend backend :
+         {core::Backend::kThread, core::Backend::kSpmd}) {
+      double hard_only_wall = 0;
+      for (const bool speculative : {false, true}) {
+        domains::ClimateArchetypeConfig config = BaseConfig();
+        config.backend = backend;
+        config.retry.max_attempts = 2;
+        config.deadline.hard_ms = 1'500;
+        if (speculative) config.deadline.soft_ms = 60;
+        config.faults.sites.push_back(straggler);
+        par::StripedStore store;
+        const auto result = domains::RunClimateArchetype(store, config);
+        if (!result.ok()) {
+          std::fprintf(stderr, "straggler run failed (%s, %s): %s\n",
+                       std::string(core::BackendName(backend)).c_str(),
+                       speculative ? "speculative" : "hard-only",
+                       result.status().ToString().c_str());
+          ++failures;
+          continue;
+        }
+        const std::string hash = DatasetHash(store, config.dataset_dir);
+        const bool identical = hash == baseline_hash;
+        uint64_t launched = 0;
+        uint64_t wins = 0;
+        for (const auto& m : result->report.stages) {
+          launched += m.speculative_launched;
+          wins += m.speculative_wins;
+        }
+        bool ok = identical;
+        if (speculative) {
+          // The backup must actually have rescued the straggler, and doing
+          // so must beat waiting for the hard deadline.
+          ok = ok && launched >= 1 && wins >= 1 &&
+               result->report.total_seconds < hard_only_wall;
+        } else {
+          hard_only_wall = result->report.total_seconds;
+        }
+        if (!ok) ++failures;
+        spec_table.AddRow(
+            {std::string(core::BackendName(backend)),
+             speculative ? "soft 60ms + spec" : "hard 1500ms only",
+             HumanDuration(result->report.total_seconds),
+             std::to_string(launched), std::to_string(wins),
+             hash.substr(0, 16) + (ok ? "" : " FAILED")});
+        std::printf(
+            "BENCH {\"bench\":\"fault_recovery\",\"section\":\"speculation\","
+            "\"backend\":\"%s\",\"policy\":\"%s\",\"wall_s\":%.4f,"
+            "\"speculative_launched\":%llu,\"speculative_wins\":%llu,"
+            "\"identical\":%s}\n",
+            std::string(core::BackendName(backend)).c_str(),
+            speculative ? "soft+spec" : "hard-only",
+            result->report.total_seconds,
+            static_cast<unsigned long long>(launched),
+            static_cast<unsigned long long>(wins),
+            identical ? "true" : "false");
+      }
+    }
+    bench::Banner("straggler speculation — backup copy vs hard timeout");
+    spec_table.Print();
   }
 
   if (failures > 0) {

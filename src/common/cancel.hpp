@@ -1,0 +1,89 @@
+// drai/common/cancel.hpp
+//
+// Cooperative cancellation. A CancelToken is a cheap, copyable handle to a
+// shared cancellation state; copies observe the same flag. Cancellation is
+// cooperative: nothing is preempted — long-running code polls `Cancelled()`
+// (stage bodies via `StageContext::Cancelled()`, injected hangs via
+// `SleepUnlessCancelled`) and unwinds with kDeadlineExceeded. A token can
+// also carry a Deadline, after which it reads as cancelled without anyone
+// calling Cancel().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.hpp"
+#include "common/timer.hpp"
+
+namespace drai {
+
+/// Shared cooperative cancellation flag with a reason and optional deadline.
+/// Copying is cheap (shared_ptr); all copies see the same state. Thread-safe.
+class CancelToken {
+ public:
+  CancelToken() : state_(std::make_shared<State>()) {}
+
+  /// Trip the flag. The first caller's reason wins; later calls are no-ops.
+  void Cancel(const std::string& reason) const {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (state_->cancelled.load(std::memory_order_relaxed)) return;
+    state_->reason = reason;
+    state_->cancelled.store(true, std::memory_order_release);
+  }
+
+  /// Arm (or replace) a deadline; the token reads as cancelled once it
+  /// passes. Stored as steady-clock nanos so polling stays lock-free.
+  void SetDeadline(const Deadline& deadline) const {
+    state_->deadline_ns.store(
+        deadline.infinite() ? kNoDeadline
+                            : deadline.when().time_since_epoch().count(),
+        std::memory_order_release);
+  }
+
+  /// True once Cancel() was called or the armed deadline passed. Lock-free;
+  /// safe to poll at record granularity inside stage bodies.
+  [[nodiscard]] bool Cancelled() const {
+    if (state_->cancelled.load(std::memory_order_acquire)) return true;
+    int64_t ns = state_->deadline_ns.load(std::memory_order_acquire);
+    return ns != kNoDeadline &&
+           Deadline::Clock::now().time_since_epoch().count() >= ns;
+  }
+
+  /// The reason passed to Cancel(), or "" when only a deadline expired.
+  [[nodiscard]] std::string reason() const {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->reason;
+  }
+
+  /// kDeadlineExceeded carrying the cancellation reason — what a polling
+  /// stage body should return after observing Cancelled().
+  [[nodiscard]] Status AsStatus() const {
+    std::string why = reason();
+    return DeadlineExceeded(why.empty() ? "deadline exceeded" : why);
+  }
+
+  /// Tokens sharing state compare equal — used to tell "same attempt".
+  friend bool operator==(const CancelToken& a, const CancelToken& b) {
+    return a.state_ == b.state_;
+  }
+
+ private:
+  static constexpr int64_t kNoDeadline = INT64_MIN;
+  struct State {
+    std::atomic<bool> cancelled{false};
+    std::atomic<int64_t> deadline_ns{kNoDeadline};
+    std::mutex mu;      // guards reason
+    std::string reason;
+  };
+  std::shared_ptr<State> state_;
+};
+
+/// Sleep for ~`ms`, waking early if `token` trips. Returns false when the
+/// sleep was cut short by cancellation. Used by fault injection to model a
+/// hang that a watchdog can still cancel.
+bool SleepUnlessCancelled(double ms, const CancelToken& token);
+
+}  // namespace drai

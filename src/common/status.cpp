@@ -16,6 +16,7 @@ std::string_view StatusCodeName(StatusCode code) {
     case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
     case StatusCode::kPermissionDenied: return "PERMISSION_DENIED";
     case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }
@@ -66,6 +67,9 @@ Status PermissionDenied(std::string msg) {
 }
 Status Unavailable(std::string msg) {
   return Status(StatusCode::kUnavailable, std::move(msg));
+}
+Status DeadlineExceeded(std::string msg) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(msg));
 }
 
 }  // namespace drai

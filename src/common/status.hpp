@@ -32,6 +32,7 @@ enum class StatusCode {
   kResourceExhausted, ///< quota/limit hit (e.g. simulated storage full)
   kPermissionDenied,  ///< governance/privacy policy refused the operation
   kUnavailable,       ///< transient fault (I/O timeout, node loss) — retry may succeed
+  kDeadlineExceeded,  ///< deadline passed or attempt cancelled — retry may beat it
 };
 
 /// Human-readable name of a status code ("OK", "DATA_LOSS", ...).
@@ -53,12 +54,15 @@ class Status {
 
   /// Transient-failure classification: true for codes where re-running the
   /// same operation can plausibly succeed (kUnavailable: I/O timeouts and
-  /// node faults; kResourceExhausted: quota pressure that may clear).
-  /// Deterministic-input failures (kDataLoss, kInvalidArgument, kInternal,
-  /// ...) are permanent: a retry would fail identically.
+  /// node faults; kResourceExhausted: quota pressure that may clear;
+  /// kDeadlineExceeded: the attempt was slow or stuck, a fresh attempt may
+  /// finish in time). Deterministic-input failures (kDataLoss,
+  /// kInvalidArgument, kInternal, ...) are permanent: a retry would fail
+  /// identically.
   [[nodiscard]] bool IsRetryable() const {
     return code_ == StatusCode::kUnavailable ||
-           code_ == StatusCode::kResourceExhausted;
+           code_ == StatusCode::kResourceExhausted ||
+           code_ == StatusCode::kDeadlineExceeded;
   }
 
   /// "OK" or "DATA_LOSS: shard 3 crc mismatch".
@@ -89,6 +93,7 @@ Status Internal(std::string msg);
 Status ResourceExhausted(std::string msg);
 Status PermissionDenied(std::string msg);
 Status Unavailable(std::string msg);
+Status DeadlineExceeded(std::string msg);
 
 /// Result<T>: either a value or a non-OK Status. A minimal StatusOr.
 template <typename T>

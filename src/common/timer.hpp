@@ -5,6 +5,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <string>
 
@@ -24,6 +25,53 @@ class WallTimer {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// A point on the steady clock by which an operation must finish. Monotonic,
+/// so wall-clock adjustments cannot fire or defer it. Default-constructed
+/// deadlines are infinite (never expire), which lets "no deadline" flow
+/// through wait paths without a separate sentinel.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Infinite: never expires.
+  Deadline() = default;
+
+  static Deadline Infinite() { return Deadline(); }
+
+  /// Expires `ms` milliseconds from now. Non-positive budgets mean infinite
+  /// (callers pass 0 for "unbounded").
+  static Deadline AfterMs(double ms) {
+    Deadline d;
+    if (ms > 0) {
+      d.infinite_ = false;
+      d.when_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double, std::milli>(ms));
+    }
+    return d;
+  }
+
+  static Deadline After(double seconds) { return AfterMs(seconds * 1e3); }
+
+  [[nodiscard]] bool infinite() const { return infinite_; }
+  [[nodiscard]] bool expired() const {
+    return !infinite_ && Clock::now() >= when_;
+  }
+
+  /// Seconds left before expiry; +inf when infinite, clamped at 0 once past.
+  [[nodiscard]] double RemainingSeconds() const {
+    if (infinite_) return std::numeric_limits<double>::infinity();
+    double left = std::chrono::duration<double>(when_ - Clock::now()).count();
+    return left > 0 ? left : 0;
+  }
+
+  /// The expiry instant. Only meaningful when !infinite().
+  [[nodiscard]] Clock::time_point when() const { return when_; }
+
+ private:
+  bool infinite_ = true;
+  Clock::time_point when_{};
 };
 
 /// Accumulates named timing buckets — the Figure-1 bench uses this to report

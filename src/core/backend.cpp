@@ -60,6 +60,9 @@ SpmdBackend::SpmdBackend(size_t ranks) : ranks_(ranks) {
 void SpmdBackend::Map(const PartitionTask& task) {
   const uint64_t n_parts = task.n_parts;
   par::RunSpmd(static_cast<int>(ranks_), [&](par::Communicator& comm) {
+    if (task.collective_timeout_ms > 0) {
+      comm.SetWaitTimeout(task.collective_timeout_ms);
+    }
     // Rank 0 deals partitions out block-cyclically; determinism does not
     // depend on the assignment (any rank may run any partition), only on
     // the ascending gather order below.

@@ -62,6 +62,11 @@ struct PartitionTask {
   /// scheduler's side it is also consulted post-transport as a cross-check.
   /// Null when no stage in the group can quarantine.
   std::function<bool(size_t)> quarantined;
+  /// Bound on every blocking Communicator wait during this map (SPMD only;
+  /// thread backends have no collectives). 0 = unbounded. When a rank is
+  /// stuck, every other rank surfaces par::DeadlineExceededError together
+  /// instead of deadlocking in Scatter/GatherByIndex/AgreeQuarantine.
+  double collective_timeout_ms = 0.0;
 };
 
 /// Strategy interface: execute a PartitionTask. Implementations may throw

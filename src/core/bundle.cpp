@@ -192,6 +192,27 @@ Result<DataBundle> DataBundle::Parse(std::span<const std::byte> bytes) {
   return bundle;
 }
 
+DataBundle DataBundle::Clone() const {
+  DataBundle out;
+  out.blobs = blobs;
+  for (const auto& [name, t] : tensors) {
+    out.tensors.emplace(name, t.AsContiguous());
+  }
+  out.tables = tables;
+  out.signal_sets = signal_sets;
+  out.examples.reserve(examples.size());
+  for (const auto& ex : examples) {
+    shard::Example copy;
+    copy.key = ex.key;
+    for (const auto& [name, f] : ex.features) {
+      copy.features.emplace(name, f.AsContiguous());
+    }
+    out.examples.push_back(std::move(copy));
+  }
+  out.attrs = attrs;
+  return out;
+}
+
 uint64_t DataBundle::ApproxBytes() const {
   uint64_t total = 0;
   for (const auto& [_, b] : blobs) total += b.size();

@@ -51,6 +51,13 @@ class DataBundle {
   /// Approximate resident size, for stage metrics.
   [[nodiscard]] uint64_t ApproxBytes() const;
 
+  /// Deep copy. Plain copy-construction shares NDArray storage (tensors and
+  /// example features are views onto refcounted buffers), so a stage that
+  /// mutates a tensor in place writes through every "copy". Snapshots that
+  /// must stay pristine while the original keeps running — retry/quarantine
+  /// slices, speculative working copies — need Clone.
+  [[nodiscard]] DataBundle Clone() const;
+
   /// Full-fidelity serialization for checkpointing: every collection, in
   /// deterministic (map/vector) order, so equal bundles produce equal
   /// bytes. Tensors ride the CRC-checked container encoding; corruption

@@ -1,9 +1,73 @@
 #include "core/checkpoint.hpp"
 
+#include <cstdio>
+
 #include "parallel/striped_store.hpp"
 #include "shard/checkpoint.hpp"
 
 namespace drai::core {
+
+namespace {
+
+// Quarantined partitions travel as one section each ("quarantine/0007"),
+// pristine slice included, so Resume can re-ingest the dropped records.
+// Zero-padded keys keep the section map's lexicographic order equal to
+// execution order.
+std::string QuarantineKey(size_t i) {
+  char key[32];
+  std::snprintf(key, sizeof key, "quarantine/%04zu", i);
+  return key;
+}
+
+Bytes EncodeQuarantine(const QuarantineRecord& q) {
+  ByteWriter w;
+  w.PutString(q.stage);
+  w.PutVarU64(q.stage_index);
+  w.PutVarU64(q.partition);
+  w.PutVarU64(q.slot.index);
+  w.PutVarU64(q.slot.count);
+  w.PutVarU64(q.slot.lo);
+  w.PutVarU64(q.slot.hi);
+  w.PutVarU64(q.attempts);
+  w.PutVarU64(static_cast<uint64_t>(q.error.code()));
+  w.PutString(q.error.message());
+  w.PutVarU64(q.units);
+  w.PutBlob(q.slice.Serialize());
+  return w.Take();
+}
+
+Result<QuarantineRecord> DecodeQuarantine(const Bytes& payload) {
+  ByteReader r(payload);
+  QuarantineRecord q;
+  uint64_t u = 0;
+  DRAI_RETURN_IF_ERROR(r.GetString(q.stage));
+  DRAI_RETURN_IF_ERROR(r.GetVarU64(u));
+  q.stage_index = static_cast<size_t>(u);
+  DRAI_RETURN_IF_ERROR(r.GetVarU64(u));
+  q.partition = static_cast<size_t>(u);
+  DRAI_RETURN_IF_ERROR(r.GetVarU64(u));
+  q.slot.index = static_cast<size_t>(u);
+  DRAI_RETURN_IF_ERROR(r.GetVarU64(u));
+  q.slot.count = static_cast<size_t>(u);
+  DRAI_RETURN_IF_ERROR(r.GetVarU64(u));
+  q.slot.lo = static_cast<size_t>(u);
+  DRAI_RETURN_IF_ERROR(r.GetVarU64(u));
+  q.slot.hi = static_cast<size_t>(u);
+  DRAI_RETURN_IF_ERROR(r.GetVarU64(u));
+  q.attempts = static_cast<size_t>(u);
+  DRAI_RETURN_IF_ERROR(r.GetVarU64(u));
+  std::string message;
+  DRAI_RETURN_IF_ERROR(r.GetString(message));
+  q.error = Status(static_cast<StatusCode>(u), std::move(message));
+  DRAI_RETURN_IF_ERROR(r.GetVarU64(u));
+  q.units = static_cast<size_t>(u);
+  Bytes slice;
+  DRAI_RETURN_IF_ERROR(r.GetBlob(slice));
+  DRAI_ASSIGN_OR_RETURN(q.slice, DataBundle::Parse(slice));
+  return q;
+}
+
+}  // namespace
 
 StoreCheckpointSink::StoreCheckpointSink(par::StripedStore& store,
                                          std::string directory)
@@ -29,6 +93,9 @@ Status StoreCheckpointSink::Save(const PipelineCheckpoint& checkpoint) {
     ByteWriter w;
     w.PutU64(static_cast<uint64_t>(*checkpoint.last_state));
     sections["last_state"] = w.Take();
+  }
+  for (size_t i = 0; i < checkpoint.quarantined.size(); ++i) {
+    sections[QuarantineKey(i)] = EncodeQuarantine(checkpoint.quarantined[i]);
   }
 
   const Bytes file = shard::EncodeCheckpoint(meta, sections);
@@ -68,6 +135,13 @@ Result<std::optional<PipelineCheckpoint>> StoreCheckpointSink::LoadLatest(
     uint64_t v = 0;
     DRAI_RETURN_IF_ERROR(r.GetU64(v));
     cp.last_state = static_cast<size_t>(v);
+  }
+  // The section map is sorted and the keys are zero-padded, so quarantined
+  // slices come back in the order the run dropped them.
+  for (const auto& [key, payload] : decoded.sections) {
+    if (key.rfind("quarantine/", 0) != 0) continue;
+    DRAI_ASSIGN_OR_RETURN(QuarantineRecord q, DecodeQuarantine(payload));
+    cp.quarantined.push_back(std::move(q));
   }
   return std::optional<PipelineCheckpoint>{std::move(cp)};
 }

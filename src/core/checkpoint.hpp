@@ -14,10 +14,12 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/bytes.hpp"
 #include "common/status.hpp"
 #include "core/bundle.hpp"
+#include "core/executor.hpp"
 
 namespace drai::par {
 class StripedStore;
@@ -41,6 +43,10 @@ struct PipelineCheckpoint {
   Bytes provenance;
   /// The lineage cursor (index of the latest bundle-state artifact).
   std::optional<size_t> last_state;
+  /// Partitions the run quarantined so far, pristine slices included, so a
+  /// later Resume can re-ingest the dropped records once the transient
+  /// fault clears.
+  std::vector<QuarantineRecord> quarantined;
 };
 
 /// Where checkpoints go. Save replaces the pipeline's previous checkpoint;

@@ -3,14 +3,18 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <exception>
+#include <mutex>
 #include <thread>
 
 #include "common/strings.hpp"
 #include "common/timer.hpp"
 #include "core/checkpoint.hpp"
 #include "core/partitioner.hpp"
+#include "core/watchdog.hpp"
+#include "parallel/communicator.hpp"
 
 namespace drai::core {
 
@@ -56,16 +60,27 @@ std::string PipelineReport::TimeBreakdown() const {
     skew += buf;
   }
   if (!skew.empty()) out += " || skew(max/med): " + skew;
+  // Time-based fault handling, when any of it fired: deadline-cancelled
+  // attempts and straggler speculation outcomes.
+  uint64_t timeouts = 0, launched = 0, wins = 0;
+  for (const StageMetrics& s : stages) {
+    timeouts += s.timeouts;
+    launched += s.speculative_launched;
+    wins += s.speculative_wins;
+  }
+  if (timeouts > 0 || launched > 0) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  " || deadlines: %llu timeouts, %llu speculative (%llu won)",
+                  static_cast<unsigned long long>(timeouts),
+                  static_cast<unsigned long long>(launched),
+                  static_cast<unsigned long long>(wins));
+    out += buf;
+  }
   return out;
 }
 
-namespace {
-
-/// Arithmetically derive the RNG stream for one (run, stage, slot) cell.
-/// Slot 0 is the serial stage / Before hook; slot p+1 is partition p; slot
-/// n_parts+1 is the After hook. A pure function of the coordinates, so the
-/// stream never depends on worker count or scheduling order.
-Rng DeriveRng(uint64_t seed, uint64_t run, size_t stage, size_t slot) {
+Rng DeriveStageRng(uint64_t seed, uint64_t run, size_t stage, size_t slot) {
   uint64_t x = seed;
   const uint64_t salts[] = {run, static_cast<uint64_t>(stage),
                             static_cast<uint64_t>(slot)};
@@ -74,6 +89,27 @@ Rng DeriveRng(uint64_t seed, uint64_t run, size_t stage, size_t slot) {
     x = sm.Next();
   }
   return Rng(x);
+}
+
+size_t FusedGroupEnd(const PipelinePlan& plan, size_t first) {
+  const auto& stages = plan.stages();
+  size_t j = first + 1;
+  if (stages[first].hint == ExecutionHint::kSerial) return j;
+  while (j < stages.size() && stages[j].hint != ExecutionHint::kSerial &&
+         stages[j].parallel == stages[first].parallel &&
+         !stages[j - 1].stage->HasAfterHook() &&
+         !stages[j].stage->HasBeforeHook()) {
+    ++j;
+  }
+  return j;
+}
+
+namespace {
+
+/// Shorthand — the executor derives every stream through the exported
+/// DeriveStageRng so Resume's re-admission replay can reproduce them.
+Rng DeriveRng(uint64_t seed, uint64_t run, size_t stage, size_t slot) {
+  return DeriveStageRng(seed, run, stage, slot);
 }
 
 Status GuardedRun(Stage& stage, DataBundle& bundle, StageContext& ctx) {
@@ -85,8 +121,22 @@ Status GuardedRun(Stage& stage, DataBundle& bundle, StageContext& ctx) {
     // stage failure always wins over an injected one.
     if (status.ok() && ctx.injected_fault().has_value()) {
       const InjectedFault& fault = *ctx.injected_fault();
-      if (fault.throw_instead) throw std::runtime_error(fault.status.message());
-      return fault.status;
+      // An injected hang stalls the commit cooperatively, so a watchdog
+      // cancel (hard deadline, lost speculation race) still unwinds the
+      // attempt promptly. The delay models *environment*-local slowness —
+      // a slow mount, a wedged peer — so it does not follow a speculative
+      // backup copy onto its (presumed healthy) worker.
+      if (fault.delay_ms > 0 && !ctx.speculative()) {
+        if (!SleepUnlessCancelled(fault.delay_ms, ctx.cancel_token())) {
+          return ctx.CancelledStatus();
+        }
+      }
+      if (!fault.status.ok()) {
+        if (fault.throw_instead) {
+          throw std::runtime_error(fault.status.message());
+        }
+        return fault.status;
+      }
     }
     return status;
   } catch (const std::exception& e) {
@@ -126,6 +176,8 @@ struct PartResult {
   /// Attempts exhausted under a quarantine policy: the slice's records are
   /// dropped from the merge and the run continues.
   bool quarantined = false;
+  /// Attempts that ended kDeadlineExceeded (cancelled or timed out).
+  uint64_t timeouts = 0;
   std::map<std::string, std::string> params;
   std::map<std::string, uint64_t> counts;
   std::map<std::string, Bytes> partials;
@@ -139,6 +191,7 @@ void PackResult(ByteWriter& w, const PartResult& r) {
   w.PutU64(r.bytes_after);
   w.PutVarU64(r.attempts);
   w.PutU8(r.quarantined ? 1 : 0);
+  w.PutVarU64(r.timeouts);
   w.PutVarU64(r.params.size());
   for (const auto& [k, v] : r.params) {
     w.PutString(k);
@@ -179,6 +232,7 @@ PartResult UnpackResult(ByteReader& rd) {
   uint8_t quarantined = 0;
   req(rd.GetU8(quarantined));
   r.quarantined = quarantined != 0;
+  req(rd.GetVarU64(r.timeouts));
   uint64_t n = 0;
   req(rd.GetVarU64(n));
   for (uint64_t i = 0; i < n; ++i) {
@@ -207,6 +261,24 @@ PartResult UnpackResult(ByteReader& rd) {
 }
 
 bool IsParallel(ExecutionHint hint) { return hint != ExecutionHint::kSerial; }
+
+/// Watchdog poll interval: fine enough that the smallest armed limit fires
+/// within ~10% of its value, without spinning for generous limits.
+double WatchdogPollMs(double min_limit_ms) {
+  return std::clamp(min_limit_ms / 10.0, 0.5, 25.0);
+}
+
+/// The smallest positive armed limit among the group's policies, for the
+/// poll interval above. 0 when nothing is armed.
+double MinArmedLimitMs(const std::vector<const DeadlinePolicy*>& policies) {
+  double min_ms = 0;
+  for (const DeadlinePolicy* d : policies) {
+    for (double v : {d->soft_ms, d->hard_ms}) {
+      if (v > 0 && (min_ms == 0 || v < min_ms)) min_ms = v;
+    }
+  }
+  return min_ms;
+}
 
 }  // namespace
 
@@ -242,15 +314,7 @@ PipelineReport ParallelExecutor::Run(const PipelinePlan& plan,
     // the chain per partition, merge once. Fusion is independent of
     // fail_fast — the error-reporting knob must not change which bundle
     // states stages observe.
-    size_t j = i + 1;
-    if (IsParallel(stages[i].hint)) {
-      while (j < stages.size() && IsParallel(stages[j].hint) &&
-             stages[j].parallel == stages[i].parallel &&
-             !stages[j - 1].stage->HasAfterHook() &&
-             !stages[j].stage->HasBeforeHook()) {
-        ++j;
-      }
-    }
+    const size_t j = FusedGroupEnd(plan, i);
     const size_t already = report.stages.size();
     RunGroup(plan, i, j, bundle, scope, report);
     bool failed = false;
@@ -297,6 +361,9 @@ PipelineReport ParallelExecutor::Run(const PipelinePlan& plan,
       if (scope.last_state != nullptr && scope.last_state->has_value()) {
         cp.last_state = **scope.last_state;
       }
+      // Quarantined slices travel with every checkpoint, so whichever save
+      // the run dies after still lets Resume re-admit the dropped records.
+      cp.quarantined = report.quarantined;
       if (Status saved = scope.checkpoint->Save(cp); !saved.ok()) {
         report.ok = false;
         report.error = Status(saved.code(),
@@ -316,6 +383,12 @@ void ParallelExecutor::RunGroup(const PipelinePlan& plan, size_t first,
                                 PipelineReport& report) {
   const auto& stages = plan.stages();
   const PlannedStage& head = stages[first];
+  // Effective deadline: the stage's own policy, or the executor-wide
+  // default for stages that never declared one (the watchdog safety net).
+  auto effective_deadline = [&](size_t abs) -> const DeadlinePolicy& {
+    return stages[abs].deadline.active() ? stages[abs].deadline
+                                         : options_.default_deadline;
+  };
 
   // ---- Serial stage: hooks + Run inline on the calling thread. ----------
   if (head.hint == ExecutionHint::kSerial) {
@@ -330,8 +403,16 @@ void ParallelExecutor::RunGroup(const PipelinePlan& plan, size_t first,
     // byte-identical to a fault-free run. Serial stages never quarantine —
     // dropping the entire bundle is not a degraded outcome.
     const RetryPolicy& retry = head.retry;
+    // Hard deadlines cover serial stages too; soft ones do not — there is
+    // no pristine slice to race a second copy on while the only copy runs.
+    const DeadlinePolicy& deadline = effective_deadline(first);
+    std::unique_ptr<AttemptWatchdog> watchdog;
+    if (deadline.hard_ms > 0) {
+      watchdog = std::make_unique<AttemptWatchdog>(
+          WatchdogPollMs(deadline.hard_ms));
+    }
     std::optional<DataBundle> snapshot;
-    if (retry.max_attempts > 1) snapshot = bundle;
+    if (retry.max_attempts > 1) snapshot = bundle.Clone();
     size_t attempt = 1;
     WallTimer timer;
     for (;;) {
@@ -343,6 +424,10 @@ void ParallelExecutor::RunGroup(const PipelinePlan& plan, size_t first,
         ctx.SetInjectedFault(options_.faults.Decide(scope.run_index, m.name,
                                                     first, 0, attempt));
       }
+      if (watchdog) {
+        watchdog->Track(0, ctx.cancel_token(), /*soft_ms=*/0.0,
+                        deadline.hard_ms, "stage '" + m.name + "'");
+      }
       m.status = head.stage->HasBeforeHook()
                      ? head.stage->BeforePartition(bundle, ctx)
                      : Status::Ok();
@@ -350,13 +435,15 @@ void ParallelExecutor::RunGroup(const PipelinePlan& plan, size_t first,
       if (m.status.ok() && head.stage->HasAfterHook()) {
         m.status = head.stage->AfterMerge(bundle, ctx);
       }
+      if (watchdog) watchdog->Release(0);
+      if (m.status.code() == StatusCode::kDeadlineExceeded) ++m.timeouts;
       if (m.status.ok() || attempt >= retry.max_attempts ||
           !retry.ShouldRetry(m.status)) {
         break;
       }
       ++attempt;
       BackoffSleep(retry, attempt);
-      bundle = *snapshot;
+      bundle = snapshot->Clone();
     }
     m.attempts = attempt;
     m.seconds = timer.Seconds();
@@ -431,20 +518,75 @@ void ParallelExecutor::RunGroup(const PipelinePlan& plan, size_t first,
   std::atomic<bool> abort{false};
   const bool fail_fast = options_.fail_fast;
 
-  PartitionTask task;
-  task.n_parts = n_parts;
-  task.run = [&](size_t p) {
+  // Deadline posture for the fused group. Any armed soft deadline switches
+  // the whole group to speculation mode (Mode B below): partitions run on
+  // working copies and publish through a commit protocol, so a backup copy
+  // can race its straggling primary from the same pristine slice.
+  std::vector<const DeadlinePolicy*> policies(n_stages);
+  bool any_hard = false;
+  bool any_soft = false;
+  double collective_ms = 0;
+  for (size_t s = 0; s < n_stages; ++s) {
+    policies[s] = &effective_deadline(first + s);
+    any_hard |= policies[s]->hard_ms > 0;
+    any_soft |= policies[s]->soft_ms > 0;
+    collective_ms = std::max(collective_ms, policies[s]->collective_ms);
+  }
+  const bool speculate = any_soft;
+  constexpr uint64_t kSpecKeyBit = uint64_t{1} << 63;
+
+  // Quarantined partitions stash the pristine slice the failing stage first
+  // saw, so the checkpoint can persist it for later re-admission. Written
+  // by the owning worker (single writer per index in Mode A, under the cell
+  // mutex in Mode B), read by the scheduler after the map completes; the
+  // direct write relies on ranks being in-process threads.
+  std::vector<std::optional<DataBundle>> q_slices(n_parts);
+
+  // Per-partition commit cell (Mode B only). The first copy — primary or
+  // speculative backup — to lock the cell and find it uncommitted owns the
+  // partition's outcome: it moves its results, working bundle, and
+  // quarantine stash into place under `mu`, so every later reader orders
+  // through the same mutex (or through the spec-thread join).
+  struct Cell {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::atomic<bool> committed{false};
+    bool spec_launched = false;
+    bool spec_done = false;
+    bool spec_won = false;
+  };
+  std::vector<Cell> cells(speculate ? n_parts : 0);
+
+  std::unique_ptr<AttemptWatchdog> watchdog;
+  std::mutex spec_mu;
+  std::vector<std::thread> spec_threads;
+  std::atomic<uint64_t> spec_launches{0};
+
+  // Run the group's stage chain for one copy of partition `p`, writing
+  // outcomes into `row` and mutating `working` in place. `q_slice` receives
+  // the pristine stage-entry slice when the chain ends in quarantine.
+  // Returns early once the partition's outcome was committed by the racing
+  // copy — remaining work would be discarded anyway.
+  auto run_chain = [&](size_t p, bool speculative, DataBundle& working,
+                       std::vector<PartResult>& row,
+                       std::optional<DataBundle>& q_slice) {
     for (size_t s = 0; s < n_stages; ++s) {
       if (fail_fast && abort.load(std::memory_order_relaxed)) return;
+      if (speculate && cells[p].committed.load(std::memory_order_acquire)) {
+        return;
+      }
       const PlannedStage& planned = stages[first + s];
       const RetryPolicy& retry = planned.retry;
-      PartResult& r = results[s][p];
-      // Pristine-slice snapshot for retry: an injected (or real) failure
-      // may leave the slice half-mutated, so each re-run starts from the
-      // state this stage first saw. Same derived RNG each attempt — a
-      // successful retry is byte-identical to a fault-free run.
+      const DeadlinePolicy& deadline = *policies[s];
+      PartResult& r = row[s];
+      // Pristine-slice snapshot for retry (and for the quarantine stash):
+      // a failure may leave the slice half-mutated, so each re-run starts
+      // from the state this stage first saw. Same derived RNG each attempt
+      // — a successful retry is byte-identical to a fault-free run.
       std::optional<DataBundle> snapshot;
-      if (retry.max_attempts > 1) snapshot = parts[p].bundle;
+      if (retry.max_attempts > 1 || retry.quarantine) {
+        snapshot = working.Clone();
+      }
       size_t attempt = 1;
       WallTimer t;
       for (;;) {
@@ -453,24 +595,44 @@ void ParallelExecutor::RunGroup(const PipelinePlan& plan, size_t first,
             scope.provenance);
         ctx.SetPartition(parts[p].slot);
         ctx.SetAttempt(attempt);
+        ctx.SetSpeculative(speculative);
         if (options_.faults.active()) {
           ctx.SetInjectedFault(options_.faults.Decide(
               scope.run_index, planned.stage->name(), first + s, p, attempt));
         }
-        r.status = GuardedRun(*planned.stage, parts[p].bundle, ctx);
+        // Backups never get a soft threshold — speculation does not beget
+        // speculation — but keep the hard ceiling, so a backup that hangs
+        // the same way its primary did is also cancelled.
+        const uint64_t key = speculative ? (kSpecKeyBit | p) : p;
+        const bool watched =
+            watchdog && (deadline.hard_ms > 0 ||
+                         (!speculative && deadline.soft_ms > 0));
+        if (watched) {
+          watchdog->Track(key, ctx.cancel_token(),
+                          speculative ? 0.0 : deadline.soft_ms,
+                          deadline.hard_ms,
+                          "stage '" + planned.stage->name() + "' partition " +
+                              std::to_string(p));
+        }
+        r.status = GuardedRun(*planned.stage, working, ctx);
+        if (watched) watchdog->Release(key);
         r.params = ctx.params();
         r.counts = ctx.counts();
         r.partials = ctx.TakePartials();
+        if (r.status.code() == StatusCode::kDeadlineExceeded) ++r.timeouts;
         if (r.status.ok() || attempt >= retry.max_attempts ||
             !retry.ShouldRetry(r.status)) {
           break;
         }
+        if (speculate && cells[p].committed.load(std::memory_order_acquire)) {
+          break;  // the racing copy already won; don't burn retries
+        }
         ++attempt;
         BackoffSleep(retry, attempt);
-        parts[p].bundle = *snapshot;
+        working = snapshot->Clone();
       }
       r.seconds = t.Seconds();
-      r.bytes_after = parts[p].bundle.ApproxBytes();
+      r.bytes_after = working.ApproxBytes();
       r.ran = true;
       r.attempts = attempt;
       if (!r.status.ok()) {
@@ -478,10 +640,152 @@ void ParallelExecutor::RunGroup(const PipelinePlan& plan, size_t first,
           // Degrade instead of failing the run: this slice's records will
           // be dropped from the merge; the other partitions keep going.
           r.quarantined = true;
+          q_slice = std::move(snapshot);
           return;
         }
-        if (fail_fast) abort.store(true, std::memory_order_relaxed);
+        if (fail_fast && !speculate) {
+          abort.store(true, std::memory_order_relaxed);
+        }
         return;  // this partition stops; its slice merges back untouched
+      }
+    }
+  };
+
+  // Mode B commit: first copy to claim the uncommitted cell wins the
+  // partition; the racing copy is cancelled and its work discarded. Backups
+  // only ever commit a fully successful chain — a failed backup must not
+  // mask a primary that might still succeed — while a primary commits
+  // whatever its final outcome is (after waiting out a live backup).
+  auto try_commit = [&](size_t p, bool speculative,
+                        std::vector<PartResult>& row, DataBundle& working,
+                        std::optional<DataBundle>& q_slice) {
+    if (speculative) {
+      for (size_t s = 0; s < n_stages; ++s) {
+        if (!row[s].ran || !row[s].status.ok()) return false;
+      }
+    }
+    Cell& cell = cells[p];
+    {
+      std::lock_guard<std::mutex> lock(cell.mu);
+      if (cell.committed.load(std::memory_order_relaxed)) return false;
+      for (size_t s = 0; s < n_stages; ++s) results[s][p] = std::move(row[s]);
+      parts[p].bundle = std::move(working);
+      q_slices[p] = std::move(q_slice);
+      cell.spec_won = speculative;
+      cell.committed.store(true, std::memory_order_release);
+    }
+    cell.cv.notify_all();
+    // Stop the racing copy; its next cancellation poll unwinds it.
+    if (watchdog) {
+      watchdog->CancelKey(speculative ? p : (kSpecKeyBit | p),
+                          "partition " + std::to_string(p) +
+                              ": racing copy committed first");
+    }
+    return true;
+  };
+
+  // Speculative backup body, run on a dedicated thread: copy the pristine
+  // group-entry slice (untouched until someone commits) and race the
+  // primary through the same chain with the same RNG streams — a backup
+  // win is byte-identical to a primary win.
+  auto spec_body = [&](size_t p) {
+    Cell& cell = cells[p];
+    {
+      std::vector<PartResult> row(n_stages);
+      std::optional<DataBundle> q_slice;
+      DataBundle working;
+      bool live = false;
+      {
+        std::lock_guard<std::mutex> lock(cell.mu);
+        if (!cell.committed.load(std::memory_order_relaxed)) {
+          working = parts[p].bundle.Clone();
+          live = true;
+        }
+      }
+      if (live) {
+        run_chain(p, true, working, row, q_slice);
+        try_commit(p, true, row, working, q_slice);
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(cell.mu);
+      cell.spec_done = true;
+    }
+    cell.cv.notify_all();
+  };
+
+  // Watchdog straggler callback: launch at most one backup per partition.
+  auto launch_spec = [&](uint64_t key) {
+    const size_t p = static_cast<size_t>(key);
+    Cell& cell = cells[p];
+    {
+      std::lock_guard<std::mutex> lock(cell.mu);
+      if (cell.committed.load(std::memory_order_relaxed) ||
+          cell.spec_launched) {
+        return;
+      }
+      cell.spec_launched = true;
+    }
+    spec_launches.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(spec_mu);
+    spec_threads.emplace_back(spec_body, p);
+  };
+
+  if (any_hard || speculate) {
+    watchdog = std::make_unique<AttemptWatchdog>(
+        WatchdogPollMs(MinArmedLimitMs(policies)),
+        speculate ? AttemptWatchdog::StragglerFn(launch_spec) : nullptr);
+  }
+
+  PartitionTask task;
+  task.n_parts = n_parts;
+  task.collective_timeout_ms = collective_ms;
+  task.run = [&](size_t p) {
+    std::vector<PartResult> row(n_stages);
+    std::optional<DataBundle> q_slice;
+    if (!speculate) {
+      // Mode A: single copy per partition, results land directly.
+      run_chain(p, false, parts[p].bundle, row, q_slice);
+      for (size_t s = 0; s < n_stages; ++s) results[s][p] = std::move(row[s]);
+      q_slices[p] = std::move(q_slice);
+      return;
+    }
+    // Mode B: run on a working copy so parts[p].bundle stays pristine for
+    // a backup launch; publish through the commit cell.
+    Cell& cell = cells[p];
+    DataBundle working;
+    {
+      std::lock_guard<std::mutex> lock(cell.mu);
+      working = parts[p].bundle.Clone();
+    }
+    run_chain(p, false, working, row, q_slice);
+    bool chain_ok = true;
+    for (size_t s = 0; s < n_stages; ++s) {
+      if (!row[s].ran || !row[s].status.ok()) {
+        chain_ok = false;
+        break;
+      }
+    }
+    if (!chain_ok) {
+      // A still-running backup may yet rescue this partition: wait for it
+      // to resolve before committing a failure. Bounded by the backup's own
+      // hard deadline and fault schedule — arm hard_ms alongside soft_ms.
+      std::unique_lock<std::mutex> lock(cell.mu);
+      cell.cv.wait(lock, [&] {
+        return !cell.spec_launched || cell.spec_done ||
+               cell.committed.load(std::memory_order_relaxed);
+      });
+    }
+    if (try_commit(p, false, row, working, q_slice)) {
+      // Failure is now the partition's final outcome (no backup rescued
+      // it); honor fail-fast the same way Mode A does.
+      bool failed_hard = false;
+      for (size_t s = 0; s < n_stages; ++s) {
+        const PartResult& r = results[s][p];
+        if (r.ran && !r.status.ok() && !r.quarantined) failed_hard = true;
+      }
+      if (failed_hard && fail_fast) {
+        abort.store(true, std::memory_order_relaxed);
       }
     }
   };
@@ -499,28 +803,51 @@ void ParallelExecutor::RunGroup(const PipelinePlan& plan, size_t first,
       return false;
     };
   }
-  // Cross-rank transport: serialize one partition's outcomes across all
-  // fused stages; a distributed backend gathers these to the scheduler in
-  // ascending partition order instead of reading shared memory.
-  task.pack = [&](size_t p) {
-    ByteWriter w;
-    for (size_t s = 0; s < n_stages; ++s) PackResult(w, results[s][p]);
-    return w.Take();
-  };
-  task.unpack = [&](size_t p, const Bytes& payload) {
-    ByteReader rd(payload);
-    for (size_t s = 0; s < n_stages; ++s) results[s][p] = UnpackResult(rd);
-  };
+  if (!speculate) {
+    // Cross-rank transport: serialize one partition's outcomes across all
+    // fused stages; a distributed backend gathers these to the scheduler in
+    // ascending partition order instead of reading shared memory. Under
+    // speculation the commit protocol IS the transport — winners (possibly
+    // backup threads outside the rank world) write scheduler memory
+    // directly, and a gather could race a still-unwinding loser — so Mode B
+    // skips pack/unpack; ranks are in-process threads here.
+    task.pack = [&](size_t p) {
+      ByteWriter w;
+      for (size_t s = 0; s < n_stages; ++s) PackResult(w, results[s][p]);
+      return w.Take();
+    };
+    task.unpack = [&](size_t p, const Bytes& payload) {
+      ByteReader rd(payload);
+      for (size_t s = 0; s < n_stages; ++s) results[s][p] = UnpackResult(rd);
+    };
+  }
 
   Status map_status;
   try {
     backend_->Map(task);
+  } catch (const par::DeadlineExceededError& e) {
+    map_status = e.ToStatus();
   } catch (const std::exception& e) {
     map_status = Internal("backend '" + std::string(backend_->name()) +
                           "' failed: " + e.what());
   } catch (...) {
     map_status = Internal("backend '" + std::string(backend_->name()) +
                           "' failed with a non-std exception");
+  }
+
+  // All primaries are done; stop the watchdog first (joins the monitor
+  // thread, so no further backup can launch), then drain the backups that
+  // did launch. A cancelled loser unwinds at its next poll point, so the
+  // join is bounded.
+  if (watchdog) watchdog->Stop();
+  {
+    std::lock_guard<std::mutex> lock(spec_mu);
+    for (std::thread& t : spec_threads) t.join();
+    spec_threads.clear();
+  }
+  uint64_t spec_wins = 0;
+  for (Cell& c : cells) {
+    if (c.spec_won) ++spec_wins;
   }
 
   WallTimer tail_timer;
@@ -538,10 +865,16 @@ void ParallelExecutor::RunGroup(const PipelinePlan& plan, size_t first,
         const PartResult& r = results[s][p];
         QuarantineRecord q;
         q.stage = stages[first + s].stage->name();
+        q.stage_index = first + s;
         q.partition = p;
+        q.slot = parts[p].slot;
         q.attempts = static_cast<size_t>(r.attempts);
         q.error = r.status;
         q.units = parts[p].slot.hi - parts[p].slot.lo;
+        // The pristine stage-entry slice, for checkpointed re-admission.
+        // Absent only when the SPMD transport carried the flag but not the
+        // slice (never the case today: ranks share the process).
+        if (q_slices[p].has_value()) q.slice = std::move(*q_slices[p]);
         report.quarantined.push_back(std::move(q));
         break;
       }
@@ -608,6 +941,7 @@ void ParallelExecutor::RunGroup(const PipelinePlan& plan, size_t first,
       if (r.ran) {
         any_ran = true;
         m.attempts += r.attempts;
+        m.timeouts += r.timeouts;
         if (r.quarantined) {
           // Dropped, not failed: the stage stays OK, and nothing the
           // quarantined slice produced reaches metrics or provenance.
@@ -628,7 +962,14 @@ void ParallelExecutor::RunGroup(const PipelinePlan& plan, size_t first,
     if (!m.quarantined.empty()) {
       stage_params[s]["quarantined"] = std::to_string(m.quarantined.size());
     }
-    if (s == 0 && m.status.ok() && !map_status.ok()) m.status = map_status;
+    if (s == 0) {
+      if (m.status.ok() && !map_status.ok()) m.status = map_status;
+      // A bounded collective wait that expired is a timeout too.
+      if (map_status.code() == StatusCode::kDeadlineExceeded) ++m.timeouts;
+      // Speculation facts attach to the fused group's head stage.
+      m.speculative_launched = spec_launches.load(std::memory_order_relaxed);
+      m.speculative_wins = spec_wins;
+    }
     m.seconds = critical_path;
     if (s == 0) m.seconds += before_split_seconds;
     if (s == n_stages - 1) {

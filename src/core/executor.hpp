@@ -52,6 +52,14 @@ struct StageMetrics {
   /// Partition indices this stage quarantined (attempts exhausted under a
   /// RetryPolicy that allows degradation). Ascending.
   std::vector<size_t> quarantined;
+  /// Attempts that ended kDeadlineExceeded (watchdog hard-deadline cancel,
+  /// a stage's own Cancelled() poll, or a bounded collective wait).
+  uint64_t timeouts = 0;
+  /// Straggler speculation under a soft deadline, attributed to the fused
+  /// group's head stage: backup copies launched, and how many committed
+  /// before their primary.
+  uint64_t speculative_launched = 0;
+  uint64_t speculative_wins = 0;
 
   /// Partition skew: max / median of partition_seconds. 1.0 when balanced
   /// or serial; the straggler diagnosis for the §4 scaling story.
@@ -60,11 +68,25 @@ struct StageMetrics {
 
 /// One partition dropped from the run instead of failing it.
 struct QuarantineRecord {
-  std::string stage;     ///< stage whose attempts were exhausted
-  size_t partition = 0;  ///< partition index within that stage's split
-  size_t attempts = 0;   ///< tries spent before giving up
-  Status error;          ///< the final attempt's failure
-  size_t units = 0;      ///< axis units (examples/rows/keys) dropped
+  std::string stage;      ///< stage whose attempts were exhausted
+  size_t stage_index = 0; ///< absolute plan index of that stage
+  size_t partition = 0;   ///< partition index within that stage's split
+  PartitionSlot slot;     ///< where the slice sat in the partitioned run
+  size_t attempts = 0;    ///< tries spent before giving up
+  Status error;           ///< the final attempt's failure
+  size_t units = 0;       ///< axis units (examples/rows/keys) dropped
+  /// The slice exactly as the failing stage first saw it. Persisted with
+  /// checkpoints so Pipeline::Resume can re-ingest the dropped records once
+  /// the transient fault clears (quarantine re-admission).
+  DataBundle slice;
+};
+
+/// One quarantined slice re-ingested (or re-attempted) by Pipeline::Resume.
+struct ReadmissionRecord {
+  std::string stage;     ///< stage the slice was quarantined at
+  size_t partition = 0;  ///< its partition index in that stage's split
+  size_t units = 0;      ///< axis units re-admitted (0 when status != OK)
+  Status status;         ///< OK = records merged back into the bundle
 };
 
 struct PipelineReport {
@@ -77,6 +99,9 @@ struct PipelineReport {
   /// execution order. A run can be ok with a nonempty quarantine list —
   /// that is the degraded-but-successful outcome the policy opted into.
   std::vector<QuarantineRecord> quarantined;
+  /// Quarantined slices a Resume re-ingested from the checkpoint (empty
+  /// except on the resume path).
+  std::vector<ReadmissionRecord> readmissions;
 
   [[nodiscard]] double SecondsIn(StageKind kind) const;
   /// "ingest 12% | preprocess 55% | ..." — the §3.2 curation-time story —
@@ -103,6 +128,10 @@ struct ExecutorOptions {
   bool fail_fast = true;
   /// Deterministic fault injection (tests/benches). Inactive by default.
   FaultPlan faults;
+  /// Deadline applied to stages that do not carry their own DeadlinePolicy
+  /// — the safety net that lets a watchdog cancel a hung partition even
+  /// when the plan never thought about deadlines. Inactive by default.
+  DeadlinePolicy default_deadline;
 };
 
 /// Per-run bookkeeping owned by the caller (the Pipeline facade): where to
@@ -156,5 +185,19 @@ class ParallelExecutor {
   ExecutorOptions options_;
   std::unique_ptr<ExecutionBackend> backend_;
 };
+
+/// The RNG stream for one (run, stage, slot) cell — slot 0 is the serial
+/// stage / Before hook, slot p+1 is partition p, slot n_parts+1 the After
+/// hook. A pure function of the coordinates (never of worker count or
+/// scheduling order); exposed so Resume's quarantine re-admission can
+/// replay a partition with the original run's exact stream.
+Rng DeriveStageRng(uint64_t seed, uint64_t run, size_t stage, size_t slot);
+
+/// One past the last stage of the fused group starting at `first`: the
+/// maximal run of parallel stages with identical specs and no hooks at
+/// interior boundaries (first + 1 for serial stages). The single source of
+/// truth for group boundaries, shared by the executor and the re-admission
+/// replay.
+size_t FusedGroupEnd(const PipelinePlan& plan, size_t first);
 
 }  // namespace drai::core

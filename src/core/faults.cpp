@@ -9,9 +9,13 @@ namespace {
 /// Hash the cell coordinates into a uniform double in [0, 1). Mirrors the
 /// executor's RNG derivation: fold each salt through SplitMix64 so nearby
 /// coordinates land far apart.
+/// Extra salt separating the hang schedule from the fail-stop schedule —
+/// the two are sampled independently on the same coordinates.
+constexpr uint64_t kHangSalt = 0xD6E8FEB86659FD93ull;
+
 double CellUniform(uint64_t seed, uint64_t run, size_t stage,
-                   size_t partition) {
-  uint64_t x = seed;
+                   size_t partition, uint64_t extra_salt = 0) {
+  uint64_t x = seed ^ extra_salt;
   const uint64_t salts[] = {run, static_cast<uint64_t>(stage),
                             static_cast<uint64_t>(partition)};
   for (uint64_t salt : salts) {
@@ -42,15 +46,24 @@ std::optional<InjectedFault> FaultPlan::Decide(uint64_t run,
       continue;
     }
     if (attempt > site.fail_attempts) continue;
+    if (site.code == StatusCode::kOk && site.hang_ms <= 0.0) continue;
     return InjectedFault{
-        MakeFaultStatus(site.code, stage_name, partition, attempt),
-        site.throw_instead};
+        site.code == StatusCode::kOk
+            ? Status::Ok()
+            : MakeFaultStatus(site.code, stage_name, partition, attempt),
+        site.throw_instead, site.hang_ms};
+  }
+  double delay = 0.0;
+  if (hang_rate > 0.0 && attempt <= hang_attempts &&
+      CellUniform(seed, run, stage_index, partition, kHangSalt) < hang_rate) {
+    delay = hang_ms;
   }
   if (rate > 0.0 && attempt <= fail_attempts &&
       CellUniform(seed, run, stage_index, partition) < rate) {
     return InjectedFault{MakeFaultStatus(code, stage_name, partition, attempt),
-                         throw_instead};
+                         throw_instead, delay};
   }
+  if (delay > 0.0) return InjectedFault{Status::Ok(), false, delay};
   return std::nullopt;
 }
 

@@ -14,6 +14,14 @@
 // is only correct if the scheduler restores the pristine slice first. This
 // makes the harness a real test of the retry path, not just of the
 // bookkeeping.
+//
+// Besides fail-stop faults, a plan can inject *hangs*: a per-(stage,
+// partition, attempt) delay, decided by the same pure seeded function, that
+// stalls the attempt at commit time (a stuck NFS write, a wedged collective).
+// The delay sleeps cooperatively, so a watchdog-cancelled attempt unwinds
+// with kDeadlineExceeded instead of blocking; an uncancelled hang merely
+// slows the run and leaves the output byte-identical. A hang may carry
+// `code = kOk` (pure slowdown) or combine with an error code.
 #pragma once
 
 #include <cstdint>
@@ -38,16 +46,22 @@ struct FaultSite {
   size_t partition = kAnyPartition;
   /// Attempts 1..fail_attempts fault; attempt fail_attempts+1 succeeds.
   size_t fail_attempts = 1;
+  /// kOk injects no error — combine with hang_ms for a pure slowdown site.
   StatusCode code = StatusCode::kUnavailable;
   /// Throw std::runtime_error instead of returning a Status — models a
   /// crash rather than a reported error (surfaces as kInternal).
   bool throw_instead = false;
+  /// Stall the attempt this long at commit time before the outcome above.
+  double hang_ms = 0.0;
 };
 
 /// What the executor does at a faulted attempt.
 struct InjectedFault {
+  /// May be OK when the fault is a pure slowdown.
   Status status;
   bool throw_instead = false;
+  /// Cooperative sleep injected before the outcome; 0 = no hang.
+  double delay_ms = 0.0;
 };
 
 /// The fault schedule for a run: explicit sites plus an optional random
@@ -65,9 +79,20 @@ struct FaultPlan {
   size_t fail_attempts = 1;
   StatusCode code = StatusCode::kUnavailable;
   bool throw_instead = false;
+  /// Probability that a cell *hangs*. Sampled independently of `rate` (a
+  /// different salt on the same pure hash), so a cell can hang, fail, or
+  /// both; thread and SPMD backends stall identically.
+  double hang_rate = 0.0;
+  /// How long a sampled hang stalls the attempt.
+  double hang_ms = 0.0;
+  /// Attempts 1..hang_attempts stall at a sampled cell (1 = first attempt
+  /// only, so a deadline-cancelled retry runs at full speed).
+  size_t hang_attempts = 1;
   std::vector<FaultSite> sites;
 
-  [[nodiscard]] bool active() const { return rate > 0.0 || !sites.empty(); }
+  [[nodiscard]] bool active() const {
+    return rate > 0.0 || hang_rate > 0.0 || !sites.empty();
+  }
 
   /// The fault decision for one stage attempt, or nullopt to run clean.
   /// Explicit sites take precedence over the background rate. Pure: equal

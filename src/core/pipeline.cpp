@@ -1,5 +1,7 @@
 #include "core/pipeline.hpp"
 
+#include "core/partitioner.hpp"
+
 namespace drai::core {
 
 namespace {
@@ -11,6 +13,7 @@ ExecutorOptions ToExecutorOptions(const PipelineOptions& options) {
   out.capture_provenance = options.capture_provenance;
   out.fail_fast = options.fail_fast;
   out.faults = options.faults;
+  out.default_deadline = options.default_deadline;
   return out;
 }
 
@@ -57,6 +60,11 @@ Pipeline& Pipeline::WithRetry(RetryPolicy policy) {
   return *this;
 }
 
+Pipeline& Pipeline::WithDeadline(DeadlinePolicy policy) {
+  plan_.WithDeadline(policy);
+  return *this;
+}
+
 PipelineReport Pipeline::Run(DataBundle& bundle) {
   ++runs_;
   ExecutorRunScope scope;
@@ -91,6 +99,51 @@ PipelineReport Pipeline::Resume(DataBundle& bundle) {
   }
   last_state_ = cp.last_state;
   runs_ = cp.run_index;
+
+  // Quarantine re-admission: replay every dropped slice through the stages
+  // it missed before the checkpoint, with the original run's RNG streams
+  // (slot q.partition + 1, exactly what the partition would have drawn),
+  // then merge the records back so the remaining stages process them. Only
+  // Run bodies replay — Before/After hooks already ran on the main bundle.
+  // A slice whose replay fails again simply stays dropped; either way the
+  // outcome lands in PipelineReport::readmissions.
+  std::vector<ReadmissionRecord> readmissions;
+  const auto& stages = plan_.stages();
+  for (QuarantineRecord& q : cp.quarantined) {
+    ReadmissionRecord rec;
+    rec.stage = q.stage;
+    rec.partition = q.partition;
+    DataBundle slice = std::move(q.slice);
+    // Partitions start from a snapshot of pre-split attrs, and Merge
+    // overlays only entries that differ from the target's — hand the slice
+    // the *current* attrs so only changes the replay itself makes land.
+    slice.attrs = bundle.attrs;
+    Status status;
+    const size_t end = std::min(cp.stages_done, stages.size());
+    for (size_t s = q.stage_index; s < end && status.ok(); ++s) {
+      StageContext ctx(
+          DeriveStageRng(options_.seed, cp.run_index, s, q.partition + 1),
+          nullptr);
+      ctx.SetPartition(q.slot);
+      ctx.SetAttempt(1);
+      try {
+        status = stages[s].stage->Run(slice, ctx);
+      } catch (const std::exception& e) {
+        status = Internal("stage '" + stages[s].stage->name() +
+                          "' threw during re-admission replay: " + e.what());
+      }
+    }
+    if (status.ok()) {
+      rec.units = q.slot.hi - q.slot.lo;
+      std::vector<BundlePartition> part(1);
+      part[0].bundle = std::move(slice);
+      part[0].slot = q.slot;
+      BundlePartitioner::Merge(bundle, part);
+    }
+    rec.status = std::move(status);
+    readmissions.push_back(std::move(rec));
+  }
+
   ExecutorRunScope scope;
   scope.pipeline_name = plan_.name();
   scope.run_index = cp.run_index;
@@ -98,7 +151,9 @@ PipelineReport Pipeline::Resume(DataBundle& bundle) {
   scope.last_state = &last_state_;
   scope.start_stage = cp.stages_done;
   scope.checkpoint = options_.checkpoint;
-  return executor_.Run(plan_, bundle, scope);
+  PipelineReport report = executor_.Run(plan_, bundle, scope);
+  report.readmissions = std::move(readmissions);
+  return report;
 }
 
 Pipeline::FeedbackReport Pipeline::RunWithFeedback(

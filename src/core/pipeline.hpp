@@ -45,6 +45,10 @@ struct PipelineOptions {
   size_t threads = 0;
   /// Deterministic fault injection (tests/benches). Inactive by default.
   FaultPlan faults;
+  /// Deadline for stages that carry no DeadlinePolicy of their own — the
+  /// watchdog safety net that cancels a hung partition even when the plan
+  /// never thought about deadlines. Inactive by default.
+  DeadlinePolicy default_deadline;
   /// When set, every successful stage group checkpoints here, and Resume()
   /// can restart a killed run from the last good stage. Not owned.
   CheckpointSink* checkpoint = nullptr;
@@ -71,6 +75,11 @@ class Pipeline {
 
   /// Attach a retry policy to the most recently added stage.
   Pipeline& WithRetry(RetryPolicy policy);
+  /// Attach a deadline policy to the most recently added stage: a hard
+  /// limit cancels a hung attempt (kDeadlineExceeded, retryable under the
+  /// stage's RetryPolicy), a soft limit launches a speculative backup of a
+  /// straggling partition, and collective_ms bounds SPMD collective waits.
+  Pipeline& WithDeadline(DeadlinePolicy policy);
 
   [[nodiscard]] const std::string& name() const { return plan_.name(); }
   [[nodiscard]] size_t NumStages() const { return plan_.NumStages(); }
@@ -88,6 +97,14 @@ class Pipeline {
   /// checkpoint on disk this is a plain Run; a checkpoint whose plan
   /// fingerprint does not match the current plan yields a
   /// kFailedPrecondition report without touching the bundle.
+  ///
+  /// Quarantine re-admission: partitions the checkpointed run dropped are
+  /// replayed from their pristine slices through the stages they missed
+  /// (same RNG streams as the original run; Run bodies only, hooks ran on
+  /// the main bundle already) and merged back before the remaining stages
+  /// run — so records lost to a transient fault rejoin the dataset once
+  /// the fault clears. Slices whose replay fails again stay dropped. The
+  /// outcome of every replay is tallied in PipelineReport::readmissions.
   PipelineReport Resume(DataBundle& bundle);
 
   /// Figure 1's iterate arrow: run, call `evaluate` (e.g. train a model,

@@ -95,6 +95,28 @@ PipelinePlan& PipelinePlan::WithRetry(RetryPolicy policy) {
   return *this;
 }
 
+PipelinePlan& PipelinePlan::WithDeadline(DeadlinePolicy policy) {
+  if (stages_.empty()) {
+    throw std::logic_error(
+        "Pipeline '" + name_ +
+        "': WithDeadline called before any stage was added");
+  }
+  if (policy.soft_ms < 0.0 || policy.hard_ms < 0.0 ||
+      policy.collective_ms < 0.0) {
+    throw std::invalid_argument("Pipeline '" + name_ +
+                                "': DeadlinePolicy limits must be >= 0");
+  }
+  if (policy.soft_ms > 0.0 && policy.hard_ms > 0.0 &&
+      policy.soft_ms > policy.hard_ms) {
+    throw std::invalid_argument(
+        "Pipeline '" + name_ +
+        "': DeadlinePolicy.soft_ms must not exceed hard_ms — speculation "
+        "would launch after the attempt is already cancelled");
+  }
+  stages_.back().deadline = policy;
+  return *this;
+}
+
 std::string PipelinePlan::Fingerprint() const {
   Sha256 ctx;
   ctx.Update(name_);

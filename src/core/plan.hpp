@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/cancel.hpp"
 #include "common/rng.hpp"
 #include "core/bundle.hpp"
 #include "core/faults.hpp"
@@ -139,6 +140,37 @@ struct RetryPolicy {
     double ms = backoff_base_ms;
     for (size_t a = 2; a < next_attempt && ms < backoff_cap_ms; ++a) ms *= 2;
     return ms < backoff_cap_ms ? ms : backoff_cap_ms;
+  }
+};
+
+/// Per-stage time-based failure handling, complementing RetryPolicy's
+/// fail-stop handling. All limits are per attempt and in milliseconds;
+/// 0 disables that limit.
+///
+///   soft_ms        straggler threshold: past it the watchdog may launch a
+///                  speculative re-execution of the partition from its
+///                  pristine slice (first copy to commit wins; the loser is
+///                  cancelled — byte-identical because both copies run the
+///                  same RNG stream on the same input).
+///   hard_ms        cancel threshold: the watchdog trips the attempt's
+///                  CancelToken; the attempt surfaces kDeadlineExceeded
+///                  (retryable) and replays under the stage's RetryPolicy
+///                  from the pristine slice, exactly like a failed one.
+///   collective_ms  SPMD only: bound on every blocking Communicator wait
+///                  during this stage's group, so a stuck rank cannot
+///                  deadlock Scatter/GatherByIndex/AgreeQuarantine — all
+///                  waiting ranks surface kDeadlineExceeded together.
+///
+/// Cancellation is cooperative: a cancelled attempt unwinds at the next
+/// `ctx.Cancelled()` poll (or cancellable sleep); a stage body that never
+/// polls and never sleeps runs to completion and merely loses the commit.
+struct DeadlinePolicy {
+  double soft_ms = 0.0;
+  double hard_ms = 0.0;
+  double collective_ms = 0.0;
+
+  [[nodiscard]] bool active() const {
+    return soft_ms > 0.0 || hard_ms > 0.0 || collective_ms > 0.0;
   }
 };
 
@@ -246,6 +278,21 @@ class StageContext {
     injected_fault_ = std::move(fault);
   }
 
+  /// Cooperative cancellation for this attempt. Long-running stage bodies
+  /// should poll `Cancelled()` at record granularity and return
+  /// `CancelledStatus()` when it trips — that is how a hard deadline or a
+  /// lost speculation race actually stops the work.
+  [[nodiscard]] bool Cancelled() const { return cancel_.Cancelled(); }
+  [[nodiscard]] Status CancelledStatus() const { return cancel_.AsStatus(); }
+  [[nodiscard]] const CancelToken& cancel_token() const { return cancel_; }
+  void SetCancelToken(CancelToken token) { cancel_ = std::move(token); }
+
+  /// True when this attempt is a speculative re-execution of a straggler.
+  /// Environment-local slowness (injected hangs) does not follow the backup
+  /// copy; stage semantics must not branch on it.
+  [[nodiscard]] bool speculative() const { return speculative_; }
+  void SetSpeculative(bool speculative) { speculative_ = speculative; }
+
   /// Reset for reuse on the next stage: new rng, no leftover notes.
   void Reset(Rng rng) {
     rng_ = rng;
@@ -256,6 +303,8 @@ class StageContext {
     partition_ = PartitionSlot{};
     attempt_ = 1;
     injected_fault_.reset();
+    cancel_ = CancelToken();
+    speculative_ = false;
   }
 
  private:
@@ -269,6 +318,8 @@ class StageContext {
   PartitionSlot partition_;
   size_t attempt_ = 1;
   std::optional<InjectedFault> injected_fault_;
+  CancelToken cancel_;
+  bool speculative_ = false;
 };
 
 /// Interface every pipeline stage implements.
@@ -345,6 +396,7 @@ struct PlannedStage {
   ExecutionHint hint = ExecutionHint::kSerial;
   ParallelSpec parallel;
   RetryPolicy retry;
+  DeadlinePolicy deadline;
 };
 
 /// An ordered, validated list of planned stages. Purely declarative: build
@@ -371,6 +423,11 @@ class PipelinePlan {
   /// Attach a retry policy to the most recently added stage. Throws
   /// std::logic_error if no stage has been added yet.
   PipelinePlan& WithRetry(RetryPolicy policy);
+
+  /// Attach a deadline policy to the most recently added stage. Throws
+  /// std::logic_error if no stage has been added yet, std::invalid_argument
+  /// on a negative limit or soft_ms > hard_ms (both armed).
+  PipelinePlan& WithDeadline(DeadlinePolicy policy);
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] size_t NumStages() const { return stages_.size(); }

@@ -1,0 +1,86 @@
+#include "core/watchdog.hpp"
+
+#include <chrono>
+#include <vector>
+
+namespace drai::core {
+
+AttemptWatchdog::AttemptWatchdog(double poll_ms, StragglerFn on_straggler)
+    : poll_ms_(poll_ms > 0 ? poll_ms : 2.0),
+      on_straggler_(std::move(on_straggler)) {
+  thread_ = std::thread([this] { Loop(); });
+}
+
+AttemptWatchdog::~AttemptWatchdog() { Stop(); }
+
+void AttemptWatchdog::Track(uint64_t key, CancelToken token, double soft_ms,
+                            double hard_ms, std::string what) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_[key] = Entry{std::move(token), soft_ms, hard_ms, std::move(what),
+                        std::chrono::steady_clock::now(), false};
+}
+
+void AttemptWatchdog::Release(uint64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.erase(key);
+}
+
+void AttemptWatchdog::CancelKey(uint64_t key, const std::string& reason) {
+  CancelToken token;
+  bool found = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      token = it->second.token;
+      found = true;
+    }
+  }
+  // Cancel outside the lock: token state is independently synchronized and
+  // the attempt may be releasing concurrently (then the cancel is moot).
+  if (found) token.Cancel(reason);
+}
+
+void AttemptWatchdog::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void AttemptWatchdog::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    cv_.wait_for(lock, std::chrono::duration<double, std::milli>(poll_ms_),
+                 [this] { return stop_; });
+    if (stop_) return;
+    const auto now = std::chrono::steady_clock::now();
+    std::vector<uint64_t> stragglers;
+    for (auto& [key, e] : entries_) {
+      const double elapsed_ms =
+          std::chrono::duration<double, std::milli>(now - e.start).count();
+      if (e.hard_ms > 0 && !e.hard_fired && elapsed_ms >= e.hard_ms) {
+        e.hard_fired = true;
+        hard_cancels_.fetch_add(1, std::memory_order_relaxed);
+        e.token.Cancel("hard deadline (" + std::to_string(e.hard_ms) +
+                       "ms) exceeded: " + e.what);
+      }
+      if (e.soft_ms > 0 && elapsed_ms >= e.soft_ms &&
+          straggled_.insert(key).second) {
+        stragglers.push_back(key);
+      }
+    }
+    if (!stragglers.empty() && on_straggler_) {
+      // Fire outside the lock: the callback launches a speculative copy,
+      // which immediately calls Track() on this watchdog.
+      lock.unlock();
+      for (uint64_t key : stragglers) on_straggler_(key);
+      lock.lock();
+    }
+  }
+}
+
+}  // namespace drai::core

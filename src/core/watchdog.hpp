@@ -1,0 +1,92 @@
+// drai/core/watchdog.hpp
+//
+// AttemptWatchdog — the executor's timekeeper for in-flight stage attempts.
+// The scheduler registers every attempt (key → CancelToken + limits) when
+// it starts and releases it when it returns; a single monitor thread polls
+// the registry and acts on two thresholds:
+//
+//   hard_ms  cancel the attempt's token. The attempt unwinds cooperatively
+//            (ctx.Cancelled() poll or cancellable sleep) with
+//            kDeadlineExceeded and replays under its RetryPolicy.
+//   soft_ms  declare the attempt a straggler and fire `on_straggler(key)`
+//            once per key — the executor uses it to launch a speculative
+//            re-execution of the partition.
+//
+// The watchdog never touches bundles or results; it only trips tokens and
+// fires callbacks, so it is safe against any backend. Created only when a
+// group actually arms deadlines — an un-deadlined plan pays nothing.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "common/cancel.hpp"
+
+namespace drai::core {
+
+class AttemptWatchdog {
+ public:
+  using StragglerFn = std::function<void(uint64_t key)>;
+
+  /// `poll_ms` bounds how late a deadline can fire; `on_straggler` may be
+  /// null (hard deadlines only). The monitor thread starts immediately.
+  explicit AttemptWatchdog(double poll_ms = 2.0,
+                           StragglerFn on_straggler = nullptr);
+  ~AttemptWatchdog();
+
+  AttemptWatchdog(const AttemptWatchdog&) = delete;
+  AttemptWatchdog& operator=(const AttemptWatchdog&) = delete;
+
+  /// Register (or re-register, for the next attempt) the running attempt
+  /// for `key`. `what` labels the cancellation reason. Limits of 0 disarm
+  /// that threshold for this attempt.
+  void Track(uint64_t key, CancelToken token, double soft_ms, double hard_ms,
+             std::string what);
+  /// The attempt for `key` returned; stop watching it.
+  void Release(uint64_t key);
+
+  /// Cancel whatever attempt is currently tracked under `key` (no-op when
+  /// none is) — how a committed partition stops its racing twin.
+  void CancelKey(uint64_t key, const std::string& reason);
+
+  /// Attempts cancelled by a hard deadline so far.
+  [[nodiscard]] uint64_t hard_cancels() const {
+    return hard_cancels_.load(std::memory_order_relaxed);
+  }
+
+  /// Stop the monitor thread. Idempotent; the destructor calls it.
+  void Stop();
+
+ private:
+  struct Entry {
+    CancelToken token;
+    double soft_ms = 0;
+    double hard_ms = 0;
+    std::string what;
+    std::chrono::steady_clock::time_point start;
+    bool hard_fired = false;
+  };
+
+  void Loop();
+
+  const double poll_ms_;
+  const StragglerFn on_straggler_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<uint64_t, Entry> entries_;
+  /// Keys whose straggler callback already fired — once per key, even
+  /// across retries of the same partition.
+  std::set<uint64_t> straggled_;
+  std::atomic<uint64_t> hard_cancels_{0};
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace drai::core

@@ -72,6 +72,9 @@ Result<BioArchetypeResult> RunBioArchetype(par::StripedStore& store,
         size_t rejected = 0;
         const auto& slot = context.partition();
         for (size_t i = slot.lo; i < slot.hi; ++i) {
+          // Cancellation poll per subject — see core/plan.hpp's
+          // DeadlinePolicy for the watchdog contract.
+          if (context.Cancelled()) return context.CancelledStatus();
           const auto& subj = workload->subjects[i];
           DRAI_ASSIGN_OR_RETURN(
               double unknown,
@@ -92,6 +95,7 @@ Result<BioArchetypeResult> RunBioArchetype(par::StripedStore& store,
       },
       per_subject);
   pipeline.WithRetry(config.retry);
+  pipeline.WithDeadline(config.deadline);
 
   // transform: the privacy battery under audit. Field classification and
   // the audit transcript are serial (Before); pseudonymization + date
@@ -173,6 +177,7 @@ Result<BioArchetypeResult> RunBioArchetype(par::StripedStore& store,
       },
       per_rows);
   pipeline.WithRetry(config.retry);
+  pipeline.WithDeadline(config.deadline);
 
   // structure: cross-modal fusion — sequence features + de-identified
   // clinical covariates per subject, one example per surviving table row.
@@ -264,6 +269,7 @@ Result<BioArchetypeResult> RunBioArchetype(par::StripedStore& store,
       },
       per_rows);
   pipeline.WithRetry(config.retry);
+  pipeline.WithDeadline(config.deadline);
 
   // shard: secure export — audit head + provenance in the manifest.
   pipeline.Add(

@@ -147,6 +147,10 @@ Result<ArchetypeResult> RunClimateArchetype(
         std::vector<std::string> consumed;
         for (const auto& [key, field] : bundle.tensors) {
           if (key.rfind("raw@", 0) != 0) continue;
+          // Record-granularity cancellation poll: a hard-deadline cancel
+          // (or a committed speculative twin) stops this partition at the
+          // next field instead of finishing the whole slice.
+          if (context.Cancelled()) return context.CancelledStatus();
           const size_t slash = key.rfind('/');
           const std::string var = key.substr(slash + 1);
           const auto vit = var_index.find(var);
@@ -189,6 +193,7 @@ Result<ArchetypeResult> RunClimateArchetype(
       },
       per_time);
   pipeline.WithRetry(config.retry);
+  pipeline.WithDeadline(config.deadline);
 
   // transform: fill missing cells with the variable mean, then z-score.
   // Pure per-field map — partition-parallel, and fusable with `patch`.
@@ -225,6 +230,7 @@ Result<ArchetypeResult> RunClimateArchetype(
       },
       per_time);
   pipeline.WithRetry(config.retry);
+  pipeline.WithDeadline(config.deadline);
 
   // structure: cut [vars, patch, patch] patches per time step. Same
   // partitioning as `normalize`, no hooks — the executor fuses the two
@@ -278,6 +284,7 @@ Result<ArchetypeResult> RunClimateArchetype(
       },
       per_time);
   pipeline.WithRetry(config.retry);
+  pipeline.WithDeadline(config.deadline);
 
   // shard: write RecIO shards + manifest with the normalizer embedded.
   pipeline.Add("shard", StageKind::kShard,

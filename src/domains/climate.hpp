@@ -43,6 +43,10 @@ struct ClimateArchetypeConfig {
   /// failing partition fails the run; raise max_attempts (and optionally
   /// allow quarantine) to ride out transient faults.
   core::RetryPolicy retry;
+  /// Deadline policy applied to every stage alongside `retry`: hard limits
+  /// cancel hung attempts, soft limits launch straggler speculation,
+  /// collective_ms bounds SPMD collective waits. Inactive by default.
+  core::DeadlinePolicy deadline;
   /// Deterministic fault injection (tests/benches). Inactive by default.
   core::FaultPlan faults;
   /// When set, every successful stage group checkpoints here (see

@@ -86,6 +86,9 @@ Result<ArchetypeResult> RunFusionArchetype(
       [&](DataBundle& bundle, StageContext& context) -> Status {
         context.NoteParam("dt", FormatDouble(config.align_dt, 6));
         for (auto& [shot_id, channels] : bundle.signal_sets) {
+          // Cancellation poll per shot — hung-attempt cancels take effect
+          // at the next record, not at the end of the slice.
+          if (context.Cancelled()) return context.CancelledStatus();
           size_t despiked = 0, filled = 0;
           for (auto& ch : channels) {
             despiked += timeseries::Despike(ch, config.despike_z);
@@ -134,6 +137,7 @@ Result<ArchetypeResult> RunFusionArchetype(
       },
       per_shot);
   pipeline.WithRetry(config.retry);
+  pipeline.WithDeadline(config.deadline);
 
   // transform: window features per shot in parallel, each partition
   // observing into its own normalizer piece and emitting its serialized
@@ -238,6 +242,7 @@ Result<ArchetypeResult> RunFusionArchetype(
       },
       per_tensor);
   pipeline.WithRetry(config.retry);
+  pipeline.WithDeadline(config.deadline);
 
   // structure: one example per window, keyed by shot (split leak-safe).
   // Shot ids are zero-padded, so ascending-partition merge reproduces the
@@ -280,6 +285,7 @@ Result<ArchetypeResult> RunFusionArchetype(
       },
       /*after=*/nullptr, per_tensor);
   pipeline.WithRetry(config.retry);
+  pipeline.WithDeadline(config.deadline);
 
   // shard: split by *shot* (key prefix before '#') so windows of one shot
   // never straddle train/val/test.

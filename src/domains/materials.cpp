@@ -58,6 +58,9 @@ Result<MaterialsArchetypeResult> RunMaterialsArchetype(
       [structures](DataBundle&, StageContext& context) -> Status {
         const auto& slot = context.partition();
         for (size_t i = slot.lo; i < slot.hi; ++i) {
+          // Cancellation poll per structure — a cancelled attempt stops at
+          // the next record instead of finishing the slice.
+          if (context.Cancelled()) return context.CancelledStatus();
           for (auto& f : (*structures)[i].frac_coords) {
             for (double& v : f) {
               v -= std::floor(v);
@@ -68,6 +71,7 @@ Result<MaterialsArchetypeResult> RunMaterialsArchetype(
       },
       per_structure);
   pipeline.WithRetry(config.retry);
+  pipeline.WithDeadline(config.deadline);
 
   // transform: standardize energy labels (z-score over the corpus).
   pipeline.Add(
@@ -143,6 +147,7 @@ Result<MaterialsArchetypeResult> RunMaterialsArchetype(
       },
       per_structure);
   pipeline.WithRetry(config.retry);
+  pipeline.WithDeadline(config.deadline);
 
   // shard: split by structure id (duplicates follow their original).
   pipeline.Add(

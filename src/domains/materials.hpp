@@ -29,6 +29,10 @@ struct MaterialsArchetypeConfig {
   size_t threads = 0;
   /// Retry policy applied to every parallel stage (default: no retry).
   core::RetryPolicy retry;
+  /// Deadline policy applied to every stage alongside `retry`: hard limits
+  /// cancel hung attempts, soft limits launch straggler speculation,
+  /// collective_ms bounds SPMD collective waits. Inactive by default.
+  core::DeadlinePolicy deadline;
   /// Deterministic fault injection (tests/benches). Inactive by default.
   core::FaultPlan faults;
 };

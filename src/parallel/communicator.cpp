@@ -18,23 +18,36 @@ void Communicator::Send(int dst, int tag, std::span<const std::byte> data) {
 }
 
 Bytes Communicator::Recv(int src, int tag) {
+  return Recv(src, tag, WaitDeadline());
+}
+
+Bytes Communicator::Recv(int src, int tag, const Deadline& deadline) {
   if (src < 0 || src >= size()) {
     throw std::out_of_range("Recv: source rank out of range");
   }
   internal::World& w = *world_;
   std::unique_lock<std::mutex> lock(w.mutex);
   const internal::World::Key key{src, rank_, tag};
-  w.cv.wait(lock, [&] {
+  const auto ready = [&] {
     auto it = w.mailboxes.find(key);
     return it != w.mailboxes.end() && !it->second.empty();
-  });
+  };
+  if (deadline.infinite()) {
+    w.cv.wait(lock, ready);
+  } else if (!w.cv.wait_until(lock, deadline.when(), ready)) {
+    throw DeadlineExceededError(
+        "Recv: rank " + std::to_string(rank_) + " timed out waiting for rank " +
+        std::to_string(src) + " (tag " + std::to_string(tag) + ")");
+  }
   auto it = w.mailboxes.find(key);
   Bytes msg = std::move(it->second.front());
   it->second.pop_front();
   return msg;
 }
 
-void Communicator::Barrier() {
+void Communicator::Barrier() { Barrier(WaitDeadline()); }
+
+void Communicator::Barrier(const Deadline& deadline) {
   internal::World& w = *world_;
   std::unique_lock<std::mutex> lock(w.mutex);
   const uint64_t my_generation = w.barrier_generation;
@@ -42,8 +55,20 @@ void Communicator::Barrier() {
     w.barrier_arrived = 0;
     ++w.barrier_generation;
     w.cv.notify_all();
-  } else {
-    w.cv.wait(lock, [&] { return w.barrier_generation != my_generation; });
+    return;
+  }
+  const auto released = [&] { return w.barrier_generation != my_generation; };
+  if (deadline.infinite()) {
+    w.cv.wait(lock, released);
+    return;
+  }
+  if (!w.cv.wait_until(lock, deadline.when(), released)) {
+    // Un-register this rank's arrival so the barrier count stays coherent:
+    // a rank that gave up is indistinguishable from one that never arrived,
+    // and any rank still (or later) waiting here times out in turn.
+    --w.barrier_arrived;
+    throw DeadlineExceededError("Barrier: rank " + std::to_string(rank_) +
+                                " timed out waiting for the world");
   }
 }
 

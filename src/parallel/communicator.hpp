@@ -25,11 +25,26 @@
 
 #include "common/bytes.hpp"
 #include "common/status.hpp"
+#include "common/timer.hpp"
 
 namespace drai::par {
 
 /// Reduction operators supported by Reduce/AllReduce.
 enum class ReduceOp { kSum, kMin, kMax, kProd };
+
+/// Thrown by a blocking wait whose deadline passed. Collectives are built
+/// from Recv + Barrier and every collective ends in a Barrier, so when one
+/// rank is stuck, every rank that did arrive times out within its budget and
+/// throws this together — the all-or-nothing discipline collective *errors*
+/// already follow, extended to hangs. Carries kDeadlineExceeded.
+class DeadlineExceededError : public std::runtime_error {
+ public:
+  explicit DeadlineExceededError(const std::string& what)
+      : std::runtime_error(what) {}
+  [[nodiscard]] Status ToStatus() const {
+    return Status(StatusCode::kDeadlineExceeded, what());
+  }
+};
 
 namespace internal {
 
@@ -71,11 +86,21 @@ class Communicator {
   [[nodiscard]] int rank() const { return rank_; }
   [[nodiscard]] int size() const { return world_->size; }
 
+  /// Bound every subsequent blocking wait (Recv, Barrier — and therefore
+  /// every collective) by `ms` milliseconds; 0 restores unbounded waits.
+  /// Per-Communicator (per-rank) state: set it uniformly across ranks, or a
+  /// rank without a budget will wait forever for peers that gave up.
+  void SetWaitTimeout(double ms) { wait_timeout_ms_ = ms; }
+  [[nodiscard]] double wait_timeout_ms() const { return wait_timeout_ms_; }
+
   // ---- point to point -----------------------------------------------
   /// Buffered send: copies `data` into dst's mailbox and returns.
   void Send(int dst, int tag, std::span<const std::byte> data);
-  /// Blocking receive of the next message from (src, tag).
+  /// Blocking receive of the next message from (src, tag). The no-deadline
+  /// overload applies the configured wait timeout; both throw
+  /// DeadlineExceededError when the wait expires.
   Bytes Recv(int src, int tag);
+  Bytes Recv(int src, int tag, const Deadline& deadline);
 
   /// Typed convenience wrappers (trivially-copyable element types only).
   template <typename T>
@@ -95,8 +120,11 @@ class Communicator {
   }
 
   // ---- collectives ----------------------------------------------------
-  /// All ranks wait until every rank has arrived.
+  /// All ranks wait until every rank has arrived. The no-deadline overload
+  /// applies the configured wait timeout; an expired wait un-registers this
+  /// rank's arrival and throws DeadlineExceededError.
   void Barrier();
+  void Barrier(const Deadline& deadline);
 
   /// Root's buffer is copied to every rank (binomial-tree order is not
   /// needed in-process; root fan-out keeps semantics identical).
@@ -137,8 +165,14 @@ class Communicator {
   template <typename T>
   static void ApplyOp(std::vector<T>& acc, const std::vector<T>& v, ReduceOp op);
 
+  /// The deadline a no-deadline blocking call runs under.
+  [[nodiscard]] Deadline WaitDeadline() const {
+    return Deadline::AfterMs(wait_timeout_ms_);
+  }
+
   std::shared_ptr<internal::World> world_;
   int rank_;
+  double wait_timeout_ms_ = 0.0;
 };
 
 /// Launch `n_ranks` threads, each running `body(comm)` with its own rank.

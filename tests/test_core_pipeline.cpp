@@ -30,6 +30,28 @@ TEST(DataBundle, LookupsAndAttrs) {
   EXPECT_GT(bundle.ApproxBytes(), 16u);
 }
 
+TEST(DataBundle, CloneOwnsTensorStorage) {
+  // Plain copies share NDArray storage; Clone must not — a snapshot that
+  // aliases the original is silently corrupted by in-place stage mutation
+  // (the retry/quarantine/speculation pristine-slice contract).
+  DataBundle bundle;
+  bundle.tensors["x"] = NDArray::Full({2}, 1.0, DType::kF64);
+  shard::Example ex;
+  ex.key = "e0";
+  ex.features["f"] = NDArray::Full({2}, 3.0, DType::kF64);
+  bundle.examples.push_back(std::move(ex));
+
+  DataBundle shallow = bundle;
+  DataBundle deep = bundle.Clone();
+  bundle.tensors["x"].SetFromDouble(0, -7.0);
+  bundle.examples[0].features["f"].SetFromDouble(0, -9.0);
+
+  EXPECT_EQ(shallow.tensors["x"].GetAsDouble(0), -7.0);  // aliased
+  EXPECT_EQ(deep.tensors["x"].GetAsDouble(0), 1.0);      // owned
+  EXPECT_EQ(deep.examples[0].features["f"].GetAsDouble(0), 3.0);
+  EXPECT_EQ(deep.examples[0].key, "e0");
+}
+
 // ---- ordering -----------------------------------------------------------------
 
 TEST(Pipeline, EnforcesCanonicalStageOrder) {

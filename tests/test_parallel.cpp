@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <thread>
 
 #include "common/rng.hpp"
+#include "common/timer.hpp"
 #include "parallel/communicator.hpp"
 #include "parallel/striped_store.hpp"
 #include "parallel/thread_pool.hpp"
@@ -370,6 +373,131 @@ TEST(Spmd, SendToSelfRoundTrips) {
   RunSpmd(1, [](Communicator& comm) {
     comm.SendVec(0, /*tag=*/3, std::vector<int64_t>{1, 2, 3});
     EXPECT_EQ(comm.RecvVec<int64_t>(0, 3), (std::vector<int64_t>{1, 2, 3}));
+  });
+}
+
+// ---- bounded waits (deadlines) --------------------------------------------
+//
+// The hang failure model: a rank that never arrives must not park its
+// peers forever. Every blocking wait accepts a deadline; on expiry the
+// waiting rank throws DeadlineExceededError (kDeadlineExceeded) instead of
+// hanging, and because collectives are built on the same bounded waits,
+// every rank that DID arrive fails the same way.
+
+TEST(SpmdDeadline, RecvTimesOutWhenSenderNeverArrives) {
+  std::atomic<int> timed_out{0};
+  RunSpmd(2, [&](Communicator& comm) {
+    if (comm.rank() == 1) return;  // the wedged peer: never sends
+    try {
+      comm.Recv(1, /*tag=*/3, Deadline::AfterMs(50));
+      ADD_FAILURE() << "rank 0 did not time out";
+    } catch (const DeadlineExceededError& e) {
+      EXPECT_EQ(e.ToStatus().code(), StatusCode::kDeadlineExceeded);
+      ++timed_out;
+    }
+  });
+  EXPECT_EQ(timed_out.load(), 1);
+}
+
+TEST(SpmdDeadline, RecvWithInfiniteDeadlineStillDelivers) {
+  RunSpmd(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.SendVec(1, /*tag=*/1, std::vector<int64_t>{5});
+    } else {
+      EXPECT_EQ(comm.RecvVec<int64_t>(0, 1), (std::vector<int64_t>{5}));
+    }
+  });
+}
+
+TEST(SpmdDeadline, BarrierTimesOutOnEveryArrivingRank) {
+  std::atomic<int> timed_out{0};
+  RunSpmd(3, [&](Communicator& comm) {
+    if (comm.rank() == 2) return;  // never arrives at the barrier
+    try {
+      comm.Barrier(Deadline::AfterMs(50));
+      ADD_FAILURE() << "rank " << comm.rank() << " did not time out";
+    } catch (const DeadlineExceededError&) {
+      ++timed_out;
+    }
+  });
+  EXPECT_EQ(timed_out.load(), 2);
+}
+
+TEST(SpmdDeadline, BarrierStateSurvivesATimeout) {
+  // A timed-out waiter un-registers its arrival, so a later full barrier
+  // on the same communicator still works (the wedged rank "recovered").
+  RunSpmd(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      try {
+        comm.Barrier(Deadline::AfterMs(30));
+        ADD_FAILURE() << "rank 0 did not time out";
+      } catch (const DeadlineExceededError&) {
+      }
+    } else {
+      // Arrive only after rank 0 has certainly timed out and withdrawn.
+      std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    }
+    comm.Barrier();  // all ranks arrive: must complete
+  });
+}
+
+TEST(SpmdDeadline, AllReduceTimesOutOnEveryArrivingRank) {
+  std::atomic<int> timed_out{0};
+  RunSpmd(3, [&](Communicator& comm) {
+    if (comm.rank() == 2) return;  // never joins the collective
+    comm.SetWaitTimeout(50);
+    try {
+      comm.AllReduceScalar(int64_t{1}, ReduceOp::kSum);
+      ADD_FAILURE() << "rank " << comm.rank() << " did not time out";
+    } catch (const DeadlineExceededError&) {
+      ++timed_out;
+    }
+  });
+  EXPECT_EQ(timed_out.load(), 2);
+}
+
+TEST(SpmdDeadline, ScatterTimesOutWhenRootNeverArrives) {
+  std::atomic<int> timed_out{0};
+  RunSpmd(2, [&](Communicator& comm) {
+    if (comm.rank() == 0) return;  // the root never scatters
+    comm.SetWaitTimeout(50);
+    try {
+      comm.Scatter(std::vector<std::vector<int64_t>>{}, /*root=*/0);
+      ADD_FAILURE() << "rank 1 did not time out";
+    } catch (const DeadlineExceededError&) {
+      ++timed_out;
+    }
+  });
+  EXPECT_EQ(timed_out.load(), 1);
+}
+
+TEST(SpmdDeadline, AgreeQuarantineTimesOutOnEveryArrivingRank) {
+  std::atomic<int> timed_out{0};
+  RunSpmd(3, [&](Communicator& comm) {
+    if (comm.rank() == 1) return;  // wedged mid-stage, never agrees
+    comm.SetWaitTimeout(50);
+    try {
+      AgreeQuarantine(comm, 8, {static_cast<uint64_t>(comm.rank())});
+      ADD_FAILURE() << "rank " << comm.rank() << " did not time out";
+    } catch (const DeadlineExceededError&) {
+      ++timed_out;
+    }
+  });
+  EXPECT_EQ(timed_out.load(), 2);
+}
+
+TEST(SpmdDeadline, ZeroWaitTimeoutMeansUnbounded) {
+  // SetWaitTimeout(0) restores the default: block until the peer arrives.
+  RunSpmd(2, [](Communicator& comm) {
+    comm.SetWaitTimeout(50);
+    comm.SetWaitTimeout(0);
+    if (comm.rank() == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(80));
+      comm.SendVec(1, /*tag=*/1, std::vector<int64_t>{7});
+    } else {
+      // Would throw at ~50 ms if the reset did not take.
+      EXPECT_EQ(comm.RecvVec<int64_t>(0, 1), (std::vector<int64_t>{7}));
+    }
   });
 }
 
