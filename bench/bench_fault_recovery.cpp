@@ -42,16 +42,7 @@
 namespace drai {
 namespace {
 
-/// One fingerprint over every file of the dataset (paths + bytes, sorted).
-std::string DatasetHash(const par::StripedStore& store,
-                        const std::string& prefix) {
-  Sha256 hasher;
-  for (const std::string& path : store.List(prefix)) {
-    hasher.Update(path);
-    hasher.Update(store.ReadAll(path).value());
-  }
-  return DigestToHex(hasher.Finish());
-}
+using bench::DatasetHash;
 
 domains::ClimateArchetypeConfig BaseConfig() {
   domains::ClimateArchetypeConfig config;

@@ -1,12 +1,19 @@
-// Shared table-rendering helpers for the drai benchmark binaries. Every
-// bench regenerates one of the paper's tables/figures (or quantifies one of
-// its claims) and prints it as an aligned text table, so bench_output.txt
-// reads like the paper's evaluation section.
+// Shared helpers for the drai benchmark binaries: table rendering, dataset
+// fingerprinting, and the run-and-hash harness the byte-identity benches
+// (and the differential test harness) are built on. Every bench regenerates
+// one of the paper's tables/figures (or quantifies one of its claims) and
+// prints it as an aligned text table, so bench_output.txt reads like the
+// paper's evaluation section.
 #pragma once
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "common/hash.hpp"
+#include "domains/climate.hpp"
+#include "parallel/striped_store.hpp"
 
 namespace drai::bench {
 
@@ -56,6 +63,43 @@ inline std::string Fmt(const char* fmt, double v) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), fmt, v);
   return buf;
+}
+
+/// One fingerprint over every file of the dataset (paths + bytes; List
+/// returns paths sorted, so the digest is order-stable).
+inline std::string DatasetHash(const par::StripedStore& store,
+                               const std::string& prefix) {
+  Sha256 hasher;
+  for (const std::string& path : store.List(prefix)) {
+    hasher.Update(path);
+    hasher.Update(store.ReadAll(path).value());
+  }
+  return DigestToHex(hasher.Finish());
+}
+
+/// RunAndHash outcome: the archetype result plus the two identity
+/// fingerprints every byte-identity comparison needs.
+struct RunAndHashResult {
+  Status status;                    ///< archetype status; rest valid iff ok
+  domains::ArchetypeResult result;  ///< full archetype outcome
+  std::string data_hash;            ///< DatasetHash over the written shards
+  std::string provenance_hash;      ///< the run's provenance graph hash
+};
+
+/// Run the climate archetype against a fresh in-memory store and fingerprint
+/// what it wrote — the one helper behind every "same bytes under different
+/// execution" check (worker counts, backends, faults, overlap windows).
+inline RunAndHashResult RunAndHash(
+    const domains::ClimateArchetypeConfig& config) {
+  par::StripedStore store;
+  RunAndHashResult out;
+  auto run = domains::RunClimateArchetype(store, config);
+  out.status = run.status();
+  if (!run.ok()) return out;
+  out.result = std::move(*run);
+  out.data_hash = DatasetHash(store, config.dataset_dir);
+  out.provenance_hash = out.result.provenance_hash;
+  return out;
 }
 
 }  // namespace drai::bench

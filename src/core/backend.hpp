@@ -78,6 +78,12 @@ class ExecutionBackend {
   [[nodiscard]] virtual std::string_view name() const = 0;
   /// Concurrency available to partition dispatch (threads or ranks).
   [[nodiscard]] virtual size_t concurrency() const = 0;
+  /// True when the backend's workers share the scheduler's memory and may
+  /// pull work discovered *during* the map (a shared work queue). The
+  /// overlap scheduler uses this to choose between the work-crew shape
+  /// (threads drain a PartitionChannel) and the static rank-local shape
+  /// (each rank runs its own partitions' downstream chains depth-first).
+  [[nodiscard]] virtual bool dynamic_tasks() const { return false; }
   virtual void Map(const PartitionTask& task) = 0;
 };
 
@@ -91,6 +97,7 @@ class ThreadBackend final : public ExecutionBackend {
 
   [[nodiscard]] std::string_view name() const override { return "thread"; }
   [[nodiscard]] size_t concurrency() const override;
+  [[nodiscard]] bool dynamic_tasks() const override { return true; }
   void Map(const PartitionTask& task) override;
 
  private:

@@ -13,6 +13,7 @@
 #include "common/timer.hpp"
 #include "core/checkpoint.hpp"
 #include "core/partitioner.hpp"
+#include "core/stream.hpp"
 #include "core/watchdog.hpp"
 #include "parallel/communicator.hpp"
 
@@ -75,6 +76,14 @@ std::string PipelineReport::TimeBreakdown() const {
                   static_cast<unsigned long long>(timeouts),
                   static_cast<unsigned long long>(launched),
                   static_cast<unsigned long long>(wins));
+    out += buf;
+  }
+  if (overlap_windows > 0) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  " || overlap: %llu window%s, ~%.2fs saved",
+                  static_cast<unsigned long long>(overlap_windows),
+                  overlap_windows == 1 ? "" : "s", overlap_seconds_saved);
     out += buf;
   }
   return out;
@@ -280,7 +289,98 @@ double MinArmedLimitMs(const std::vector<const DeadlinePolicy*>& policies) {
   return min_ms;
 }
 
+/// The grain Split will actually use (ParallelSpec.grain, or the per-axis
+/// default) — the planner needs the concrete value for the divisibility
+/// rule.
+size_t EffectiveGrain(const ParallelSpec& spec) {
+  return spec.grain > 0 ? spec.grain
+                        : BundlePartitioner::DefaultGrain(spec.axis);
+}
+
+const DeadlinePolicy& EffectiveDeadlineOf(const PipelinePlan& plan,
+                                          const ExecutorOptions& options,
+                                          size_t abs) {
+  const PlannedStage& s = plan.stages()[abs];
+  return s.deadline.active() ? s.deadline : options.default_deadline;
+}
+
+/// Window-membership rules that apply to every stage of a candidate group:
+/// quarantine drops are scoped to the group's merge (a streamed partition
+/// may already have fed its consumers when attempts exhaust), and soft
+/// deadlines drive speculation, whose commit-cell protocol assumes the
+/// group barrier. Hard deadlines and plain retry are stream-safe.
+bool GroupStreamable(const PipelinePlan& plan, const ExecutorOptions& options,
+                     size_t first, size_t last) {
+  const auto& stages = plan.stages();
+  if (stages[first].hint == ExecutionHint::kSerial) return false;
+  // kAuto resolves against the bundle at run time, so two kAuto groups
+  // cannot be proven to partition the same units.
+  if (stages[first].parallel.axis == PartitionAxis::kAuto) return false;
+  for (size_t s = first; s < last; ++s) {
+    if (stages[s].retry.quarantine) return false;
+    if (EffectiveDeadlineOf(plan, options, s).soft_ms > 0) return false;
+  }
+  return true;
+}
+
+/// Legality of streaming across the boundary at stage `b` (the first stage
+/// of the downstream group). See the ComputeOverlapWindows contract in
+/// executor.hpp.
+bool BoundaryStreams(const PipelinePlan& plan, size_t b) {
+  const auto& stages = plan.stages();
+  if (stages[b].overlap != OverlapPolicy::kStream) return false;
+  if (stages[b - 1].stage->HasAfterHook() || stages[b].stage->HasBeforeHook()) {
+    return false;
+  }
+  const ParallelSpec& up = stages[b - 1].parallel;
+  const ParallelSpec& down = stages[b].parallel;
+  if (up.axis != down.axis) return false;
+  if (up.group_by_prefix != down.group_by_prefix) return false;
+  if (up.axis == PartitionAxis::kRange &&
+      (up.range_count == 0 || up.range_count != down.range_count)) {
+    // A runtime range_attr domain cannot be re-derived from a streamed
+    // partition (its bundle is a slice, not the whole).
+    return false;
+  }
+  const size_t g_up = EffectiveGrain(up);
+  const size_t g_down = EffectiveGrain(down);
+  return g_up > 0 && g_down > 0 && g_up % g_down == 0;
+}
+
 }  // namespace
+
+std::vector<OverlapWindow> ComputeOverlapWindows(
+    const PipelinePlan& plan, const ExecutorOptions& options) {
+  std::vector<OverlapWindow> windows;
+  if (!options.overlap) return windows;
+  const auto& stages = plan.stages();
+  size_t i = 0;
+  while (i < stages.size()) {
+    const size_t j = FusedGroupEnd(plan, i);
+    if (!GroupStreamable(plan, options, i, j)) {
+      i = j;
+      continue;
+    }
+    OverlapWindow win;
+    win.first = i;
+    win.group_starts.push_back(i);
+    size_t end = j;
+    while (end < stages.size() && BoundaryStreams(plan, end)) {
+      const size_t next_end = FusedGroupEnd(plan, end);
+      if (!GroupStreamable(plan, options, end, next_end)) break;
+      win.group_starts.push_back(end);
+      end = next_end;
+    }
+    if (win.group_starts.size() >= 2) {
+      win.last = end;
+      windows.push_back(std::move(win));
+      i = end;
+    } else {
+      i = j;
+    }
+  }
+  return windows;
+}
 
 ParallelExecutor::ParallelExecutor(ExecutorOptions options)
     : options_(options),
@@ -307,16 +407,34 @@ PipelineReport ParallelExecutor::Run(const PipelinePlan& plan,
     return report;
   }
   const auto& stages = plan.stages();
+  // Overlap windows are a property of the plan + options, computed once per
+  // run. A resume that starts mid-window falls back to barriered groups for
+  // the remainder (windows only fire from their first stage), which is
+  // sound because window output is byte-identical to barriered output.
+  const std::vector<OverlapWindow> windows =
+      ComputeOverlapWindows(plan, options_);
   size_t i = scope.start_stage;
   while (i < stages.size()) {
     // Fuse maximal runs of parallel stages (either parallel hint) with
     // identical specs and no hooks at interior boundaries: split once, run
     // the chain per partition, merge once. Fusion is independent of
     // fail_fast — the error-reporting knob must not change which bundle
-    // states stages observe.
-    const size_t j = FusedGroupEnd(plan, i);
+    // states stages observe. A legal overlap window starting here takes
+    // over several groups at once and streams between them.
+    const OverlapWindow* window = nullptr;
+    for (const OverlapWindow& w : windows) {
+      if (w.first == i) {
+        window = &w;
+        break;
+      }
+    }
+    const size_t j = window != nullptr ? window->last : FusedGroupEnd(plan, i);
     const size_t already = report.stages.size();
-    RunGroup(plan, i, j, bundle, scope, report);
+    if (window != nullptr) {
+      RunWindow(plan, *window, bundle, scope, report);
+    } else {
+      RunGroup(plan, i, j, bundle, scope, report);
+    }
     bool failed = false;
     for (size_t s = already; s < report.stages.size(); ++s) {
       if (!report.stages[s].status.ok()) {
@@ -994,6 +1112,528 @@ void ParallelExecutor::RunGroup(const PipelinePlan& plan, size_t first,
     RecordStage(scope, m, MergedParams(stage_params[s], stage_counts[s]));
     report.stages.push_back(std::move(m));
     if (!report.stages.back().status.ok() && fail_fast) break;
+  }
+}
+
+void ParallelExecutor::RunWindow(const PipelinePlan& plan,
+                                 const OverlapWindow& window,
+                                 DataBundle& bundle,
+                                 const ExecutorRunScope& scope,
+                                 PipelineReport& report) {
+  const auto& stages = plan.stages();
+  const size_t first = window.first;
+  const size_t last = window.last;
+  const size_t n_stages = last - first;
+  const size_t n_groups = window.group_starts.size();
+  const PlannedStage& head = stages[first];
+  WallTimer window_timer;
+
+  // Group bounds (absolute stage indices) and the level each stage runs at.
+  std::vector<size_t> g_first = window.group_starts;
+  std::vector<size_t> g_last(n_groups);
+  for (size_t g = 0; g < n_groups; ++g) {
+    g_last[g] = g + 1 < n_groups ? g_first[g + 1] : last;
+  }
+
+  auto effective_deadline = [&](size_t abs) -> const DeadlinePolicy& {
+    return stages[abs].deadline.active() ? stages[abs].deadline
+                                         : options_.default_deadline;
+  };
+
+  std::vector<StageMetrics> metrics(n_stages);
+  for (size_t s = 0; s < n_stages; ++s) {
+    metrics[s].name = stages[first + s].stage->name();
+    metrics[s].kind = stages[first + s].stage->kind();
+    metrics[s].hint = stages[first + s].hint;
+  }
+  metrics[0].bundle_bytes_before = bundle.ApproxBytes();
+
+  StageContext hook_ctx(Rng(0), scope.provenance);
+  std::vector<std::map<std::string, std::string>> stage_params(n_stages);
+  std::vector<std::map<std::string, uint64_t>> stage_counts(n_stages);
+  auto harvest = [&](size_t s) {
+    for (const auto& [k, v] : hook_ctx.params()) stage_params[s][k] = v;
+    for (const auto& [k, v] : hook_ctx.counts()) stage_counts[s][k] += v;
+  };
+
+  WallTimer head_timer;
+  Status before_status;
+  if (head.stage->HasBeforeHook()) {
+    hook_ctx.Reset(DeriveRng(options_.seed, scope.run_index, first, 0));
+    before_status = head.stage->BeforePartition(bundle, hook_ctx);
+    harvest(0);
+  }
+  if (!before_status.ok()) {
+    metrics[0].status = before_status;
+    metrics[0].seconds = head_timer.Seconds();
+    metrics[0].bundle_bytes_after = bundle.ApproxBytes();
+    RecordStage(scope, metrics[0],
+                MergedParams(stage_params[0], stage_counts[0]));
+    report.stages.push_back(std::move(metrics[0]));
+    return;
+  }
+
+  auto split = BundlePartitioner::Split(bundle, head.parallel);
+  if (!split.ok()) {
+    metrics[0].status = split.status();
+    metrics[0].seconds = head_timer.Seconds();
+    metrics[0].bundle_bytes_after = bundle.ApproxBytes();
+    RecordStage(scope, metrics[0],
+                MergedParams(stage_params[0], stage_counts[0]));
+    report.stages.push_back(std::move(metrics[0]));
+    return;
+  }
+  std::vector<BundlePartition> roots = std::move(split).value();
+  const size_t n_roots = roots.size();
+  const size_t n_units = roots.back().slot.hi;
+  const uint64_t leftover0 = bundle.ApproxBytes();
+  // Streaming cannot reproduce the merge's attr-overlay (one partition's
+  // attr write would have to reach *every* downstream partition), so window
+  // stages must leave attrs untouched; the commit path enforces it.
+  const auto entry_attrs = bundle.attrs;
+  const double before_split_seconds = head_timer.Seconds();
+  ++report.overlap_windows;
+
+  // Per-level geometry. Every level partitions the same `n_units` units
+  // (the contract the commit path enforces per slice), so downstream
+  // partition counts are known before anything streams — exactly what a
+  // barriered run would have computed from the merged bundle.
+  std::vector<size_t> g_grain(n_groups), g_nparts(n_groups);
+  for (size_t g = 0; g < n_groups; ++g) {
+    g_grain[g] = EffectiveGrain(stages[g_first[g]].parallel);
+    g_nparts[g] =
+        g == 0 ? n_roots
+               : std::max<size_t>(1, (n_units + g_grain[g] - 1) / g_grain[g]);
+  }
+
+  std::vector<std::vector<PartResult>> results(n_stages);
+  std::vector<std::vector<uint64_t>> level_bytes0(n_groups);
+  for (size_t s = 0; s < n_stages; ++s) {
+    size_t g = 0;
+    while (first + s >= g_last[g]) ++g;
+    results[s].resize(g_nparts[g]);
+  }
+  for (size_t g = 0; g < n_groups; ++g) level_bytes0[g].resize(g_nparts[g], 0);
+  for (size_t p = 0; p < n_roots; ++p) {
+    level_bytes0[0][p] = roots[p].bundle.ApproxBytes();
+  }
+
+  // Committed final-level slices, residual upstream content (what a stage
+  // left in its slice besides the partitioned units), and their byte sizes
+  // for the interior-merge accounting. Each cell is written by exactly one
+  // worker (the one that processed that item) and read by the scheduler
+  // after Map returns.
+  std::vector<std::optional<BundlePartition>> final_parts(g_nparts.back());
+  std::vector<std::vector<std::optional<DataBundle>>> residuals(n_groups - 1);
+  std::vector<std::vector<uint64_t>> residual_bytes(n_groups - 1);
+  for (size_t g = 0; g + 1 < n_groups; ++g) {
+    residuals[g].resize(g_nparts[g]);
+    residual_bytes[g].resize(g_nparts[g], 0);
+  }
+
+  std::atomic<bool> abort{false};
+  const bool fail_fast = options_.fail_fast;
+
+  std::vector<const DeadlinePolicy*> policies(n_stages);
+  bool any_hard = false;
+  double collective_ms = 0;
+  for (size_t s = 0; s < n_stages; ++s) {
+    policies[s] = &effective_deadline(first + s);
+    any_hard |= policies[s]->hard_ms > 0;
+    collective_ms = std::max(collective_ms, policies[s]->collective_ms);
+  }
+  std::unique_ptr<AttemptWatchdog> watchdog;
+  if (any_hard) {
+    // No straggler callback: soft deadlines are barred from windows, so
+    // speculation never arms here.
+    watchdog = std::make_unique<AttemptWatchdog>(
+        WatchdogPollMs(MinArmedLimitMs(policies)));
+  }
+
+  // One unit of streamed work: partition `q` of level (= group) `level`.
+  struct WindowItem {
+    size_t level = 0;
+    size_t q = 0;
+    BundlePartition part;
+  };
+
+  // Run the item's group chain in place. Identical retry/fault/deadline
+  // semantics to the barriered Mode A path: pristine-slice snapshot, same
+  // derived RNG per attempt, watchdog hard-deadline tracking; the RNG slot
+  // and fault cell are (absolute stage, global partition index), so every
+  // injected fault and every random draw lands exactly where the barriered
+  // run would put it.
+  auto run_item_chain = [&](size_t level, size_t q, BundlePartition& part) {
+    for (size_t abs = g_first[level]; abs < g_last[level]; ++abs) {
+      if (fail_fast && abort.load(std::memory_order_relaxed)) return false;
+      const PlannedStage& planned = stages[abs];
+      const RetryPolicy& retry = planned.retry;
+      const DeadlinePolicy& deadline = *policies[abs - first];
+      PartResult& r = results[abs - first][q];
+      std::optional<DataBundle> snapshot;
+      if (retry.max_attempts > 1) snapshot = part.bundle.Clone();
+      size_t attempt = 1;
+      WallTimer t;
+      for (;;) {
+        StageContext ctx(
+            DeriveRng(options_.seed, scope.run_index, abs, q + 1),
+            scope.provenance);
+        ctx.SetPartition(part.slot);
+        ctx.SetAttempt(attempt);
+        if (options_.faults.active()) {
+          ctx.SetInjectedFault(options_.faults.Decide(
+              scope.run_index, planned.stage->name(), abs, q, attempt));
+        }
+        const uint64_t key = (static_cast<uint64_t>(level) << 32) | q;
+        const bool watched = watchdog && deadline.hard_ms > 0;
+        if (watched) {
+          watchdog->Track(key, ctx.cancel_token(), /*soft_ms=*/0.0,
+                          deadline.hard_ms,
+                          "stage '" + planned.stage->name() + "' partition " +
+                              std::to_string(q));
+        }
+        r.status = GuardedRun(*planned.stage, part.bundle, ctx);
+        if (watched) watchdog->Release(key);
+        r.params = ctx.params();
+        r.counts = ctx.counts();
+        r.partials = ctx.TakePartials();
+        if (r.status.code() == StatusCode::kDeadlineExceeded) ++r.timeouts;
+        if (r.status.ok() || attempt >= retry.max_attempts ||
+            !retry.ShouldRetry(r.status)) {
+          break;
+        }
+        ++attempt;
+        BackoffSleep(retry, attempt);
+        part.bundle = snapshot->Clone();
+      }
+      r.seconds = t.Seconds();
+      r.bytes_after = part.bundle.ApproxBytes();
+      r.ran = true;
+      r.attempts = attempt;
+      if (!r.status.ok()) {
+        if (fail_fast) abort.store(true, std::memory_order_relaxed);
+        return false;
+      }
+    }
+    return true;
+  };
+
+  // Commit an upstream item: re-split its slice at the downstream grain
+  // into whole global downstream partitions. The slot arithmetic works
+  // because upstream partition boundaries are multiples of the upstream
+  // grain, which is a multiple of the downstream grain (the planner's
+  // divisibility rule), so child q of the window equals child q of the
+  // barriered run — same slot, same RNG stream, same fault cell.
+  auto resplit = [&](size_t level, size_t q, BundlePartition&& part,
+                     std::vector<WindowItem>& children) -> Status {
+    const size_t next = level + 1;
+    const ParallelSpec& spec = stages[g_first[next]].parallel;
+    const std::string& tail_name = stages[g_last[level] - 1].stage->name();
+    if (part.bundle.attrs != entry_attrs) {
+      return FailedPrecondition(
+          "stage '" + tail_name + "' modified bundle attrs inside an overlap "
+          "window; attr writes need the merge barrier — mark this boundary "
+          "OverlapPolicy::kBarrier");
+    }
+    const size_t expect = part.slot.hi - part.slot.lo;
+    const size_t base_q = part.slot.lo / g_grain[next];
+    std::vector<BundlePartition> sub;
+    if (spec.axis == PartitionAxis::kRange) {
+      // Range children carry no content — just attrs plus their slot, like
+      // the barriered split; producer-written content rides the residual.
+      const size_t n_children =
+          (expect + g_grain[next] - 1) / g_grain[next];
+      sub.resize(n_children);
+      for (size_t c = 0; c < n_children; ++c) {
+        sub[c].bundle.attrs = part.bundle.attrs;
+      }
+    } else {
+      auto counted =
+          BundlePartitioner::CountUnits(part.bundle, spec.axis, spec);
+      if (!counted.ok()) return counted.status();
+      if (counted.value() != expect) {
+        return FailedPrecondition(
+            "stage '" + tail_name + "' changed its partition's unit count (" +
+            std::to_string(expect) + " -> " +
+            std::to_string(counted.value()) + ") inside an overlap window; "
+            "streamed stages must preserve unit counts — mark this boundary "
+            "OverlapPolicy::kBarrier");
+      }
+      auto local = BundlePartitioner::Split(part.bundle, spec);
+      if (!local.ok()) return local.status();
+      sub = std::move(local).value();
+    }
+    children.reserve(sub.size());
+    for (size_t c = 0; c < sub.size(); ++c) {
+      WindowItem child;
+      child.level = next;
+      child.q = base_q + c;
+      child.part.bundle = std::move(sub[c].bundle);
+      child.part.slot.index = child.q;
+      child.part.slot.count = g_nparts[next];
+      child.part.slot.lo = std::min(n_units, child.q * g_grain[next]);
+      child.part.slot.hi = std::min(n_units, (child.q + 1) * g_grain[next]);
+      level_bytes0[next][child.q] = child.part.bundle.ApproxBytes();
+      children.push_back(std::move(child));
+    }
+    residual_bytes[level][q] = part.bundle.ApproxBytes();
+    residuals[level][q] = std::move(part.bundle);
+    return Status::Ok();
+  };
+
+  // Process one item to completion: run its chain, then either park the
+  // final slice or re-split and hand the children on — preferably through
+  // the channel (another crew worker picks them up), inline otherwise.
+  // `outstanding` counts unfinished items; children are counted before
+  // their parent retires, so the count can only reach zero when the whole
+  // cascade is done — that closes the channel and releases the crew.
+  PartitionChannel<WindowItem>* chan_ptr = nullptr;
+  std::atomic<size_t> outstanding{0};
+  std::function<void(WindowItem&&)> process = [&](WindowItem&& item) {
+    std::vector<WindowItem> children;
+    if (!(fail_fast && abort.load(std::memory_order_relaxed)) &&
+        run_item_chain(item.level, item.q, item.part)) {
+      if (item.level + 1 == n_groups) {
+        final_parts[item.q] = std::move(item.part);
+      } else {
+        Status st =
+            resplit(item.level, item.q, std::move(item.part), children);
+        if (!st.ok()) {
+          // A streaming-contract violation surfaces on the level's last
+          // stage — the stage whose output could not be re-split.
+          results[g_last[item.level] - 1 - first][item.q].status = st;
+          if (fail_fast) abort.store(true, std::memory_order_relaxed);
+          children.clear();
+        }
+      }
+    }
+    std::vector<WindowItem> inline_children;
+    if (chan_ptr != nullptr) {
+      outstanding.fetch_add(children.size(), std::memory_order_acq_rel);
+      for (WindowItem& c : children) {
+        // TryPush leaves `c` intact on failure (full channel), so the
+        // producer runs the child itself — pushes never block, which keeps
+        // the crew deadlock-free at any worker count.
+        if (!chan_ptr->TryPush(std::move(c))) {
+          inline_children.push_back(std::move(c));
+        }
+      }
+      if (outstanding.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        chan_ptr->Close();
+      }
+    } else {
+      inline_children = std::move(children);
+    }
+    for (WindowItem& c : inline_children) process(std::move(c));
+  };
+
+  PartitionTask task;
+  task.collective_timeout_ms = collective_ms;
+  size_t max_parts = 0;
+  for (size_t np : g_nparts) max_parts = std::max(max_parts, np);
+  const size_t crew =
+      std::max<size_t>(1, std::min(backend_->concurrency(), max_parts));
+  PartitionChannel<WindowItem> chan(n_roots + 2 * crew);
+  if (backend_->dynamic_tasks()) {
+    // Work-crew shape: seed the channel with the roots and let `crew`
+    // backend slots drain it; work discovered mid-map (committed children)
+    // re-enters the same channel.
+    chan_ptr = &chan;
+    outstanding.store(n_roots, std::memory_order_relaxed);
+    for (size_t p = 0; p < n_roots; ++p) {
+      WindowItem item;
+      item.level = 0;
+      item.q = p;
+      item.part = std::move(roots[p]);
+      chan.TryPush(std::move(item));  // capacity >= n_roots: cannot fail
+    }
+    task.n_parts = crew;
+    task.run = [&](size_t) {
+      while (auto item = chan.Pop()) process(std::move(*item));
+    };
+  } else {
+    // Static shape (SPMD): the rank that owns root p runs p's entire
+    // downstream cone depth-first, overlapping its local partitions; the
+    // backend gathers once per window, not once per group. Outcome cells
+    // are written rank-locally and read after the map joins — the same
+    // in-process-ranks shared-memory contract the quarantine stash uses.
+    task.n_parts = n_roots;
+    task.run = [&](size_t p) {
+      WindowItem item;
+      item.level = 0;
+      item.q = p;
+      item.part = std::move(roots[p]);
+      process(std::move(item));
+    };
+  }
+
+  Status map_status;
+  try {
+    backend_->Map(task);
+  } catch (const par::DeadlineExceededError& e) {
+    map_status = e.ToStatus();
+  } catch (const std::exception& e) {
+    map_status = Internal("backend '" + std::string(backend_->name()) +
+                          "' failed: " + e.what());
+  } catch (...) {
+    map_status = Internal("backend '" + std::string(backend_->name()) +
+                          "' failed with a non-std exception");
+  }
+  if (watchdog) watchdog->Stop();
+
+  WallTimer tail_timer;
+
+  // Window-end merge, reproducing the barriered bundle exactly: residual
+  // content in ascending (level, partition) order — the order the interior
+  // merges would have appended it — then the final level's slices in
+  // ascending partition order. Slot indices here are merge-ordering keys.
+  {
+    std::vector<BundlePartition> merge_parts;
+    size_t order = 0;
+    for (size_t g = 0; g + 1 < n_groups; ++g) {
+      for (size_t q = 0; q < g_nparts[g]; ++q) {
+        if (!residuals[g][q].has_value()) continue;
+        BundlePartition bp;
+        bp.bundle = std::move(*residuals[g][q]);
+        bp.slot.index = order++;
+        merge_parts.push_back(std::move(bp));
+      }
+    }
+    for (size_t q = 0; q < g_nparts.back(); ++q) {
+      if (!final_parts[q].has_value()) continue;
+      BundlePartition bp = std::move(*final_parts[q]);
+      bp.slot.index = order++;
+      merge_parts.push_back(std::move(bp));
+    }
+    BundlePartitioner::Merge(bundle, merge_parts);
+  }
+
+  bool group_ok = map_status.ok();
+  for (size_t s = 0; s < n_stages && group_ok; ++s) {
+    for (const PartResult& r : results[s]) {
+      if (!r.ran || !r.status.ok()) {
+        group_ok = false;
+        break;
+      }
+    }
+  }
+
+  // The After hook belongs to the window's final group: its reduction
+  // inputs are that group's partials/counts in ascending (stage, partition)
+  // order, exactly as the barriered group merge would gather them.
+  std::map<std::string, std::vector<Bytes>> gathered_partials;
+  std::map<std::string, uint64_t> gathered_counts;
+  const PlannedStage& tail = stages[last - 1];
+  Status after_status;
+  if (group_ok && tail.stage->HasAfterHook()) {
+    for (size_t abs = g_first.back(); abs < last; ++abs) {
+      for (const PartResult& r : results[abs - first]) {
+        if (!r.ran) continue;
+        for (const auto& [k, v] : r.partials) gathered_partials[k].push_back(v);
+        for (const auto& [k, v] : r.counts) gathered_counts[k] += v;
+      }
+    }
+    hook_ctx.Reset(DeriveRng(options_.seed, scope.run_index, last - 1,
+                             g_nparts.back() + 1));
+    hook_ctx.SetGathered(&gathered_partials, &gathered_counts);
+    after_status = tail.stage->AfterMerge(bundle, hook_ctx);
+    hook_ctx.SetGathered(nullptr, nullptr);
+    harvest(n_stages - 1);
+  }
+  const double tail_seconds = tail_timer.Seconds();
+
+  // ---- Aggregate per-stage metrics in canonical (stage, partition) order,
+  // reproducing the barriered accounting: a stage's bundle_bytes_after is
+  // its level's leftover (window leftover plus upstream residuals — exact,
+  // because ApproxBytes is item-additive) plus its partitions' bytes.
+  std::vector<uint64_t> level_leftover(n_groups, leftover0);
+  for (size_t g = 1; g < n_groups; ++g) {
+    level_leftover[g] = level_leftover[g - 1];
+    for (uint64_t b : residual_bytes[g - 1]) level_leftover[g] += b;
+  }
+
+  uint64_t prev_bytes_after = metrics[0].bundle_bytes_before;
+  bool stop = false;
+  for (size_t g = 0; g < n_groups && !stop; ++g) {
+    bool group_failed = false;
+    for (size_t abs = g_first[g]; abs < g_last[g]; ++abs) {
+      const size_t s = abs - first;
+      StageMetrics& m = metrics[s];
+      const size_t np = g_nparts[g];
+      m.partitions = np;
+      m.overlapped = true;
+      m.partition_seconds.resize(np, 0.0);
+      m.bundle_bytes_before = prev_bytes_after;
+      double critical_path = 0;
+      bool any_ran = false;
+      uint64_t sum_bytes = 0;
+      for (size_t q = 0; q < np; ++q) {
+        const PartResult& r = results[s][q];
+        m.partition_seconds[q] = r.seconds;
+        critical_path = std::max(critical_path, r.seconds);
+        if (r.ran) {
+          any_ran = true;
+          m.attempts += r.attempts;
+          m.timeouts += r.timeouts;
+          sum_bytes += r.bytes_after;
+          if (m.status.ok() && !r.status.ok()) m.status = r.status;
+          for (const auto& [k, v] : r.params) stage_params[s][k] = v;
+          for (const auto& [k, v] : r.counts) stage_counts[s][k] += v;
+        } else {
+          sum_bytes += level_bytes0[g][q];
+        }
+      }
+      if (s == 0) {
+        if (m.status.ok() && !map_status.ok()) m.status = map_status;
+        if (map_status.code() == StatusCode::kDeadlineExceeded) ++m.timeouts;
+      }
+      m.seconds = critical_path;
+      if (s == 0) m.seconds += before_split_seconds;
+      if (s == n_stages - 1) {
+        m.seconds += tail_seconds;
+        if (m.status.ok() && !after_status.ok()) m.status = after_status;
+      }
+      m.bundle_bytes_after = s == n_stages - 1
+                                 ? bundle.ApproxBytes()
+                                 : level_leftover[g] + sum_bytes;
+      prev_bytes_after = m.bundle_bytes_after;
+
+      // Mirror the barriered truncation semantics group by group: trailing
+      // stages no partition attempted produce no row.
+      if (abs > g_first[g] && !any_ran) break;
+
+      stage_params[s]["hint"] = std::string(ExecutionHintName(m.hint));
+      stage_params[s]["partitions"] = std::to_string(np);
+      RecordStage(scope, m, MergedParams(stage_params[s], stage_counts[s]));
+      report.stages.push_back(std::move(m));
+      if (!report.stages.back().status.ok()) {
+        group_failed = true;
+        if (fail_fast) {
+          stop = true;
+          break;
+        }
+      }
+    }
+    // Groups downstream of a failure never ran in barrier terms: their rows
+    // are dropped here and Run() records them as skipped (or truncates).
+    if (group_failed) stop = true;
+  }
+
+  // Savings estimate: a barriered run pays each stage's critical path
+  // back-to-back; the window paid one overlapped wall. Split/merge overhead
+  // the barrier would also pay per group is not credited, so this
+  // under-reports rather than flatters.
+  double barrier_estimate = before_split_seconds + tail_seconds;
+  for (size_t s = 0; s < n_stages; ++s) {
+    double critical_path = 0;
+    for (const PartResult& r : results[s]) {
+      critical_path = std::max(critical_path, r.seconds);
+    }
+    barrier_estimate += critical_path;
+  }
+  const double window_wall = window_timer.Seconds();
+  if (barrier_estimate > window_wall) {
+    report.overlap_seconds_saved += barrier_estimate - window_wall;
   }
 }
 

@@ -60,6 +60,11 @@ struct StageMetrics {
   /// before their primary.
   uint64_t speculative_launched = 0;
   uint64_t speculative_wins = 0;
+  /// True when the stage ran inside an overlap window (inter-stage
+  /// pipelining): partitions streamed to the next group as they committed
+  /// instead of waiting for the merge barrier. Output bytes and provenance
+  /// are identical either way; this only records how the stage was driven.
+  bool overlapped = false;
 
   /// Partition skew: max / median of partition_seconds. 1.0 when balanced
   /// or serial; the straggler diagnosis for the §4 scaling story.
@@ -102,6 +107,13 @@ struct PipelineReport {
   /// Quarantined slices a Resume re-ingested from the checkpoint (empty
   /// except on the resume path).
   std::vector<ReadmissionRecord> readmissions;
+  /// Inter-stage pipelining facts: how many overlap windows streamed, and a
+  /// conservative estimate of the wall-clock saved versus running the same
+  /// stage groups back-to-back behind barriers (sum of per-stage critical
+  /// paths minus the window's measured wall time; split/merge overhead the
+  /// barriered run would also pay is not credited).
+  uint64_t overlap_windows = 0;
+  double overlap_seconds_saved = 0;
 
   [[nodiscard]] double SecondsIn(StageKind kind) const;
   /// "ingest 12% | preprocess 55% | ..." — the §3.2 curation-time story —
@@ -132,6 +144,14 @@ struct ExecutorOptions {
   /// — the safety net that lets a watchdog cancel a hung partition even
   /// when the plan never thought about deadlines. Inactive by default.
   DeadlinePolicy default_deadline;
+  /// Master switch for inter-stage pipelining. When true, consecutive
+  /// parallel stage groups whose boundary a plan opted into (OverlapPolicy
+  /// ::kStream) and that ComputeOverlapWindows proves legal run as one
+  /// overlap window: the downstream group starts processing a partition as
+  /// soon as the upstream group commits it. Byte-identical output and
+  /// provenance versus barriered execution; false forces barriers
+  /// everywhere (the differential-testing baseline).
+  bool overlap = true;
 };
 
 /// Per-run bookkeeping owned by the caller (the Pipeline facade): where to
@@ -179,12 +199,49 @@ class ParallelExecutor {
   void RunGroup(const PipelinePlan& plan, size_t first, size_t last,
                 DataBundle& bundle, const ExecutorRunScope& scope,
                 PipelineReport& report);
+  /// Run an overlap window: the window's fused groups execute as one
+  /// streaming dataflow — a committed upstream partition is re-split at the
+  /// downstream grain and processed immediately. Appends one StageMetrics
+  /// per window stage to the report, in canonical order, with the exact
+  /// statuses/bytes/params a barriered run would record.
+  void RunWindow(const PipelinePlan& plan, const struct OverlapWindow& window,
+                 DataBundle& bundle, const ExecutorRunScope& scope,
+                 PipelineReport& report);
   void RecordStage(const ExecutorRunScope& scope, StageMetrics& metrics,
                    const std::map<std::string, std::string>& params);
 
   ExecutorOptions options_;
   std::unique_ptr<ExecutionBackend> backend_;
 };
+
+/// One legal overlap window: >= 2 consecutive fused groups whose boundaries
+/// all stream. `group_starts` holds the absolute plan index of each group's
+/// first stage (group g spans [group_starts[g], group_starts[g+1]) and the
+/// final group ends at `last`).
+struct OverlapWindow {
+  size_t first = 0;  ///< absolute index of the window's first stage
+  size_t last = 0;   ///< one past the window's final stage
+  std::vector<size_t> group_starts;
+};
+
+/// The planner pass: partition the plan's fused groups into maximal legal
+/// overlap windows. A boundary between group A and group B (B's first stage
+/// at index b) streams iff ALL of:
+///   - options.overlap is on and stages[b].overlap == OverlapPolicy::kStream
+///   - both groups are parallel, on the same concrete axis (not kAuto), with
+///     the same group_by_prefix (and, for kRange, the same nonzero
+///     range_count) — so B's units are A's units
+///   - grain(A) is a positive multiple of grain(B): each committed upstream
+///     partition re-splits into whole downstream partitions
+///   - no AfterMerge hook on A's last stage and no BeforePartition hook on
+///     B's first stage (hooks are global barriers by definition)
+/// and every stage inside the window additionally has no quarantine policy
+/// (quarantine drops are merge-scoped) and no effective soft deadline
+/// (speculation's commit cells assume the group barrier). Hard deadlines,
+/// retry-without-quarantine, and fault injection all work inside windows.
+/// Exposed for tests; the executor calls it on every Run.
+std::vector<OverlapWindow> ComputeOverlapWindows(const PipelinePlan& plan,
+                                                 const ExecutorOptions& options);
 
 /// The RNG stream for one (run, stage, slot) cell — slot 0 is the serial
 /// stage / Before hook, slot p+1 is partition p, slot n_parts+1 the After

@@ -14,6 +14,7 @@ ExecutorOptions ToExecutorOptions(const PipelineOptions& options) {
   out.fail_fast = options.fail_fast;
   out.faults = options.faults;
   out.default_deadline = options.default_deadline;
+  out.overlap = options.overlap;
   return out;
 }
 
@@ -62,6 +63,11 @@ Pipeline& Pipeline::WithRetry(RetryPolicy policy) {
 
 Pipeline& Pipeline::WithDeadline(DeadlinePolicy policy) {
   plan_.WithDeadline(policy);
+  return *this;
+}
+
+Pipeline& Pipeline::WithOverlap(OverlapPolicy policy) {
+  plan_.WithOverlap(policy);
   return *this;
 }
 

@@ -52,6 +52,13 @@ struct PipelineOptions {
   /// When set, every successful stage group checkpoints here, and Resume()
   /// can restart a killed run from the last good stage. Not owned.
   CheckpointSink* checkpoint = nullptr;
+  /// Master switch for inter-stage pipelining (overlap windows). When true,
+  /// stage boundaries the plan marked OverlapPolicy::kStream that pass the
+  /// planner's legality rules stream committed partitions straight into the
+  /// next stage group instead of waiting for the merge barrier. Output
+  /// bytes and provenance are identical either way; false forces barriers
+  /// everywhere (the differential-testing baseline).
+  bool overlap = true;
 };
 
 class Pipeline {
@@ -80,6 +87,12 @@ class Pipeline {
   /// stage's RetryPolicy), a soft limit launches a speculative backup of a
   /// straggling partition, and collective_ms bounds SPMD collective waits.
   Pipeline& WithDeadline(DeadlinePolicy policy);
+  /// Mark the boundary between the most recently added stage and its
+  /// predecessor for inter-stage pipelining (OverlapPolicy::kStream). A
+  /// purely-performance hint: if the boundary fails the planner's legality
+  /// rules it silently falls back to the barrier, and output is
+  /// byte-identical either way.
+  Pipeline& WithOverlap(OverlapPolicy policy);
 
   [[nodiscard]] const std::string& name() const { return plan_.name(); }
   [[nodiscard]] size_t NumStages() const { return plan_.NumStages(); }

@@ -39,6 +39,14 @@ std::string_view PartitionAxisName(PartitionAxis a) {
   return "?";
 }
 
+std::string_view OverlapPolicyName(OverlapPolicy p) {
+  switch (p) {
+    case OverlapPolicy::kBarrier: return "barrier";
+    case OverlapPolicy::kStream: return "stream";
+  }
+  return "?";
+}
+
 PipelinePlan& PipelinePlan::Add(std::unique_ptr<Stage> stage,
                                 ExecutionHint hint, ParallelSpec spec) {
   if (!stages_.empty() &&
@@ -114,6 +122,16 @@ PipelinePlan& PipelinePlan::WithDeadline(DeadlinePolicy policy) {
         "would launch after the attempt is already cancelled");
   }
   stages_.back().deadline = policy;
+  return *this;
+}
+
+PipelinePlan& PipelinePlan::WithOverlap(OverlapPolicy policy) {
+  if (stages_.empty()) {
+    throw std::logic_error(
+        "Pipeline '" + name_ +
+        "': WithOverlap called before any stage was added");
+  }
+  stages_.back().overlap = policy;
   return *this;
 }
 

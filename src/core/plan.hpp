@@ -81,6 +81,24 @@ enum class PartitionAxis : uint8_t {
 
 std::string_view PartitionAxisName(PartitionAxis a);
 
+/// How a parallel stage may consume its predecessor's partitions.
+///
+///   kBarrier  wait for the predecessor group's full merge (default).
+///   kStream   opt in to inter-stage pipelining: when the executor finds the
+///             boundary legal (see ComputeOverlapWindows in executor.hpp),
+///             this stage starts processing partition p as soon as the
+///             predecessor commits p, instead of waiting for the barrier.
+///
+/// Purely an optimization hint: output bytes, provenance, and metrics
+/// ordering are identical either way, and an illegal boundary silently
+/// falls back to the barrier.
+enum class OverlapPolicy : uint8_t {
+  kBarrier = 0,
+  kStream = 1,
+};
+
+std::string_view OverlapPolicyName(OverlapPolicy p);
+
 /// Partitioning parameters for a parallel stage. The number of partitions
 /// is a function of the *data* and the grain only — never of the worker
 /// count — so results and provenance are identical for any thread count.
@@ -397,6 +415,8 @@ struct PlannedStage {
   ParallelSpec parallel;
   RetryPolicy retry;
   DeadlinePolicy deadline;
+  /// Boundary with the *previous* stage group; ignored on the first stage.
+  OverlapPolicy overlap = OverlapPolicy::kBarrier;
 };
 
 /// An ordered, validated list of planned stages. Purely declarative: build
@@ -428,6 +448,12 @@ class PipelinePlan {
   /// std::logic_error if no stage has been added yet, std::invalid_argument
   /// on a negative limit or soft_ms > hard_ms (both armed).
   PipelinePlan& WithDeadline(DeadlinePolicy policy);
+
+  /// Set the overlap policy for the boundary between the most recently
+  /// added stage and its predecessor group. Throws std::logic_error if no
+  /// stage has been added yet. Not part of Fingerprint(): toggling overlap
+  /// must not invalidate checkpoints, because output bytes are identical.
+  PipelinePlan& WithOverlap(OverlapPolicy policy);
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] size_t NumStages() const { return stages_.size(); }

@@ -1,0 +1,147 @@
+// drai/core/stream.hpp
+//
+// PartitionChannel — the bounded queue that connects two stage groups of an
+// overlap window (see executor.hpp / DESIGN.md §9): the upstream group
+// pushes each partition as it commits, the downstream group pops and starts
+// processing it before the upstream barrier would have released. Capacity
+// is bounded so a fast producer cannot balloon memory past the consumer.
+//
+// Blocking operations are cooperative-cancellation-aware: Pop (and the
+// blocking Push) poll a CancelToken and honor a Deadline while they wait,
+// so a hard-deadline cancel or an aborted window unblocks a waiting worker
+// promptly. The executor's scheduler itself only ever uses the
+// non-blocking TryPush (falling back to running the item inline when the
+// channel is full), which makes the work-crew deadlock-free by
+// construction: no worker ever blocks while holding work.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "common/cancel.hpp"
+#include "common/timer.hpp"
+
+namespace drai::core {
+
+template <typename T>
+class PartitionChannel {
+ public:
+  /// `capacity` = max items buffered; 0 is clamped to 1.
+  explicit PartitionChannel(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  PartitionChannel(const PartitionChannel&) = delete;
+  PartitionChannel& operator=(const PartitionChannel&) = delete;
+
+  /// Non-blocking push. Returns false — leaving `item` untouched — when the
+  /// channel is full or closed.
+  bool TryPush(T&& item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking push: waits for space. Returns false — leaving `item`
+  /// untouched — when the channel closed, `cancel` tripped, or `deadline`
+  /// expired before space appeared.
+  bool Push(T&& item, const CancelToken& cancel = CancelToken(),
+            const Deadline& deadline = Deadline()) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      while (!closed_ && items_.size() >= capacity_) {
+        if (cancel.Cancelled() || deadline.expired()) return false;
+        WaitSlice(not_full_, lock, deadline);
+      }
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking pop: waits for an item. Returns nullopt when the channel is
+  /// closed and drained, `cancel` tripped, or `deadline` expired first.
+  std::optional<T> Pop(const CancelToken& cancel = CancelToken(),
+                       const Deadline& deadline = Deadline()) {
+    std::optional<T> out;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      while (items_.empty() && !closed_) {
+        if (cancel.Cancelled() || deadline.expired()) return std::nullopt;
+        WaitSlice(not_empty_, lock, deadline);
+      }
+      if (items_.empty()) return std::nullopt;  // closed and drained
+      out.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// Non-blocking pop; nullopt when nothing is buffered.
+  std::optional<T> TryPop() {
+    std::optional<T> out;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (items_.empty()) return std::nullopt;
+      out.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// Close the channel: further pushes fail, pops drain the buffer then
+  /// return nullopt. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+  [[nodiscard]] size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+  [[nodiscard]] size_t capacity() const { return capacity_; }
+
+ private:
+  /// One bounded wait slice. CancelToken has no wakeup hook (it is a
+  /// poll-only flag shared with stage bodies), so waits are sliced at a few
+  /// milliseconds and the loop re-polls the token — the same cooperative
+  /// contract SleepUnlessCancelled uses.
+  template <typename Cv>
+  void WaitSlice(Cv& cv, std::unique_lock<std::mutex>& lock,
+                 const Deadline& deadline) {
+    constexpr auto kPoll = std::chrono::milliseconds(2);
+    if (deadline.infinite()) {
+      cv.wait_for(lock, kPoll);
+    } else {
+      const auto until = std::min(deadline.when(),
+                                  Deadline::Clock::now() + kPoll);
+      cv.wait_until(lock, until);
+    }
+  }
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace drai::core

@@ -40,6 +40,7 @@ Result<BioArchetypeResult> RunBioArchetype(par::StripedStore& store,
   options.backend = config.backend;
   options.threads = config.threads;
   options.faults = config.faults;
+  options.overlap = config.overlap;
   core::Pipeline pipeline("bio-archetype", options);
 
   // Parallel grains: sequence QC partitions the subject index range (the

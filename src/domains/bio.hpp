@@ -39,6 +39,11 @@ struct BioArchetypeConfig {
   core::DeadlinePolicy deadline;
   /// Deterministic fault injection (tests/benches). Inactive by default.
   core::FaultPlan faults;
+  /// Inter-stage pipelining master switch (PipelineOptions::overlap). This
+  /// plan has no streamable boundaries today (hooks and serial stages sit
+  /// between its parallel groups), so this is plumbing for parity with the
+  /// climate archetype; output bytes are identical either way.
+  bool overlap = true;
 };
 
 struct BioArchetypeResult : ArchetypeResult {

@@ -1,5 +1,6 @@
 #include "domains/climate.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
@@ -61,6 +62,7 @@ Result<ArchetypeResult> RunClimateArchetype(
   options.threads = config.threads;
   options.faults = config.faults;
   options.checkpoint = config.checkpoint;
+  options.overlap = config.overlap;
   core::Pipeline pipeline("climate-archetype", options);
 
   // One partition per time step for every parallel stage: the partition
@@ -70,6 +72,13 @@ Result<ArchetypeResult> RunClimateArchetype(
   per_time.axis = PartitionAxis::kTensorGroups;
   per_time.group_by_prefix = true;
   per_time.grain = 1;
+
+  // `normalize` may run at a coarser grain (N time steps per partition).
+  // With the default grain 1 it fuses with `patch` exactly as before; with
+  // N > 1 the two stages form separate groups whose boundary can stream
+  // (grain N re-splits into whole grain-1 partitions).
+  ParallelSpec per_time_coarse = per_time;
+  per_time_coarse.grain = std::max<size_t>(1, config.normalize_grain);
 
   // ingest: sniff the container format, decode either GRIB messages or a
   // NetCDF-lite file into per-(time, variable) fields.
@@ -205,6 +214,13 @@ Result<ArchetypeResult> RunClimateArchetype(
         for (const auto& [key, tensor] : bundle.tensors) {
           if (key.rfind("grid@", 0) != 0) continue;
           const size_t slash = key.rfind('/');
+          if (config.skew.active()) {
+            // Benchmark straggler generator: hot time steps cost more. The
+            // schedule keys off the time step, never the partition, so it
+            // is identical at any grain or worker count.
+            workloads::BurnCpu(workloads::SkewIters(
+                config.skew, TimeOfGroup(key.substr(0, slash))));
+          }
           const std::string var = key.substr(slash + 1);
           const auto vit = var_index.find(var);
           if (vit == var_index.end()) {
@@ -228,13 +244,14 @@ Result<ArchetypeResult> RunClimateArchetype(
         context.NoteParam("kind", "zscore");
         return Status::Ok();
       },
-      per_time);
+      per_time_coarse);
   pipeline.WithRetry(config.retry);
   pipeline.WithDeadline(config.deadline);
 
-  // structure: cut [vars, patch, patch] patches per time step. Same
-  // partitioning as `normalize`, no hooks — the executor fuses the two
-  // stages into one split/merge round.
+  // structure: cut [vars, patch, patch] patches per time step. Same axis as
+  // `normalize`, no hooks — at the default normalize_grain the executor
+  // fuses the two stages into one split/merge round; at a coarser grain
+  // the kStream boundary below lets them overlap instead.
   pipeline.Add(
       "patch", StageKind::kStructure, ExecutionHint::kPartitionParallel,
       [&](DataBundle& bundle, StageContext& context) -> Status {
@@ -285,6 +302,9 @@ Result<ArchetypeResult> RunClimateArchetype(
       per_time);
   pipeline.WithRetry(config.retry);
   pipeline.WithDeadline(config.deadline);
+  // Stream normalized partitions straight into patching when the stages
+  // are separate groups (normalize_grain > 1); dormant while they fuse.
+  pipeline.WithOverlap(core::OverlapPolicy::kStream);
 
   // shard: write RecIO shards + manifest with the normalizer embedded.
   pipeline.Add("shard", StageKind::kShard,

@@ -16,6 +16,7 @@
 #include "parallel/striped_store.hpp"
 #include "shard/manifest.hpp"
 #include "workloads/climate.hpp"
+#include "workloads/skew.hpp"
 
 namespace drai::domains {
 
@@ -52,6 +53,19 @@ struct ClimateArchetypeConfig {
   /// When set, every successful stage group checkpoints here (see
   /// core/checkpoint.hpp). Not owned. Default: no checkpointing.
   core::CheckpointSink* checkpoint = nullptr;
+  /// Inter-stage pipelining master switch (PipelineOptions::overlap). The
+  /// normalize -> patch boundary is marked OverlapPolicy::kStream; it
+  /// actually streams only when `normalize_grain` separates the two stages
+  /// into distinct fused groups. Output bytes are identical either way.
+  bool overlap = true;
+  /// Time steps per `normalize` partition. 1 (default) keeps normalize and
+  /// patch fused into one group, exactly the seed behavior; > 1 splits them
+  /// into separate groups whose boundary can stream (grain N -> 1).
+  size_t normalize_grain = 1;
+  /// Deterministic compute skew added to `normalize`, keyed by time step —
+  /// the straggler generator for overlap/speculation benchmarks. Inactive
+  /// by default; never changes output bytes.
+  workloads::SkewSpec skew;
 };
 
 struct ArchetypeResult {

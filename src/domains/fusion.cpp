@@ -51,6 +51,7 @@ Result<ArchetypeResult> RunFusionArchetype(
   options.backend = config.backend;
   options.threads = config.threads;
   options.faults = config.faults;
+  options.overlap = config.overlap;
   core::Pipeline pipeline("fusion-archetype", options);
 
   // One shot = one unit of parallel work: align partitions the signal sets,

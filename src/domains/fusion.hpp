@@ -45,6 +45,11 @@ struct FusionArchetypeConfig {
   core::DeadlinePolicy deadline;
   /// Deterministic fault injection (tests/benches). Inactive by default.
   core::FaultPlan faults;
+  /// Inter-stage pipelining master switch (PipelineOptions::overlap). This
+  /// plan has no streamable boundaries today (hooks and serial stages sit
+  /// between its parallel groups), so this is plumbing for parity with the
+  /// climate archetype; output bytes are identical either way.
+  bool overlap = true;
 };
 
 Result<ArchetypeResult> RunFusionArchetype(par::StripedStore& store,

@@ -30,6 +30,7 @@ Result<MaterialsArchetypeResult> RunMaterialsArchetype(
   options.backend = config.backend;
   options.threads = config.threads;
   options.faults = config.faults;
+  options.overlap = config.overlap;
   core::Pipeline pipeline("materials-archetype", options);
 
   // The corpus lives in the shared `structures` vector, not the bundle, so

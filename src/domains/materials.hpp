@@ -35,6 +35,11 @@ struct MaterialsArchetypeConfig {
   core::DeadlinePolicy deadline;
   /// Deterministic fault injection (tests/benches). Inactive by default.
   core::FaultPlan faults;
+  /// Inter-stage pipelining master switch (PipelineOptions::overlap). This
+  /// plan has no streamable boundaries today (hooks and serial stages sit
+  /// between its parallel groups), so this is plumbing for parity with the
+  /// climate archetype; output bytes are identical either way.
+  bool overlap = true;
 };
 
 struct MaterialsArchetypeResult : ArchetypeResult {

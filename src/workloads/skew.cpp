@@ -1,0 +1,42 @@
+#include "workloads/skew.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace drai::workloads {
+
+bool SkewHot(const SkewSpec& spec, uint64_t unit) {
+  if (spec.hot_fraction <= 0.0) return false;
+  if (spec.hot_fraction >= 1.0) return true;
+  // One SplitMix64 draw keyed by (seed, unit); the golden-ratio offset
+  // decorrelates adjacent units the same way DeriveStageRng's salts do.
+  SplitMix64 mix(spec.seed ^ (unit * 0x9E3779B97F4A7C15ull +
+                              0xBF58476D1CE4E5B9ull));
+  const double u =
+      static_cast<double>(mix.Next() >> 11) * 0x1.0p-53;  // [0, 1)
+  return u < spec.hot_fraction;
+}
+
+double SkewFactor(const SkewSpec& spec, uint64_t unit) {
+  return SkewHot(spec, unit) ? spec.multiplier : 1.0;
+}
+
+uint64_t SkewIters(const SkewSpec& spec, uint64_t unit) {
+  const double iters =
+      static_cast<double>(spec.base_iters) * SkewFactor(spec, unit);
+  return static_cast<uint64_t>(std::llround(iters));
+}
+
+void BurnCpu(uint64_t iters) {
+  static volatile uint64_t sink = 0;
+  uint64_t x = 0x2545F4914F6CDD1Dull;
+  for (uint64_t i = 0; i < iters; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+  }
+  sink = sink ^ x;
+}
+
+}  // namespace drai::workloads

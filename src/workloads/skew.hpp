@@ -1,0 +1,46 @@
+// drai/workloads/skew.hpp
+//
+// Deterministic partition skew — the straggler generator for overlap and
+// speculation benchmarks. A seeded subset of work units costs `multiplier`×
+// the base compute; whether a unit is hot is a pure hash of (seed, unit),
+// independent of partition count, worker count, or execution order, so the
+// same seed produces the same straggler schedule under any backend and any
+// grain. BurnCpu is the compute itself: an integer mix loop whose checksum
+// feeds a volatile sink so the optimizer cannot elide it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace drai::workloads {
+
+/// A deterministic hot-unit schedule: `hot_fraction` of units cost
+/// `multiplier` × `base_iters` of BurnCpu work, the rest cost `base_iters`.
+struct SkewSpec {
+  double hot_fraction = 0.0;  ///< fraction of units that are hot, in [0, 1]
+  double multiplier = 1.0;    ///< hot-unit cost relative to a cold unit
+  uint64_t seed = 0x5CE3;     ///< schedule seed (pure function input)
+  uint64_t base_iters = 0;    ///< BurnCpu iterations for a cold unit
+
+  /// True when the spec adds any work at all.
+  [[nodiscard]] bool active() const {
+    return base_iters > 0 && (hot_fraction > 0.0 ? multiplier >= 1.0 : true);
+  }
+};
+
+/// Whether unit `unit` is hot under `spec` — a pure function of
+/// (spec.seed, spec.hot_fraction, unit); never of partition geometry.
+[[nodiscard]] bool SkewHot(const SkewSpec& spec, uint64_t unit);
+
+/// The cost factor for `unit`: spec.multiplier when hot, 1.0 otherwise.
+[[nodiscard]] double SkewFactor(const SkewSpec& spec, uint64_t unit);
+
+/// BurnCpu iterations for `unit`: base_iters × SkewFactor, rounded.
+[[nodiscard]] uint64_t SkewIters(const SkewSpec& spec, uint64_t unit);
+
+/// Spin the CPU for `iters` integer-mix rounds. The checksum lands in a
+/// volatile sink, so the loop survives optimization; wall time scales
+/// linearly with `iters`.
+void BurnCpu(uint64_t iters);
+
+}  // namespace drai::workloads

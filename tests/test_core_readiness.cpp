@@ -152,5 +152,97 @@ TEST(ReadinessLevelName, Names) {
   EXPECT_EQ(StageKindName(StageKind::kShard), "shard");
 }
 
+// ---- the full 5x5 grid --------------------------------------------------------
+
+TEST(MaturityMatrix, FullGridGreyPatternIsLowerTriangular) {
+  // Table 2's exact shape: cell (L, stage) carries a requirement iff the
+  // stage's column index does not exceed L-1 (level L unlocks one more
+  // stage of the canonical pipeline).
+  for (ReadinessLevel level : kAllReadinessLevels) {
+    const int l = static_cast<int>(level);
+    for (StageKind stage : kAllStageKinds) {
+      const int s = static_cast<int>(stage);
+      EXPECT_EQ(MatrixCell(level, stage).has_value(), s <= l - 1)
+          << ReadinessLevelName(level) << "/" << StageKindName(stage);
+    }
+  }
+}
+
+TEST(MaturityMatrix, FullGridSatisfiedExactlyAboveStateLevel) {
+  // For every ladder state, sweep all 25 cells: a cell is satisfied iff it
+  // is grey or its row is at or below the state's level. This pins the
+  // assessor's cell predicate to the matrix, cell by cell.
+  for (ReadinessLevel at : kAllReadinessLevels) {
+    const DatasetState state = StateAtLevel(at);
+    for (ReadinessLevel level : kAllReadinessLevels) {
+      for (StageKind stage : kAllStageKinds) {
+        const bool grey = !MatrixCell(level, stage).has_value();
+        const bool expect =
+            grey || static_cast<int>(level) <= static_cast<int>(at);
+        EXPECT_EQ(CellSatisfied(state, level, stage), expect)
+            << "state@" << ReadinessLevelName(at) << " cell "
+            << ReadinessLevelName(level) << "/" << StageKindName(stage);
+      }
+    }
+  }
+}
+
+TEST(MaturityMatrix, EveryRequirementCellHasNonEmptyText) {
+  for (ReadinessLevel level : kAllReadinessLevels) {
+    for (StageKind stage : kAllStageKinds) {
+      const auto cell = MatrixCell(level, stage);
+      if (cell.has_value()) EXPECT_FALSE(cell->empty());
+    }
+  }
+}
+
+// ---- edge cases ---------------------------------------------------------------
+
+TEST(Assess, EmptyStateIsNotEvenRaw) {
+  // Nothing acquired: the L1 ingest cell is unsatisfied, so the assessor
+  // reports level 1 as the floor with the acquisition gap blocking.
+  const DatasetState empty;
+  const ReadinessAssessment a = Assess(empty);
+  EXPECT_EQ(a.overall, ReadinessLevel::kRaw);
+  ASSERT_FALSE(a.blocking.empty());
+  bool names_ingest = false;
+  for (const std::string& b : a.blocking) {
+    names_ingest = names_ingest || b.find("ingest") != std::string::npos;
+  }
+  EXPECT_TRUE(names_ingest);
+}
+
+TEST(Assess, FullySatisfiedStateHasNoBlockers) {
+  const ReadinessAssessment a = Assess(StateAtLevel(ReadinessLevel::kAiReady));
+  EXPECT_EQ(a.overall, ReadinessLevel::kAiReady);
+  EXPECT_TRUE(a.blocking.empty());
+  for (const ReadinessLevel per_stage : a.per_stage) {
+    EXPECT_EQ(per_stage, ReadinessLevel::kAiReady);
+  }
+}
+
+TEST(Assess, SingleStageProgressNeverLiftsOverall) {
+  // Only ingest work done, through L5: overall is still gated at L1 by the
+  // other columns, while the ingest column reports its own level.
+  DatasetState s;
+  s.acquired = true;
+  s.validated_standard_format = true;
+  s.metadata_enriched = true;
+  s.high_throughput_ingest = true;
+  s.ingest_automated = true;
+  const ReadinessAssessment a = Assess(s);
+  EXPECT_EQ(a.overall, ReadinessLevel::kRaw);
+  EXPECT_EQ(a.per_stage[0], ReadinessLevel::kAiReady);
+}
+
+TEST(Assess, BoundaryQualityGatesAreInclusive) {
+  DatasetState s = StateAtLevel(ReadinessLevel::kCleaned);
+  s.missing_fraction = 0.25;  // exactly at the documented floor
+  EXPECT_EQ(Assess(s).overall, ReadinessLevel::kCleaned);
+  DatasetState l4 = StateAtLevel(ReadinessLevel::kFeatureEngineered);
+  l4.label_fraction = 0.95;  // exactly "comprehensive"
+  EXPECT_EQ(Assess(l4).overall, ReadinessLevel::kFeatureEngineered);
+}
+
 }  // namespace
 }  // namespace drai::core

@@ -12,6 +12,8 @@
 #include "core/checkpoint.hpp"
 #include "core/executor.hpp"
 #include "core/pipeline.hpp"
+
+#include "diff_harness.hpp"
 #include "parallel/striped_store.hpp"
 #include "shard/checkpoint.hpp"
 
@@ -633,6 +635,16 @@ TEST(FailFast, OffSkipsDependentStagesAfterParallelFailure) {
             StatusCode::kFailedPrecondition);
   EXPECT_EQ(report.stages[3].status.code(),
             StatusCode::kFailedPrecondition);
+}
+
+
+// The shared differential harness on the fault-injection workload: a 1%
+// fault rate with retries must recover to byte-identical datasets in every
+// execution mode — {barrier, overlap} x {thread, spmd} x worker counts.
+TEST(FaultDifferential, RecoveredRunsAreByteIdenticalAcrossExecutionModes) {
+  testing::ExpectDifferentialIdentity(testing::FaultDifferentialConfig(),
+                                      {Backend::kThread, Backend::kSpmd},
+                                      {1, 4});
 }
 
 }  // namespace

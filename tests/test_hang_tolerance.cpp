@@ -16,6 +16,8 @@
 #include "core/checkpoint.hpp"
 #include "core/executor.hpp"
 #include "core/pipeline.hpp"
+
+#include "diff_harness.hpp"
 #include "core/watchdog.hpp"
 #include "parallel/striped_store.hpp"
 
@@ -643,6 +645,17 @@ TEST(Readmission, FailedReplayKeepsSliceDropped) {
   EXPECT_FALSE(report.readmissions[0].status.ok());
   EXPECT_EQ(report.readmissions[0].units, 0u);
   EXPECT_EQ(resumed.examples.size(), 4u);
+}
+
+
+// The shared differential harness on the hang-injection workload: hung
+// attempts are cancelled by the hard deadline and retried, and every
+// execution mode — {barrier, overlap} x {thread, spmd} x worker counts —
+// must still produce byte-identical datasets.
+TEST(HangDifferential, CancelledAndRetriedRunsAreByteIdenticalAcrossModes) {
+  testing::ExpectDifferentialIdentity(testing::HangDifferentialConfig(),
+                                      {Backend::kThread, Backend::kSpmd},
+                                      {1, 4});
 }
 
 }  // namespace

@@ -1,0 +1,661 @@
+// Tests for inter-stage pipelining (overlap windows): the PartitionChannel
+// primitive, the ComputeOverlapWindows legality pass, the streaming
+// scheduler itself, and the differential matrix proving that overlap is
+// invisible in the output — same bundle bytes, same provenance, same
+// report facts as barriered execution, on both backends, at any worker
+// count, with and without injected faults and hangs.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/executor.hpp"
+#include "core/pipeline.hpp"
+#include "core/plan.hpp"
+#include "core/stream.hpp"
+#include "diff_harness.hpp"
+
+namespace drai::core {
+namespace {
+
+// ---- PartitionChannel -------------------------------------------------------
+
+TEST(PartitionChannel, PushPopIsFifo) {
+  PartitionChannel<int> chan(4);
+  EXPECT_TRUE(chan.TryPush(1));
+  EXPECT_TRUE(chan.TryPush(2));
+  EXPECT_TRUE(chan.TryPush(3));
+  EXPECT_EQ(chan.size(), 3u);
+  EXPECT_EQ(chan.Pop().value(), 1);
+  EXPECT_EQ(chan.Pop().value(), 2);
+  EXPECT_EQ(chan.Pop().value(), 3);
+}
+
+TEST(PartitionChannel, TryPushFailsWhenFullAndLeavesItemIntact) {
+  PartitionChannel<std::string> chan(1);
+  std::string a = "first";
+  std::string b = "second";
+  EXPECT_TRUE(chan.TryPush(std::move(a)));
+  EXPECT_FALSE(chan.TryPush(std::move(b)));
+  EXPECT_EQ(b, "second");  // untouched on failure: caller can run it inline
+  EXPECT_EQ(chan.Pop().value(), "first");
+}
+
+TEST(PartitionChannel, TryPopEmptyReturnsNullopt) {
+  PartitionChannel<int> chan(2);
+  EXPECT_FALSE(chan.TryPop().has_value());
+}
+
+TEST(PartitionChannel, CloseDrainsRemainingItemsThenSignalsShutdown) {
+  PartitionChannel<int> chan(4);
+  EXPECT_TRUE(chan.TryPush(7));
+  EXPECT_TRUE(chan.TryPush(8));
+  chan.Close();
+  EXPECT_TRUE(chan.closed());
+  EXPECT_FALSE(chan.TryPush(9));  // pushes fail after close
+  EXPECT_EQ(chan.Pop().value(), 7);  // pops drain what was queued
+  EXPECT_EQ(chan.Pop().value(), 8);
+  EXPECT_FALSE(chan.Pop().has_value());  // then report shutdown
+  chan.Close();  // idempotent
+}
+
+TEST(PartitionChannel, ZeroCapacityClampsToOne) {
+  PartitionChannel<int> chan(0);
+  EXPECT_EQ(chan.capacity(), 1u);
+  EXPECT_TRUE(chan.TryPush(1));
+  EXPECT_FALSE(chan.TryPush(2));
+}
+
+TEST(PartitionChannel, PopBlocksUntilPushArrives) {
+  PartitionChannel<int> chan(2);
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    EXPECT_TRUE(chan.Push(42));
+  });
+  EXPECT_EQ(chan.Pop().value(), 42);  // blocks until the producer delivers
+  producer.join();
+}
+
+TEST(PartitionChannel, PopUnblocksOnCancel) {
+  PartitionChannel<int> chan(2);
+  CancelToken token;
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    token.Cancel("test shutdown");
+  });
+  EXPECT_FALSE(chan.Pop(token).has_value());
+  canceller.join();
+}
+
+TEST(PartitionChannel, PopUnblocksOnDeadline) {
+  PartitionChannel<int> chan(2);
+  EXPECT_FALSE(chan.Pop(CancelToken(), Deadline::AfterMs(40)).has_value());
+}
+
+// ---- ComputeOverlapWindows --------------------------------------------------
+
+LambdaStage::Fn Noop() {
+  return [](DataBundle&, StageContext&) -> Status { return Status::Ok(); };
+}
+
+ParallelSpec ExSpec(size_t grain) {
+  ParallelSpec spec;
+  spec.axis = PartitionAxis::kExamples;
+  spec.grain = grain;
+  return spec;
+}
+
+/// Two partition-parallel stages, grains `up` -> `down`, boundary marked
+/// kStream — the minimal window candidate the legality tests perturb.
+PipelinePlan TwoStagePlan(size_t up_grain, size_t down_grain) {
+  PipelinePlan plan("w");
+  plan.Add("up", StageKind::kPreprocess, ExecutionHint::kPartitionParallel,
+           Noop(), ExSpec(up_grain));
+  plan.Add("down", StageKind::kTransform, ExecutionHint::kPartitionParallel,
+           Noop(), ExSpec(down_grain));
+  plan.WithOverlap(OverlapPolicy::kStream);
+  return plan;
+}
+
+TEST(ComputeOverlapWindows, OptInCompatibleBoundaryFormsWindow) {
+  PipelinePlan plan = TwoStagePlan(4, 1);
+  const auto windows = ComputeOverlapWindows(plan, ExecutorOptions{});
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].first, 0u);
+  EXPECT_EQ(windows[0].last, 2u);
+  EXPECT_EQ(windows[0].group_starts, (std::vector<size_t>{0, 1}));
+}
+
+TEST(ComputeOverlapWindows, NoOptInNoWindow) {
+  PipelinePlan plan("w");
+  plan.Add("up", StageKind::kPreprocess, ExecutionHint::kPartitionParallel,
+           Noop(), ExSpec(4));
+  plan.Add("down", StageKind::kTransform, ExecutionHint::kPartitionParallel,
+           Noop(), ExSpec(1));  // compatible, but never marked kStream
+  EXPECT_TRUE(ComputeOverlapWindows(plan, ExecutorOptions{}).empty());
+}
+
+TEST(ComputeOverlapWindows, MasterSwitchOffDisablesWindows) {
+  PipelinePlan plan = TwoStagePlan(4, 1);
+  ExecutorOptions options;
+  options.overlap = false;
+  EXPECT_TRUE(ComputeOverlapWindows(plan, options).empty());
+}
+
+TEST(ComputeOverlapWindows, SerialStageBlocksWindow) {
+  PipelinePlan plan("w");
+  plan.Add("up", StageKind::kPreprocess, Noop());  // serial
+  plan.Add("down", StageKind::kTransform, ExecutionHint::kPartitionParallel,
+           Noop(), ExSpec(1));
+  plan.WithOverlap(OverlapPolicy::kStream);
+  EXPECT_TRUE(ComputeOverlapWindows(plan, ExecutorOptions{}).empty());
+}
+
+TEST(ComputeOverlapWindows, AxisMismatchBlocksWindow) {
+  PipelinePlan plan("w");
+  plan.Add("up", StageKind::kPreprocess, ExecutionHint::kPartitionParallel,
+           Noop(), ExSpec(4));
+  ParallelSpec rows;
+  rows.axis = PartitionAxis::kTableRows;
+  rows.grain = 1;
+  plan.Add("down", StageKind::kTransform, ExecutionHint::kPartitionParallel,
+           Noop(), rows);
+  plan.WithOverlap(OverlapPolicy::kStream);
+  EXPECT_TRUE(ComputeOverlapWindows(plan, ExecutorOptions{}).empty());
+}
+
+TEST(ComputeOverlapWindows, AutoAxisBlocksWindow) {
+  PipelinePlan plan("w");
+  ParallelSpec autospec;  // kAuto: resolved per-bundle, not provable statically
+  autospec.grain = 4;
+  plan.Add("up", StageKind::kPreprocess, ExecutionHint::kPartitionParallel,
+           Noop(), autospec);
+  ParallelSpec autodown = autospec;
+  autodown.grain = 1;
+  plan.Add("down", StageKind::kTransform, ExecutionHint::kPartitionParallel,
+           Noop(), autodown);
+  plan.WithOverlap(OverlapPolicy::kStream);
+  EXPECT_TRUE(ComputeOverlapWindows(plan, ExecutorOptions{}).empty());
+}
+
+TEST(ComputeOverlapWindows, GrainNotAMultipleBlocksWindow) {
+  PipelinePlan plan = TwoStagePlan(3, 2);  // 3 % 2 != 0
+  EXPECT_TRUE(ComputeOverlapWindows(plan, ExecutorOptions{}).empty());
+}
+
+TEST(ComputeOverlapWindows, CoarseningBoundaryBlocksWindow) {
+  PipelinePlan plan = TwoStagePlan(2, 4);  // downstream grain must divide up
+  EXPECT_TRUE(ComputeOverlapWindows(plan, ExecutorOptions{}).empty());
+}
+
+TEST(ComputeOverlapWindows, AfterHookOnUpstreamBlocksWindow) {
+  PipelinePlan plan("w");
+  plan.Add("up", StageKind::kPreprocess, ExecutionHint::kPartitionParallel,
+           /*before=*/nullptr, Noop(), /*after=*/Noop(), ExSpec(4));
+  plan.Add("down", StageKind::kTransform, ExecutionHint::kPartitionParallel,
+           Noop(), ExSpec(1));
+  plan.WithOverlap(OverlapPolicy::kStream);
+  EXPECT_TRUE(ComputeOverlapWindows(plan, ExecutorOptions{}).empty());
+}
+
+TEST(ComputeOverlapWindows, BeforeHookOnDownstreamBlocksWindow) {
+  PipelinePlan plan("w");
+  plan.Add("up", StageKind::kPreprocess, ExecutionHint::kPartitionParallel,
+           Noop(), ExSpec(4));
+  plan.Add("down", StageKind::kTransform, ExecutionHint::kPartitionParallel,
+           /*before=*/Noop(), Noop(), /*after=*/nullptr, ExSpec(1));
+  plan.WithOverlap(OverlapPolicy::kStream);
+  EXPECT_TRUE(ComputeOverlapWindows(plan, ExecutorOptions{}).empty());
+}
+
+TEST(ComputeOverlapWindows, QuarantinePolicyInsideWindowBlocksIt) {
+  PipelinePlan plan = TwoStagePlan(4, 1);
+  RetryPolicy retry;
+  retry.max_attempts = 3;
+  retry.quarantine = true;  // drops are merge-scoped: incompatible
+  plan.WithRetry(retry);
+  EXPECT_TRUE(ComputeOverlapWindows(plan, ExecutorOptions{}).empty());
+}
+
+TEST(ComputeOverlapWindows, PlainRetryInsideWindowIsAllowed) {
+  PipelinePlan plan = TwoStagePlan(4, 1);
+  RetryPolicy retry;
+  retry.max_attempts = 3;
+  plan.WithRetry(retry);
+  EXPECT_EQ(ComputeOverlapWindows(plan, ExecutorOptions{}).size(), 1u);
+}
+
+TEST(ComputeOverlapWindows, SoftDeadlineInsideWindowBlocksIt) {
+  PipelinePlan plan = TwoStagePlan(4, 1);
+  DeadlinePolicy deadline;
+  deadline.soft_ms = 50;  // speculation assumes the group barrier
+  plan.WithDeadline(deadline);
+  EXPECT_TRUE(ComputeOverlapWindows(plan, ExecutorOptions{}).empty());
+}
+
+TEST(ComputeOverlapWindows, DefaultSoftDeadlineBlocksViaOptions) {
+  PipelinePlan plan = TwoStagePlan(4, 1);
+  ExecutorOptions options;
+  options.default_deadline.soft_ms = 50;
+  EXPECT_TRUE(ComputeOverlapWindows(plan, options).empty());
+}
+
+TEST(ComputeOverlapWindows, HardDeadlineInsideWindowIsAllowed) {
+  PipelinePlan plan = TwoStagePlan(4, 1);
+  DeadlinePolicy deadline;
+  deadline.hard_ms = 500;
+  plan.WithDeadline(deadline);
+  EXPECT_EQ(ComputeOverlapWindows(plan, ExecutorOptions{}).size(), 1u);
+}
+
+TEST(ComputeOverlapWindows, EqualSpecsFuseInsteadOfStreaming) {
+  // Equal specs make one fused group — FusedGroupEnd already covers the
+  // boundary, so the kStream mark is dormant and no window forms.
+  PipelinePlan plan = TwoStagePlan(2, 2);
+  EXPECT_TRUE(ComputeOverlapWindows(plan, ExecutorOptions{}).empty());
+}
+
+TEST(ComputeOverlapWindows, RangeAxisNeedsMatchingRangeCount) {
+  auto range_spec = [](size_t grain, size_t count) {
+    ParallelSpec spec;
+    spec.axis = PartitionAxis::kRange;
+    spec.grain = grain;
+    spec.range_count = count;
+    return spec;
+  };
+  PipelinePlan mismatched("w");
+  mismatched.Add("up", StageKind::kPreprocess,
+                 ExecutionHint::kPartitionParallel, Noop(), range_spec(4, 16));
+  mismatched.Add("down", StageKind::kTransform,
+                 ExecutionHint::kPartitionParallel, Noop(), range_spec(1, 8));
+  mismatched.WithOverlap(OverlapPolicy::kStream);
+  EXPECT_TRUE(ComputeOverlapWindows(mismatched, ExecutorOptions{}).empty());
+
+  PipelinePlan matched("w");
+  matched.Add("up", StageKind::kPreprocess, ExecutionHint::kPartitionParallel,
+              Noop(), range_spec(4, 16));
+  matched.Add("down", StageKind::kTransform, ExecutionHint::kPartitionParallel,
+              Noop(), range_spec(1, 16));
+  matched.WithOverlap(OverlapPolicy::kStream);
+  EXPECT_EQ(ComputeOverlapWindows(matched, ExecutorOptions{}).size(), 1u);
+}
+
+TEST(ComputeOverlapWindows, ThreeGroupChainFormsOneWindow) {
+  PipelinePlan plan("w");
+  plan.Add("head", StageKind::kIngest, Noop());
+  plan.Add("a", StageKind::kPreprocess, ExecutionHint::kPartitionParallel,
+           Noop(), ExSpec(8));
+  plan.Add("b", StageKind::kTransform, ExecutionHint::kPartitionParallel,
+           Noop(), ExSpec(4));
+  plan.WithOverlap(OverlapPolicy::kStream);
+  plan.Add("c", StageKind::kStructure, ExecutionHint::kPartitionParallel,
+           Noop(), ExSpec(2));
+  plan.WithOverlap(OverlapPolicy::kStream);
+  const auto windows = ComputeOverlapWindows(plan, ExecutorOptions{});
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].first, 1u);
+  EXPECT_EQ(windows[0].last, 4u);
+  EXPECT_EQ(windows[0].group_starts, (std::vector<size_t>{1, 2, 3}));
+}
+
+// ---- streaming execution ----------------------------------------------------
+
+struct SyntheticRun {
+  PipelineReport report;
+  std::vector<std::string> keys;
+  std::vector<int64_t> labels;
+  std::string provenance_hash;
+};
+
+struct SyntheticOptions {
+  bool overlap = true;
+  Backend backend = Backend::kThread;
+  size_t workers = 4;
+  FaultPlan faults;
+  RetryPolicy retry;
+  DeadlinePolicy deadline;
+  bool attr_write_in_up = false;
+  bool grow_in_up = false;
+};
+
+/// make(16 examples) -> up(grain 8) -> down(grain 2, kStream): labels flow
+/// through two per-partition RNG transforms, so any scheduling deviation
+/// from the barriered run shows up as different label bytes.
+SyntheticRun RunSynthetic(const SyntheticOptions& so) {
+  PipelineOptions options;
+  options.backend = so.backend;
+  options.threads = so.workers;
+  options.seed = 77;
+  options.overlap = so.overlap;
+  options.faults = so.faults;
+  Pipeline p("overlap-synthetic", options);
+
+  p.Add("make", StageKind::kIngest,
+        [](DataBundle& bundle, StageContext&) -> Status {
+          for (size_t i = 0; i < 16; ++i) {
+            shard::Example ex;
+            ex.key = "e" + std::to_string(100 + i);
+            ex.SetLabel(static_cast<int64_t>(i));
+            bundle.examples.push_back(std::move(ex));
+          }
+          return Status::Ok();
+        });
+
+  p.Add("up", StageKind::kPreprocess, ExecutionHint::kPartitionParallel,
+        [so](DataBundle& bundle, StageContext& ctx) -> Status {
+          for (auto& ex : bundle.examples) {
+            ex.SetLabel(ex.Label().value() +
+                        static_cast<int64_t>(ctx.rng().NextU64() % 1000));
+          }
+          if (so.attr_write_in_up) {
+            bundle.SetAttr("up_note", container::AttrValue::Int(1));
+          }
+          if (so.grow_in_up) {
+            shard::Example extra;
+            extra.key = "extra";
+            bundle.examples.push_back(std::move(extra));
+          }
+          ctx.NoteCount("up_touched", bundle.examples.size());
+          return Status::Ok();
+        },
+        ExSpec(8));
+  p.WithRetry(so.retry);
+  p.WithDeadline(so.deadline);
+
+  p.Add("down", StageKind::kTransform, ExecutionHint::kPartitionParallel,
+        [](DataBundle& bundle, StageContext& ctx) -> Status {
+          for (auto& ex : bundle.examples) {
+            if (ex.Find("label") == nullptr) continue;  // grow_in_up extras
+            ex.SetLabel(ex.Label().value() * 3 +
+                        static_cast<int64_t>(ctx.rng().NextU64() % 7));
+          }
+          ctx.NoteCount("down_touched", bundle.examples.size());
+          return Status::Ok();
+        },
+        ExSpec(2));
+  p.WithRetry(so.retry);
+  p.WithDeadline(so.deadline);
+  p.WithOverlap(OverlapPolicy::kStream);
+
+  SyntheticRun out;
+  DataBundle bundle;
+  out.report = p.Run(bundle);
+  for (const auto& ex : bundle.examples) {
+    out.keys.push_back(ex.key);
+    if (ex.Find("label") != nullptr) out.labels.push_back(ex.Label().value());
+  }
+  out.provenance_hash = p.provenance().RecordHash();
+  return out;
+}
+
+/// Everything that must not depend on the execution strategy: stage rows
+/// (identity, status, partition geometry, byte accounting, attempts) and
+/// overall success. Seconds and the overlap bookkeeping fields may differ.
+void ExpectSameFacts(const PipelineReport& a, const PipelineReport& b) {
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.error.code(), b.error.code());
+  ASSERT_EQ(a.stages.size(), b.stages.size());
+  for (size_t i = 0; i < a.stages.size(); ++i) {
+    EXPECT_EQ(a.stages[i].name, b.stages[i].name) << i;
+    EXPECT_EQ(a.stages[i].status.code(), b.stages[i].status.code()) << i;
+    EXPECT_EQ(a.stages[i].partitions, b.stages[i].partitions) << i;
+    EXPECT_EQ(a.stages[i].bundle_bytes_before, b.stages[i].bundle_bytes_before)
+        << i;
+    EXPECT_EQ(a.stages[i].bundle_bytes_after, b.stages[i].bundle_bytes_after)
+        << i;
+    EXPECT_EQ(a.stages[i].attempts, b.stages[i].attempts) << i;
+  }
+}
+
+TEST(OverlapExecution, StreamedRunMatchesBarrieredRun) {
+  SyntheticOptions barrier;
+  barrier.overlap = false;
+  const SyntheticRun base = RunSynthetic(barrier);
+  ASSERT_TRUE(base.report.ok);
+  EXPECT_EQ(base.report.overlap_windows, 0u);
+
+  SyntheticOptions streamed;
+  streamed.overlap = true;
+  const SyntheticRun over = RunSynthetic(streamed);
+  ASSERT_TRUE(over.report.ok);
+  EXPECT_EQ(over.report.overlap_windows, 1u);
+  EXPECT_GE(over.report.overlap_seconds_saved, 0.0);
+
+  EXPECT_EQ(over.keys, base.keys);
+  EXPECT_EQ(over.labels, base.labels);
+  EXPECT_EQ(over.provenance_hash, base.provenance_hash);
+  ExpectSameFacts(over.report, base.report);
+
+  // The window stages are flagged; the serial head is not.
+  ASSERT_EQ(over.report.stages.size(), 3u);
+  EXPECT_FALSE(over.report.stages[0].overlapped);
+  EXPECT_TRUE(over.report.stages[1].overlapped);
+  EXPECT_TRUE(over.report.stages[2].overlapped);
+  EXPECT_FALSE(base.report.stages[1].overlapped);
+}
+
+TEST(OverlapExecution, StreamedOutputIdenticalAcrossWorkerCounts) {
+  SyntheticOptions barrier;
+  barrier.overlap = false;
+  barrier.workers = 1;
+  const SyntheticRun base = RunSynthetic(barrier);
+  ASSERT_TRUE(base.report.ok);
+  for (size_t workers : {size_t{1}, size_t{2}, size_t{8}}) {
+    SyntheticOptions streamed;
+    streamed.workers = workers;
+    const SyntheticRun over = RunSynthetic(streamed);
+    ASSERT_TRUE(over.report.ok) << workers;
+    EXPECT_EQ(over.labels, base.labels) << workers;
+    EXPECT_EQ(over.provenance_hash, base.provenance_hash) << workers;
+  }
+}
+
+TEST(OverlapExecution, SpmdRanksStreamRankLocally) {
+  SyntheticOptions barrier;
+  barrier.overlap = false;
+  const SyntheticRun base = RunSynthetic(barrier);
+  ASSERT_TRUE(base.report.ok);
+  for (size_t ranks : {size_t{1}, size_t{4}}) {
+    SyntheticOptions spmd;
+    spmd.backend = Backend::kSpmd;
+    spmd.workers = ranks;
+    const SyntheticRun over = RunSynthetic(spmd);
+    ASSERT_TRUE(over.report.ok) << ranks;
+    EXPECT_EQ(over.report.overlap_windows, 1u) << ranks;
+    EXPECT_EQ(over.labels, base.labels) << ranks;
+    EXPECT_EQ(over.provenance_hash, base.provenance_hash) << ranks;
+    ExpectSameFacts(over.report, base.report);
+  }
+}
+
+TEST(OverlapExecution, FaultInsideWindowRetriesToIdenticalBytes) {
+  SyntheticOptions clean;
+  clean.overlap = false;
+  const SyntheticRun base = RunSynthetic(clean);
+  ASSERT_TRUE(base.report.ok);
+
+  SyntheticOptions faulted;
+  FaultSite site;
+  site.stage = "down";
+  site.partition = 3;
+  site.fail_attempts = 1;
+  faulted.faults.sites.push_back(site);
+  faulted.retry.max_attempts = 2;
+  const SyntheticRun over = RunSynthetic(faulted);
+  ASSERT_TRUE(over.report.ok);
+  EXPECT_EQ(over.report.overlap_windows, 1u);
+  // One extra attempt on the faulted partition, same bytes after retry.
+  EXPECT_EQ(over.report.stages[2].attempts, 9u);  // 8 partitions + 1 retry
+  EXPECT_EQ(over.labels, base.labels);
+  EXPECT_EQ(over.provenance_hash, base.provenance_hash);
+}
+
+TEST(OverlapExecution, FailureInsideWindowMatchesBarrieredFailure) {
+  SyntheticOptions so;
+  FaultSite site;
+  site.stage = "down";
+  site.partition = 5;
+  site.fail_attempts = 99;  // no retry budget: the run fails
+  so.faults.sites.push_back(site);
+
+  so.overlap = false;
+  const SyntheticRun barrier = RunSynthetic(so);
+  so.overlap = true;
+  const SyntheticRun over = RunSynthetic(so);
+
+  EXPECT_FALSE(barrier.report.ok);
+  EXPECT_FALSE(over.report.ok);
+  EXPECT_EQ(over.report.error.code(), barrier.report.error.code());
+  ASSERT_FALSE(over.report.stages.empty());
+  ASSERT_FALSE(barrier.report.stages.empty());
+  EXPECT_EQ(over.report.stages.back().name, barrier.report.stages.back().name);
+  EXPECT_EQ(over.report.stages.back().status.code(),
+            barrier.report.stages.back().status.code());
+}
+
+TEST(OverlapExecution, HangInsideWindowCancelledAndRetriedIdentically) {
+  SyntheticOptions clean;
+  clean.overlap = false;
+  const SyntheticRun base = RunSynthetic(clean);
+  ASSERT_TRUE(base.report.ok);
+
+  SyntheticOptions hung;
+  FaultSite site;
+  site.stage = "down";
+  site.partition = 2;
+  site.fail_attempts = 1;
+  site.code = StatusCode::kOk;  // pure slowdown; the watchdog must cancel it
+  site.hang_ms = 5000;
+  hung.faults.sites.push_back(site);
+  hung.retry.max_attempts = 2;
+  hung.deadline.hard_ms = 150;
+  const SyntheticRun over = RunSynthetic(hung);
+  ASSERT_TRUE(over.report.ok);
+  EXPECT_EQ(over.report.overlap_windows, 1u);
+  EXPECT_GE(over.report.stages[2].timeouts, 1u);
+  EXPECT_EQ(over.labels, base.labels);
+  EXPECT_EQ(over.provenance_hash, base.provenance_hash);
+}
+
+TEST(OverlapExecution, AttrWriteInsideWindowIsRejected) {
+  SyntheticOptions so;
+  so.attr_write_in_up = true;
+  so.overlap = false;
+  const SyntheticRun barrier = RunSynthetic(so);
+  EXPECT_TRUE(barrier.report.ok);  // legal behind a merge barrier
+
+  so.overlap = true;
+  const SyntheticRun over = RunSynthetic(so);
+  EXPECT_FALSE(over.report.ok);
+  EXPECT_EQ(over.report.error.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(over.report.error.message().find("overlap"), std::string::npos);
+}
+
+TEST(OverlapExecution, UnitCountChangeInsideWindowIsRejected) {
+  SyntheticOptions so;
+  so.grow_in_up = true;
+  so.overlap = false;
+  const SyntheticRun barrier = RunSynthetic(so);
+  EXPECT_TRUE(barrier.report.ok);  // a barriered merge re-counts units
+
+  so.overlap = true;
+  const SyntheticRun over = RunSynthetic(so);
+  EXPECT_FALSE(over.report.ok);
+  EXPECT_EQ(over.report.error.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(over.report.error.message().find("unit count"), std::string::npos);
+}
+
+TEST(OverlapExecution, ThreeGroupChainStreamsByteIdentically) {
+  auto run = [](bool overlap) {
+    PipelineOptions options;
+    options.threads = 4;
+    options.seed = 99;
+    options.overlap = overlap;
+    Pipeline p("chain", options);
+    p.Add("make", StageKind::kIngest,
+          [](DataBundle& bundle, StageContext&) -> Status {
+            for (size_t i = 0; i < 16; ++i) {
+              shard::Example ex;
+              ex.key = "e" + std::to_string(i);
+              ex.SetLabel(static_cast<int64_t>(i));
+              bundle.examples.push_back(std::move(ex));
+            }
+            return Status::Ok();
+          });
+    auto bump = [](DataBundle& bundle, StageContext& ctx) -> Status {
+      for (auto& ex : bundle.examples) {
+        ex.SetLabel(ex.Label().value() * 5 +
+                    static_cast<int64_t>(ctx.rng().NextU64() % 11));
+      }
+      return Status::Ok();
+    };
+    p.Add("a", StageKind::kPreprocess, ExecutionHint::kPartitionParallel,
+          bump, ExSpec(8));
+    p.Add("b", StageKind::kTransform, ExecutionHint::kPartitionParallel,
+          bump, ExSpec(4));
+    p.WithOverlap(OverlapPolicy::kStream);
+    p.Add("c", StageKind::kStructure, ExecutionHint::kPartitionParallel,
+          bump, ExSpec(2));
+    p.WithOverlap(OverlapPolicy::kStream);
+    DataBundle bundle;
+    PipelineReport report = p.Run(bundle);
+    std::vector<int64_t> labels;
+    for (const auto& ex : bundle.examples) labels.push_back(ex.Label().value());
+    return std::make_tuple(std::move(report), std::move(labels),
+                           p.provenance().RecordHash());
+  };
+  auto [barrier_report, barrier_labels, barrier_prov] = run(false);
+  auto [overlap_report, overlap_labels, overlap_prov] = run(true);
+  ASSERT_TRUE(barrier_report.ok);
+  ASSERT_TRUE(overlap_report.ok);
+  EXPECT_EQ(barrier_report.overlap_windows, 0u);
+  EXPECT_EQ(overlap_report.overlap_windows, 1u);
+  EXPECT_EQ(overlap_labels, barrier_labels);
+  EXPECT_EQ(overlap_prov, barrier_prov);
+  ExpectSameFacts(overlap_report, barrier_report);
+}
+
+TEST(OverlapExecution, ClimateArchetypeStreamsWhenGrainSeparatesStages) {
+  domains::ClimateArchetypeConfig config = testing::SmallDifferentialConfig();
+  config.threads = 4;
+  const bench::RunAndHashResult streamed = bench::RunAndHash(config);
+  ASSERT_TRUE(streamed.status.ok()) << streamed.status.ToString();
+  EXPECT_EQ(streamed.result.report.overlap_windows, 1u);
+
+  // Forcing the barrier must not change a single byte.
+  domains::ClimateArchetypeConfig barriered = config;
+  barriered.overlap = false;
+  const bench::RunAndHashResult base = bench::RunAndHash(barriered);
+  ASSERT_TRUE(base.status.ok());
+  EXPECT_EQ(base.result.report.overlap_windows, 0u);
+  EXPECT_EQ(streamed.data_hash, base.data_hash);
+  EXPECT_EQ(streamed.provenance_hash, base.provenance_hash);
+
+  // Default grain keeps normalize+patch fused — the kStream mark is dormant
+  // and no window forms, preserving the seed pipeline's shape.
+  domains::ClimateArchetypeConfig fused = config;
+  fused.normalize_grain = 1;
+  const bench::RunAndHashResult fused_run = bench::RunAndHash(fused);
+  ASSERT_TRUE(fused_run.status.ok());
+  EXPECT_EQ(fused_run.result.report.overlap_windows, 0u);
+}
+
+// ---- the differential matrix ------------------------------------------------
+
+TEST(OverlapDifferential, CleanMatrixIsByteIdentical) {
+  testing::ExpectDifferentialIdentity(testing::SmallDifferentialConfig());
+}
+
+TEST(OverlapDifferential, FaultedMatrixRecoversByteIdentically) {
+  testing::ExpectDifferentialIdentity(testing::FaultDifferentialConfig());
+}
+
+TEST(OverlapDifferential, HangingMatrixCancelsAndRecoversByteIdentically) {
+  testing::ExpectDifferentialIdentity(testing::HangDifferentialConfig());
+}
+
+}  // namespace
+}  // namespace drai::core

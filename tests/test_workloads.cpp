@@ -11,6 +11,7 @@
 #include "workloads/climate.hpp"
 #include "workloads/fusion.hpp"
 #include "workloads/materials.hpp"
+#include "workloads/skew.hpp"
 
 namespace drai::workloads {
 namespace {
@@ -232,6 +233,73 @@ TEST(MaterialsWorkload, DeterministicGivenSeed) {
     EXPECT_EQ(a[i].frac_coords, b[i].frac_coords);
     EXPECT_EQ(a[i].atomic_numbers, b[i].atomic_numbers);
   }
+}
+
+// ---- deterministic skew ----------------------------------------------------
+
+TEST(Skew, InactiveByDefault) {
+  const SkewSpec spec;
+  EXPECT_FALSE(spec.active());
+  EXPECT_FALSE(SkewHot(spec, 0));
+  EXPECT_EQ(SkewFactor(spec, 0), 1.0);
+  EXPECT_EQ(SkewIters(spec, 7), 0u);
+}
+
+TEST(Skew, HotIsPureFunctionOfSeedAndUnit) {
+  SkewSpec spec;
+  spec.hot_fraction = 0.25;
+  spec.multiplier = 8.0;
+  spec.base_iters = 10;
+  // Same (seed, unit) -> same answer, always: the schedule may be queried
+  // from any partition, any backend, any number of times.
+  for (uint64_t unit = 0; unit < 64; ++unit) {
+    const bool first = SkewHot(spec, unit);
+    for (int repeat = 0; repeat < 3; ++repeat) {
+      EXPECT_EQ(SkewHot(spec, unit), first) << unit;
+    }
+  }
+  // A different seed reshuffles the schedule.
+  SkewSpec other = spec;
+  other.seed = spec.seed + 1;
+  bool any_differs = false;
+  for (uint64_t unit = 0; unit < 256; ++unit) {
+    any_differs = any_differs || SkewHot(spec, unit) != SkewHot(other, unit);
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(Skew, HotFractionIsApproximatelyRespected) {
+  SkewSpec spec;
+  spec.hot_fraction = 0.125;
+  spec.multiplier = 4.0;
+  spec.base_iters = 1;
+  size_t hot = 0;
+  const size_t n = 4096;
+  for (uint64_t unit = 0; unit < n; ++unit) hot += SkewHot(spec, unit) ? 1 : 0;
+  const double fraction = static_cast<double>(hot) / n;
+  EXPECT_GT(fraction, 0.08);
+  EXPECT_LT(fraction, 0.18);
+}
+
+TEST(Skew, FactorAndItersFollowTheSchedule) {
+  SkewSpec spec;
+  spec.hot_fraction = 0.5;
+  spec.multiplier = 10.0;
+  spec.base_iters = 100;
+  for (uint64_t unit = 0; unit < 64; ++unit) {
+    if (SkewHot(spec, unit)) {
+      EXPECT_EQ(SkewFactor(spec, unit), 10.0);
+      EXPECT_EQ(SkewIters(spec, unit), 1000u);
+    } else {
+      EXPECT_EQ(SkewFactor(spec, unit), 1.0);
+      EXPECT_EQ(SkewIters(spec, unit), 100u);
+    }
+  }
+}
+
+TEST(Skew, BurnCpuToleratesZeroAndRuns) {
+  BurnCpu(0);        // no-op
+  BurnCpu(100'000);  // must return, not be optimized into anything unbounded
 }
 
 }  // namespace
